@@ -1,0 +1,104 @@
+#ifndef CATAPULT_BENCH_BENCH_COMMON_H_
+#define CATAPULT_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment-reproduction harnesses (one binary per
+// paper table/figure; see DESIGN.md Section 4).
+//
+// Dataset sizes are scaled down from the paper (AIDS10K/40K, PubChem
+// 23K..1M) so every harness finishes on a single core in tens of seconds;
+// set CATAPULT_BENCH_SCALE=<float> to scale all dataset sizes up or down.
+// The *shape* of each result (who wins, rough factors, trends) is the
+// reproduction target, not absolute magnitudes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/catapult.h"
+#include "src/data/molecule_generator.h"
+#include "src/data/query_generator.h"
+#include "src/formulate/evaluate.h"
+
+namespace catapult::bench {
+
+// Global dataset scale factor from CATAPULT_BENCH_SCALE (default 1.0).
+inline double ScaleFactor() {
+  const char* env = std::getenv("CATAPULT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double value = std::atof(env);
+  return value > 0.0 ? value : 1.0;
+}
+
+inline size_t Scaled(size_t base) {
+  double scaled = static_cast<double>(base) * ScaleFactor();
+  return scaled < 1.0 ? 1 : static_cast<size_t>(scaled);
+}
+
+// The stand-in for AIDS10K: molecule-like graphs, 6 scaffold families.
+inline GraphDatabase MakeAidsLike(size_t num_graphs, uint64_t seed = 1234) {
+  MoleculeGeneratorOptions options;
+  options.num_graphs = num_graphs;
+  options.min_vertices = 10;
+  options.max_vertices = 28;
+  options.scaffold_families = 24;
+  // Families differ mostly by topology (scaffold pairs), which frequent-
+  // subtree features capture only weakly but MCCS captures well - the
+  // regime where the paper's hybrid strategy pays off.
+  options.family_label_bias = 0.15;
+  options.seed = seed;
+  return GenerateMoleculeDatabase(options);
+}
+
+// The stand-in for PubChem: slightly larger graphs, more families.
+inline GraphDatabase MakePubChemLike(size_t num_graphs, uint64_t seed = 999) {
+  MoleculeGeneratorOptions options;
+  options.num_graphs = num_graphs;
+  options.min_vertices = 12;
+  options.max_vertices = 32;
+  options.scaffold_families = 40;
+  options.family_label_bias = 0.15;
+  options.seed = seed;
+  return GenerateMoleculeDatabase(options);
+}
+
+// Default pipeline options tuned for bench throughput (budgets documented
+// in DESIGN.md Section 5).
+inline CatapultOptions DefaultPipeline(PatternBudget budget, uint64_t seed) {
+  CatapultOptions options;
+  options.selector.budget = budget;
+  options.selector.walks_per_candidate = 25;
+  // Exact GED dominates selection time once panels grow; an anytime node
+  // budget keeps the diversity oracle honest (still >= the Def. 5.1 bound)
+  // while bounding per-pair cost.
+  options.selector.ged.node_budget = 15000;
+  options.clustering.max_cluster_size = 20;
+  options.clustering.fine_mcs.node_budget = 3000;
+  options.seed = seed;
+  return options;
+}
+
+// Standard query workload (Section 6.1, scaled from 1000 queries).
+inline std::vector<Graph> StandardQueries(const GraphDatabase& db,
+                                          size_t count, uint64_t seed = 7,
+                                          size_t min_edges = 4,
+                                          size_t max_edges = 40) {
+  QueryWorkloadOptions options;
+  options.count = count;
+  options.min_edges = min_edges;
+  options.max_edges = max_edges;
+  options.seed = seed;
+  return GenerateQueryWorkload(db, options);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(scale=%.2f; shapes, not absolute numbers, are the target)\n",
+              ScaleFactor());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace catapult::bench
+
+#endif  // CATAPULT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Exp 3 (Section 6.2): Catapult vs the PubChem / eMolecules GUI panels.
+//
+// For each commercial interface, Catapult generates the same number of
+// patterns in the same size window ([3, 8]; 12 for PubChem, 6 for eMol) and
+// both panels formulate the same query workload. Reported: average
+// cognitive load, average set diversity, MP, and the relative step
+// reduction mu_G = (step_gui - step_catapult) / step_gui.
+//
+// Paper shape: Catapult's cog is lowest, div is high, mu_G is positive
+// (max 0.79-0.86); PubChem's MP is very low only because its unlabelled
+// patterns match anywhere.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/formulate/steps.h"
+
+namespace catapult {
+namespace {
+
+void Compare(const char* name, const GraphDatabase& db, const GuiModel& gui,
+             size_t budget_gamma) {
+  CatapultOptions options = bench::DefaultPipeline(
+      {.eta_min = 3, .eta_max = 8, .gamma = budget_gamma}, /*seed=*/11);
+  CatapultResult result = RunCatapult(db, options);
+  GuiModel catapult_gui = MakeCatapultGui(result.Patterns());
+
+  std::vector<Graph> queries =
+      bench::StandardQueries(db, bench::Scaled(100), 19, 4, 30);
+
+  std::vector<QueryFormulation> gui_details;
+  std::vector<QueryFormulation> cat_details;
+  WorkloadReport gui_report = EvaluateGui(queries, gui, {}, &gui_details);
+  WorkloadReport cat_report =
+      EvaluateGui(queries, catapult_gui, {}, &cat_details);
+
+  double max_mu_g = -1.0;
+  double sum_mu_g = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double mu_g = RelativeReduction(gui_details[i].steps_patterns,
+                                    cat_details[i].steps_patterns);
+    max_mu_g = std::max(max_mu_g, mu_g);
+    sum_mu_g += mu_g;
+  }
+  double avg_mu_g = sum_mu_g / static_cast<double>(queries.size());
+
+  std::printf("\n--- %s (%zu patterns) vs Catapult (%zu patterns) ---\n",
+              name, gui.patterns.size(), catapult_gui.patterns.size());
+  std::printf("%-10s %8s %8s %8s %10s\n", "panel", "avg_cog", "avg_div",
+              "MP%", "avg_steps");
+  std::printf("%-10s %8.2f %8.2f %8.1f %10.1f\n", name,
+              AverageCognitiveLoad(gui.patterns),
+              AverageSetDiversity(gui.patterns), gui_report.mp_percent,
+              gui_report.avg_steps);
+  std::printf("%-10s %8.2f %8.2f %8.1f %10.1f\n", "Catapult",
+              AverageCognitiveLoad(catapult_gui.patterns),
+              AverageSetDiversity(catapult_gui.patterns),
+              cat_report.mp_percent, cat_report.avg_steps);
+  std::printf("mu_G: max=%.2f avg=%.2f  (positive = Catapult needs fewer steps)\n",
+              max_mu_g, avg_mu_g);
+}
+
+}  // namespace
+}  // namespace catapult
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader("Exp 3: Catapult vs commercial GUI pattern panels");
+
+  GraphDatabase pubchem = bench::MakePubChemLike(bench::Scaled(400), 999);
+  Label common_pc = pubchem.labels().Intern("C");
+  Compare("PubChem", pubchem, MakePubChemGui(common_pc), 12);
+
+  GraphDatabase emol = bench::MakeAidsLike(bench::Scaled(300), 321);
+  Label common_em = emol.labels().Intern("C");
+  Compare("eMol", emol, MakeEMolGui(common_em), 6);
+
+  std::printf(
+      "\nexpected shape: Catapult has the lowest avg cog, high div, and\n"
+      "positive max/avg mu_G against both panels; the unlabelled panels\n"
+      "reach low MP only via label-free matching (paper Exp 3).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Exp 5 (Figure 11): coverage of the canned pattern set vs |P|.
+//
+// Plots scov and lcov of Catapult's pattern set against the top-|P|
+// frequent edges for |P| in {5, 10, 20, 30}, on an AIDS40K-like and a
+// PubChem-like dataset.
+//
+// Paper shape: scov grows with |P|; top-|P| edges have slightly higher scov
+// (small patterns match almost anywhere); Catapult's lcov is competitive
+// and its patterns additionally support pattern-at-a-time formulation.
+
+#include "bench/bench_common.h"
+#include "src/core/weights.h"
+#include "src/mining/frequent_edges.h"
+
+namespace catapult {
+namespace {
+
+void RunDataset(const char* name, const GraphDatabase& db, uint64_t seed) {
+  // One selection run at the largest budget; prefixes of the greedy
+  // sequence give the smaller |P| sets.
+  CatapultOptions options = bench::DefaultPipeline(
+      {.eta_min = 3, .eta_max = 8, .gamma = 30}, seed);
+  CatapultResult result = RunCatapult(db, options);
+  std::vector<Graph> all_patterns = result.Patterns();
+  LabelCoverageIndex label_index(db);
+
+  std::printf("\n--- %s (%zu graphs; %zu patterns selected) ---\n", name,
+              db.size(), all_patterns.size());
+  std::printf("%4s | %12s %12s | %12s %12s\n", "|P|", "scov(P)", "lcov(P)",
+              "scov(edges)", "lcov(edges)");
+  const size_t sample_cap = 250;
+  for (size_t p : {size_t{5}, size_t{10}, size_t{20}, size_t{30}}) {
+    size_t take = std::min(p, all_patterns.size());
+    std::vector<Graph> prefix(all_patterns.begin(),
+                              all_patterns.begin() + take);
+    std::vector<Graph> top_edges = TopFrequentEdgePatterns(db, p);
+    std::printf("%4zu | %12.3f %12.3f | %12.3f %12.3f\n", p,
+                SubgraphCoverage(prefix, db, sample_cap),
+                label_index.SetLabelCoverage(prefix),
+                SubgraphCoverage(top_edges, db, sample_cap),
+                label_index.SetLabelCoverage(top_edges));
+  }
+}
+
+}  // namespace
+}  // namespace catapult
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader("Exp 5 (Fig. 11): scov / lcov vs |P|");
+  GraphDatabase aids = bench::MakeAidsLike(bench::Scaled(500), 1234);
+  RunDataset("AIDS40K-like", aids, 71);
+  GraphDatabase pubchem = bench::MakePubChemLike(bench::Scaled(400), 999);
+  RunDataset("PubChem-like", pubchem, 72);
+  std::printf(
+      "\nexpected shape: scov rises with |P| and stays high (~0.9+);\n"
+      "top-|P| frequent edges have >= scov of Catapult's patterns; lcov is\n"
+      "close between the two (paper Fig. 11).\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Exp 9 (Figure 17): Catapult vs frequent-subgraph-based canned patterns.
+//
+// Builds the baseline F by mining frequent subgraphs at supports
+// {4%, 8%, 12%} and packing the per-size budgeted pattern set, then
+// evaluates both panels on mixed workloads Q_x where a fraction x of the
+// queries is infrequent, x in {0, 0.1, 0.2, 0.3, 0.4}. Reports MP for all
+// panels and mu_F = (step_F - step_Catapult) / step_F.
+//
+// Paper shape: with all-frequent queries (Q0) the baseline wins slightly
+// (mu_F < 0); as x grows Catapult catches up and overtakes around x = 0.3;
+// baseline MP rises with x while Catapult's stays flat; Catapult's div is
+// much higher (7.4 vs 1.74).
+
+#include "bench/bench_common.h"
+#include "src/formulate/steps.h"
+#include "src/graph/algorithms.h"
+#include "src/iso/vf2.h"
+#include "src/mining/subgraph_miner.h"
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader("Exp 9 (Fig. 17): vs frequent-subgraph patterns");
+
+  GraphDatabase db = bench::MakeAidsLike(bench::Scaled(300), 1234);
+  const size_t kNumPatterns = 12;
+  const size_t kMinEdges = 3;
+  const size_t kMaxEdges = 8;
+
+  // Catapult panel.
+  CatapultOptions options = bench::DefaultPipeline(
+      {.eta_min = kMinEdges, .eta_max = kMaxEdges, .gamma = kNumPatterns},
+      131);
+  CatapultResult result = RunCatapult(db, options);
+  GuiModel catapult_gui = MakeCatapultGui(result.Patterns());
+
+  // Frequent-subgraph baselines at three support thresholds.
+  struct Baseline {
+    std::string name;
+    GuiModel gui;
+    std::vector<Graph> mined_graphs;  // pool of frequent queries
+  };
+  std::vector<Baseline> baselines;
+  for (double support : {0.04, 0.08, 0.12}) {
+    SubgraphMinerOptions miner;
+    miner.min_support = support;
+    miner.min_edges = kMinEdges;
+    miner.max_edges = kMaxEdges;
+    miner.max_candidates_per_level = 1200;
+    auto mined = MineFrequentSubgraphs(db, miner);
+    Baseline b;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "F(%.0f%%)", support * 100);
+    b.name = buf;
+    b.gui = MakeCatapultGui(
+        FrequentSubgraphPatternSet(mined, kNumPatterns, kMinEdges, kMaxEdges));
+    b.gui.name = b.name;
+    for (const auto& fs : mined) b.mined_graphs.push_back(fs.graph);
+    baselines.push_back(std::move(b));
+  }
+
+  std::printf("div: Catapult=%.2f", AverageSetDiversity(catapult_gui.patterns));
+  for (const Baseline& b : baselines) {
+    std::printf("  %s=%.2f", b.name.c_str(),
+                AverageSetDiversity(b.gui.patterns));
+  }
+  std::printf("\n\n%-6s | %9s | %7s", "Qx", "muF% vs F(8%)", "MP_cat");
+  for (const Baseline& b : baselines) {
+    std::printf(" %8s", ("MP_" + b.name).c_str());
+  }
+  std::printf("\n");
+
+  // Frequent query pool: random subgraph queries verified frequent on a
+  // database sample. (Using the baseline's own mined patterns as queries
+  // would hand it a 1-step formulation by construction; the paper draws
+  // queries from the data and classifies them.)
+  std::vector<Graph> frequent_pool;
+  {
+    Rng pool_rng(211);
+    std::vector<size_t> sample = pool_rng.SampleIndices(db.size(), 80);
+    auto SampleSupport = [&](const Graph& q) {
+      size_t hits = 0;
+      for (size_t i : sample) {
+        if (ContainsSubgraph(q, db.graph(static_cast<GraphId>(i)))) ++hits;
+      }
+      return static_cast<double>(hits) / static_cast<double>(sample.size());
+    };
+    int attempts = 0;
+    while (frequent_pool.size() < 25 && attempts < 600) {
+      ++attempts;
+      const Graph& source =
+          db.graph(static_cast<GraphId>(pool_rng.UniformInt(db.size())));
+      Graph q = RandomConnectedSubgraph(
+          source, 6 + pool_rng.UniformInt(6), pool_rng);
+      if (q.NumEdges() < 6) continue;
+      if (SampleSupport(q) >= 0.08) frequent_pool.push_back(std::move(q));
+    }
+  }
+  for (double x : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    QueryMixOptions mix;
+    mix.count = bench::Scaled(40);
+    mix.infrequent_fraction = x;
+    mix.min_edges = 6;
+    mix.max_edges = 14;
+    mix.verification_sample = 80;
+    mix.seed = 137 + static_cast<uint64_t>(x * 10);
+    std::vector<Graph> queries = GenerateQueryMix(db, frequent_pool, mix);
+
+    std::vector<QueryFormulation> cat_details;
+    WorkloadReport cat_report =
+        EvaluateGui(queries, catapult_gui, {}, &cat_details);
+
+    // mu_F against the mid-support baseline (the paper's headline series).
+    std::vector<QueryFormulation> f_details;
+    WorkloadReport f_mid_report =
+        EvaluateGui(queries, baselines[1].gui, {}, &f_details);
+    double mu_f_sum = 0.0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      mu_f_sum += RelativeReduction(f_details[i].steps_patterns,
+                                    cat_details[i].steps_patterns);
+    }
+    double mu_f = 100.0 * mu_f_sum / static_cast<double>(queries.size());
+
+    std::printf("Q%-5.1f | %13.2f | %7.1f", x, mu_f, cat_report.mp_percent);
+    for (const Baseline& b : baselines) {
+      WorkloadReport r = EvaluateGui(queries, b.gui);
+      std::printf(" %8.1f", r.mp_percent);
+    }
+    std::printf("\n");
+    (void)f_mid_report;
+  }
+
+  std::printf(
+      "\nexpected shape: muF%% rises with x (the paper reports a crossover\n"
+      "around x=0.3) and Catapult's div far exceeds the baseline's. On\n"
+      "this synthetic 8-label alphabet the crossover is NOT reached: with\n"
+      "so few labels, the baseline's small frequent patterns (3-edge\n"
+      "carbon paths) partially cover almost every query, frequent or not,\n"
+      "which caps MP_F and muF. The paper's AIDS data has ~60 vertex\n"
+      "labels, so its frequent patterns are far more selective - a data-\n"
+      "regime difference, not an algorithmic one (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Exp 10 (Figure 18): which cognitive-load measure predicts human effort?
+//
+// The paper times 15 participants deciding "is pattern p useful for query
+// Q" for 6 patterns of varying topology per dataset, ranks the patterns by
+// average decision time ("actual" rank), and correlates that ranking with
+// three candidate measures:
+//   F1 = |E| * density (the paper's cog),  F2 = 2|E|,  F3 = 2|E| / |V|.
+// Participants are simulated by the QFT decision-time model, which is
+// driven by F1 plus a vertex-count term plus noise - so the reproduction
+// checks that, under noisy observations of an F1-shaped process, F1 and F3
+// correlate strongly with the observed ranks while the pure-size measure
+// F2 does not (the paper's finding: 0.8 / 0.28 / 0.78).
+
+#include <array>
+
+#include "bench/bench_common.h"
+#include "src/core/pattern_score.h"
+#include "src/formulate/qft.h"
+#include "src/util/stats.h"
+
+namespace catapult {
+namespace {
+
+Graph Ring(size_t n) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(0);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph Chain(size_t n) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return g;
+}
+
+Graph Clique(size_t n) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  return g;
+}
+
+Graph Star(size_t leaves) {
+  Graph g;
+  VertexId c = g.AddVertex(0);
+  for (size_t i = 0; i < leaves; ++i) g.AddEdge(c, g.AddVertex(0));
+  return g;
+}
+
+// Average rank (1-based) per item given one score vector; higher score ->
+// higher rank index.
+std::vector<double> Ranks(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(scores.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    ranks[order[pos]] = static_cast<double>(pos + 1);
+  }
+  return ranks;
+}
+
+void RunDataset(const char* name, const std::vector<Graph>& patterns,
+                uint64_t seed) {
+  const size_t kParticipants = 15;
+  QftModel model;
+  Rng rng(seed);
+
+  // Per-participant decision-time rankings, averaged (the paper's "actual
+  // rank": per-participant ranks averaged, then re-ranked).
+  std::vector<double> avg_rank(patterns.size(), 0.0);
+  for (size_t participant = 0; participant < kParticipants; ++participant) {
+    std::vector<double> times;
+    times.reserve(patterns.size());
+    for (const Graph& p : patterns) {
+      times.push_back(SimulateDecisionTime(p, model, rng));
+    }
+    std::vector<double> ranks = Ranks(times);
+    for (size_t i = 0; i < patterns.size(); ++i) avg_rank[i] += ranks[i];
+  }
+  for (double& r : avg_rank) r /= static_cast<double>(kParticipants);
+
+  std::vector<double> f1;
+  std::vector<double> f2;
+  std::vector<double> f3;
+  for (const Graph& p : patterns) {
+    f1.push_back(CognitiveLoad(p));
+    f2.push_back(CognitiveLoadDegreeSum(p));
+    f3.push_back(CognitiveLoadAvgDegree(p));
+  }
+  std::printf("%-10s | tau(actual,F1)=%.2f  tau(actual,F2)=%.2f  "
+              "tau(actual,F3)=%.2f\n",
+              name, KendallTau(avg_rank, f1), KendallTau(avg_rank, f2),
+              KendallTau(avg_rank, f3));
+}
+
+}  // namespace
+}  // namespace catapult
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader(
+      "Exp 10 (Fig. 18): cognitive-load measures vs simulated task time");
+
+  // Six patterns per dataset spanning topologies and sizes (|V| 4-13,
+  // |E| 3-13), as in the paper's setup.
+  std::vector<Graph> set_a = {Chain(5),  Star(4),   Ring(6),
+                              Clique(4), Chain(10), Ring(13)};
+  std::vector<Graph> set_b = {Chain(4),  Star(6),  Ring(5),
+                              Clique(5), Chain(13), Ring(9)};
+  RunDataset("AIDS-like", set_a, 171);
+  RunDataset("PubChem-like", set_b, 173);
+  std::printf(
+      "\nexpected shape: F1 (density-based, the paper's cog) and F3 track\n"
+      "the simulated ranks closely (~0.8); the degree-sum measure F2 does\n"
+      "not (~0.3) (paper Fig. 18: 0.8 / 0.28 / 0.78). Clique patterns take\n"
+      "longest, matching the paper's edge-crossing observation.\n");
+  return 0;
+}

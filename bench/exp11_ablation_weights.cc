@@ -1,0 +1,49 @@
+// Ablation (DESIGN.md Section 5): the multiplicative weight update.
+//
+// Algorithm 4 halves the weight of covered clusters and used edge labels
+// after every selection so later iterations chase *uncovered* regions.
+// This bench disables the update (decay factor 1.0) and compares the
+// resulting pattern set's subgraph coverage, label coverage, diversity and
+// workload MP against the paper's n = 0.5.
+//
+// Expected: without decay the greedy loop keeps drawing candidates from
+// the same heavy clusters, so set-level scov/lcov/div drop and MP rises.
+
+#include "bench/bench_common.h"
+#include "src/core/weights.h"
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader("Ablation: multiplicative weight decay (n=0.5 vs off)");
+
+  GraphDatabase db = bench::MakeAidsLike(bench::Scaled(300), 1234);
+  std::vector<Graph> queries =
+      bench::StandardQueries(db, bench::Scaled(80), 191, 4, 30);
+  LabelCoverageIndex label_index(db);
+
+  std::printf("%-10s | %8s %8s %8s %8s %8s\n", "decay", "scov", "lcov",
+              "div", "MP%", "avg_mu%");
+  for (double decay : {0.5, 1.0}) {
+    CatapultOptions options = bench::DefaultPipeline(
+        {.eta_min = 3, .eta_max = 8, .gamma = 12}, 193);
+    options.selector.weight_decay = decay;
+    CatapultResult result = RunCatapult(db, options);
+    std::vector<Graph> patterns = result.Patterns();
+    GuiModel gui = MakeCatapultGui(patterns);
+    WorkloadReport report = EvaluateGui(queries, gui);
+    std::printf("%-10s | %8.3f %8.3f %8.2f %8.1f %8.1f\n",
+                decay == 1.0 ? "off (1.0)" : "0.5",
+                SubgraphCoverage(patterns, db, 250),
+                label_index.SetLabelCoverage(patterns),
+                AverageSetDiversity(patterns), report.mp_percent,
+                report.avg_mu * 100);
+  }
+  std::printf(
+      "\nexpected shape: decay=0.5 buys structural diversity (higher div -\n"
+      "later picks chase not-yet-covered clusters); disabling it keeps\n"
+      "selection anchored on the heaviest clusters, which can score higher\n"
+      "raw coverage on workloads dominated by those clusters but leaves\n"
+      "rare-cluster queries without patterns. The div column is the\n"
+      "paper's motivation for the multiplicative update.\n");
+  return 0;
+}

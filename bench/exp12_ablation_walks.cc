@@ -1,0 +1,66 @@
+// Ablation (DESIGN.md Section 5 / paper Section 7): random-walk candidate
+// generation vs DaVinci-style deterministic greedy growth.
+//
+// The paper argues (Section 7) that intertwining candidate generation and
+// selection via weighted random walks yields more diverse candidates than
+// the earlier greedy breadth-first approach. This bench runs Algorithm 4
+// with both strategies on the same clustering and compares the resulting
+// set's diversity, coverage, and workload metrics.
+//
+// Expected: random walks give equal-or-better diversity and MP, because
+// each iteration can surface different CSG regions, while the greedy
+// deterministic growth keeps proposing the same heavy paths.
+
+#include "bench/bench_common.h"
+#include "src/core/weights.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader(
+      "Ablation: random-walk vs greedy-BFS candidate generation");
+
+  GraphDatabase db = bench::MakeAidsLike(bench::Scaled(300), 1234);
+  CatapultOptions base = bench::DefaultPipeline(
+      {.eta_min = 3, .eta_max = 8, .gamma = 12}, 211);
+  Rng rng(211);
+  ClusteringResult clustering = SmallGraphClustering(db, base.clustering, rng);
+  std::vector<ClusterSummaryGraph> csgs = BuildCsgs(db, clustering.clusters);
+  std::vector<Graph> queries =
+      bench::StandardQueries(db, bench::Scaled(80), 213, 4, 30);
+  LabelCoverageIndex label_index(db);
+
+  std::printf("%-12s | %8s %8s %8s %8s %8s %8s\n", "strategy", "scov",
+              "lcov", "div", "MP%", "avg_mu%", "PGT(s)");
+  for (CandidateStrategy strategy :
+       {CandidateStrategy::kRandomWalk, CandidateStrategy::kGreedyBfs}) {
+    SelectorOptions selector = base.selector;
+    selector.strategy = strategy;
+    // The paper uses x = 100 walks per candidate (Example 5.3); a small
+    // library makes the FCP statistics noisy and handicaps the walk arm.
+    selector.walks_per_candidate = 80;
+    Rng selection_rng(215);
+    WallTimer timer;
+    SelectionResult selection = FindCannedPatternSet(
+        db, clustering.clusters, csgs, selector, selection_rng);
+    double pgt = timer.ElapsedSeconds();
+    std::vector<Graph> patterns = selection.PatternGraphs();
+    GuiModel gui = MakeCatapultGui(patterns);
+    WorkloadReport report = EvaluateGui(queries, gui);
+    std::printf("%-12s | %8.3f %8.3f %8.2f %8.1f %8.1f %8.2f\n",
+                strategy == CandidateStrategy::kRandomWalk ? "random-walk"
+                                                           : "greedy-bfs",
+                SubgraphCoverage(patterns, db, 250),
+                label_index.SetLabelCoverage(patterns),
+                AverageSetDiversity(patterns), report.mp_percent,
+                report.avg_mu * 100, pgt);
+  }
+  std::printf(
+      "\nexpected shape: the random-walk strategy wins on the workload\n"
+      "metrics (lower MP, higher avg mu - candidates cover different CSG\n"
+      "regions each iteration), while deterministic greedy growth is\n"
+      "faster and competitive on raw set statistics; the gap widens with\n"
+      "more walks (paper Section 7's argument for intertwined\n"
+      "generation+selection).\n");
+  return 0;
+}

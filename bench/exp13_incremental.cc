@@ -1,0 +1,86 @@
+// Extension bench (paper Section 1 future work): incremental maintenance
+// of canned patterns as the database evolves.
+//
+// Starts from a mined panel, then streams in batches of new graphs - some
+// from the same scaffold families, some from unseen families - and compares
+// the incremental updater (assign-to-cluster + re-close + re-select)
+// against a full pipeline rerun, in time and in panel quality on a common
+// workload.
+//
+// Expected: the incremental update is several times faster than the full
+// rerun while matching its MP/avg-mu closely, and it reports how much of
+// the panel actually changed.
+
+#include "bench/bench_common.h"
+#include "src/core/maintenance.h"
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader("Extension: incremental panel maintenance");
+
+  // Initial corpus: families 0-11. Arrival batches mix familiar (0-11) and
+  // novel (12-23) families.
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = bench::Scaled(250);
+  gen.scaffold_families = 12;
+  gen.family_label_bias = 0.15;
+  gen.seed = 1234;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+
+  CatapultOptions options = bench::DefaultPipeline(
+      {.eta_min = 3, .eta_max = 8, .gamma = 12}, 41);
+  CatapultResult initial = RunCatapult(db, options);
+  std::printf("initial: %zu graphs, %zu clusters, %zu patterns "
+              "(cluster %.1fs + select %.1fs)\n",
+              db.size(), initial.clusters.size(),
+              initial.selection.patterns.size(), initial.clustering_seconds,
+              initial.selection_seconds);
+
+  MoleculeGeneratorOptions arrival_gen = gen;
+  arrival_gen.num_graphs = bench::Scaled(80);
+  arrival_gen.scaffold_families = 24;  // half familiar, half novel
+  arrival_gen.seed = 4321;
+  GraphDatabase arrivals_db = GenerateMoleculeDatabase(arrival_gen);
+  std::vector<Graph> arrivals(arrivals_db.graphs().begin(),
+                              arrivals_db.graphs().end());
+
+  // Incremental update.
+  MaintenanceOptions maintenance;
+  maintenance.selector = options.selector;
+  maintenance.min_affinity = 0.7;   // only near-perfect folds join
+  maintenance.max_cluster_size = 30;
+  GraphDatabase updated;
+  MaintenanceResult inc =
+      UpdateWithNewGraphs(db, initial, arrivals, maintenance, &updated);
+
+  // Full rerun on the updated database.
+  CatapultResult full = RunCatapult(updated, options);
+  double full_seconds = full.clustering_seconds + full.csg_seconds +
+                        full.selection_seconds;
+
+  std::vector<Graph> queries =
+      bench::StandardQueries(updated, bench::Scaled(80), 43, 4, 30);
+  WorkloadReport inc_report =
+      EvaluateGui(queries, MakeCatapultGui(inc.selection.PatternGraphs()));
+  WorkloadReport full_report =
+      EvaluateGui(queries, MakeCatapultGui(full.Patterns()));
+
+  std::printf("\n%-12s %10s %8s %8s %10s\n", "method", "time(s)", "MP%",
+              "avg_mu%", "panel");
+  std::printf("%-12s %10.2f %8.1f %8.1f  %zu kept / %zu changed, %zu new "
+              "clusters\n",
+              "incremental", inc.update_seconds, inc_report.mp_percent,
+              inc_report.avg_mu * 100, inc.patterns_kept,
+              inc.patterns_changed, inc.new_clusters);
+  std::printf("%-12s %10.2f %8.1f %8.1f  (from scratch)\n", "full rerun",
+              full_seconds, full_report.mp_percent,
+              full_report.avg_mu * 100);
+  std::printf(
+      "\nexpected shape: the incremental update skips the clustering phase\n"
+      "entirely (its cost is dominated by re-selection), surfaces novel\n"
+      "families as new clusters, and recovers most of the full rerun's\n"
+      "panel quality; the residual MP/mu gap is the price of freezing the\n"
+      "old clustering and shrinks with stricter min_affinity. Periodic\n"
+      "full rebuilds remain advisable, as the paper's vision suggests.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: exact branch-and-bound GED vs the assignment-based
+// approximation (Riesen-Neuhaus, the paper's reference [32]) as the
+// diversity oracle inside Algorithm 4.
+//
+// Expected: the approximate oracle cuts selection time while producing a
+// panel of near-identical diversity/coverage, because the assignment bound
+// is tight on canned-pattern-sized graphs and diversity only needs the
+// *minimum* over the set, which lower-bound pruning already localises.
+
+#include "bench/bench_common.h"
+#include "src/core/weights.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace catapult;
+  bench::PrintHeader("Ablation: exact vs assignment-based GED diversity");
+
+  GraphDatabase db = bench::MakeAidsLike(bench::Scaled(300), 1234);
+  CatapultOptions base = bench::DefaultPipeline(
+      {.eta_min = 3, .eta_max = 8, .gamma = 16}, 231);
+  Rng rng(231);
+  ClusteringResult clustering = SmallGraphClustering(db, base.clustering, rng);
+  std::vector<ClusterSummaryGraph> csgs = BuildCsgs(db, clustering.clusters);
+  std::vector<Graph> queries =
+      bench::StandardQueries(db, bench::Scaled(80), 233, 4, 30);
+  LabelCoverageIndex label_index(db);
+
+  std::printf("%-10s | %8s %8s %8s %8s %8s\n", "ged", "PGT(s)", "div",
+              "scov", "MP%", "avg_mu%");
+  for (bool approximate : {false, true}) {
+    SelectorOptions selector = base.selector;
+    selector.approximate_diversity = approximate;
+    Rng selection_rng(235);
+    WallTimer timer;
+    SelectionResult selection = FindCannedPatternSet(
+        db, clustering.clusters, csgs, selector, selection_rng);
+    double pgt = timer.ElapsedSeconds();
+    std::vector<Graph> patterns = selection.PatternGraphs();
+    WorkloadReport report = EvaluateGui(queries, MakeCatapultGui(patterns));
+    std::printf("%-10s | %8.2f %8.2f %8.3f %8.1f %8.1f\n",
+                approximate ? "bipartite" : "exact", pgt,
+                AverageSetDiversity(patterns),
+                SubgraphCoverage(patterns, db, 250), report.mp_percent,
+                report.avg_mu * 100);
+  }
+  std::printf(
+      "\nexpected shape: near-identical div/scov/MP with lower (or equal)\n"
+      "PGT for the bipartite oracle; differences grow only when panels\n"
+      "contain many large, similar patterns.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks of the NP-hard primitives underpinning Catapult
+// (google-benchmark): VF2 subgraph isomorphism, MCCS, exact GED, the
+// Definition 5.1 lower bound, diversity with vs without lower-bound
+// pruning, CSG construction, and weighted random walks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/pattern_score.h"
+#include "src/graph/algorithms.h"
+#include "src/core/random_walk.h"
+#include "src/csg/csg.h"
+#include "src/iso/ged.h"
+#include "src/iso/mcs.h"
+#include "src/iso/vf2.h"
+
+namespace catapult {
+namespace {
+
+GraphDatabase& SharedDb() {
+  static GraphDatabase* db =
+      new GraphDatabase(bench::MakeAidsLike(200, 1234));
+  return *db;
+}
+
+std::vector<Graph>& SharedPatterns() {
+  static std::vector<Graph>* patterns = [] {
+    auto* p = new std::vector<Graph>();
+    Rng rng(5);
+    for (int i = 0; i < 8; ++i) {
+      p->push_back(RandomConnectedSubgraph(
+          SharedDb().graph(static_cast<GraphId>(i * 7)), 4 + i % 5, rng));
+    }
+    return p;
+  }();
+  return *patterns;
+}
+
+void BM_Vf2Contains(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  Rng rng(1);
+  Graph pattern = RandomConnectedSubgraph(
+      db.graph(3), static_cast<size_t>(state.range(0)), rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ContainsSubgraph(pattern, db.graph(i % db.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_Vf2Contains)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_Mccs(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  McsOptions options;
+  options.node_budget = static_cast<uint64_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(McsSimilarity(
+        db.graph(i % db.size()), db.graph((i + 17) % db.size()), options));
+    ++i;
+  }
+}
+BENCHMARK(BM_Mccs)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_GedExact(benchmark::State& state) {
+  const auto& patterns = SharedPatterns();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphEditDistance(
+        patterns[i % patterns.size()], patterns[(i + 3) % patterns.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GedExact);
+
+void BM_GedLowerBound(benchmark::State& state) {
+  const auto& patterns = SharedPatterns();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GedLowerBound(
+        patterns[i % patterns.size()], patterns[(i + 3) % patterns.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GedLowerBound);
+
+// Diversity of a pattern against a set, with the Definition 5.1 pruning
+// (the library path) vs brute-force exact GED against every member.
+void BM_DiversityPruned(benchmark::State& state) {
+  const auto& patterns = SharedPatterns();
+  std::vector<Graph> set(patterns.begin() + 1, patterns.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternSetDiversity(patterns[0], set));
+  }
+}
+BENCHMARK(BM_DiversityPruned);
+
+void BM_DiversityBruteForce(benchmark::State& state) {
+  const auto& patterns = SharedPatterns();
+  std::vector<Graph> set(patterns.begin() + 1, patterns.end());
+  for (auto _ : state) {
+    double best = 1e18;
+    for (const Graph& q : set) {
+      best = std::min(best, GraphEditDistance(patterns[0], q).distance);
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_DiversityBruteForce);
+
+void BM_BuildCsg(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  std::vector<GraphId> cluster;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    cluster.push_back(static_cast<GraphId>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildCsg(db, cluster));
+  }
+}
+BENCHMARK(BM_BuildCsg)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_RandomWalkPcp(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  std::vector<GraphId> cluster;
+  for (GraphId i = 0; i < 20; ++i) cluster.push_back(i);
+  ClusterSummaryGraph csg = BuildCsg(db, cluster);
+  EdgeLabelWeights elw(db);
+  WeightedCsg wcsg = MakeWeightedCsg(csg, elw);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GeneratePcp(wcsg, static_cast<size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_RandomWalkPcp)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace catapult
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+// catapult_cli - command-line driver for the library.
+//
+// Subcommands:
+//   generate --out FILE [--graphs N] [--families K] [--seed S]
+//       Write a synthetic molecule-like database in gSpan text format.
+//   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
+//        [--seed S] [--sampling]
+//       Run the full Catapult pipeline and write the selected canned
+//       patterns (as a pattern database in the same text format).
+//   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
+//       Evaluate a pattern panel on a random query workload (MP, mu).
+//   search --db FILE --query-id I [--edges K] [--seed S]
+//       Extract a random connected substructure of graph I and run the
+//       subgraph search engine over the database.
+//
+// Exit status: 0 on success, 1 on usage/IO errors.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/core/catapult.h"
+#include "src/data/molecule_generator.h"
+#include "src/data/query_generator.h"
+#include "src/formulate/evaluate.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/io.h"
+#include "src/search/search_engine.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace catapult;
+
+// Minimal flag parser: --name value pairs after the subcommand.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_.emplace_back(argv[i] + 2, argv[i + 1]);
+      }
+    }
+    // Boolean flags (no value).
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 &&
+          (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+        values_.emplace_back(argv[i] + 2, "true");
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return value;
+    }
+    return std::nullopt;
+  }
+
+  long GetInt(const std::string& name, long fallback) const {
+    auto v = Get(name);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+
+  bool GetBool(const std::string& name) const { return Get(name).has_value(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: catapult_cli <generate|mine|evaluate|search> "
+               "[--flags]\n(see the header of examples/catapult_cli.cpp)\n");
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  auto out = flags.Get("out");
+  if (!out) return Usage();
+  MoleculeGeneratorOptions options;
+  options.num_graphs = static_cast<size_t>(flags.GetInt("graphs", 500));
+  options.scaffold_families =
+      static_cast<size_t>(flags.GetInt("families", 12));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  GraphDatabase db = GenerateMoleculeDatabase(options);
+  if (!WriteDatabaseToFile(db, *out)) {
+    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+    return 1;
+  }
+  DatabaseStats stats = db.Stats();
+  std::printf("wrote %zu graphs (avg |V|=%.1f, avg |E|=%.1f) to %s\n",
+              stats.num_graphs, stats.avg_vertices, stats.avg_edges,
+              out->c_str());
+  return 0;
+}
+
+int CmdMine(const Flags& flags) {
+  auto db_path = flags.Get("db");
+  auto out = flags.Get("out");
+  if (!db_path || !out) return Usage();
+  auto db = ReadDatabaseFromFile(*db_path);
+  if (!db) {
+    std::fprintf(stderr, "cannot read %s\n", db_path->c_str());
+    return 1;
+  }
+  CatapultOptions options;
+  options.selector.budget.gamma =
+      static_cast<size_t>(flags.GetInt("gamma", 12));
+  options.selector.budget.eta_min =
+      static_cast<size_t>(flags.GetInt("min-size", 3));
+  options.selector.budget.eta_max =
+      static_cast<size_t>(flags.GetInt("max-size", 8));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.clustering.fine_mcs.node_budget = 5000;
+  options.use_sampling = flags.GetBool("sampling");
+  CatapultResult result = RunCatapult(*db, options);
+
+  GraphDatabase panel;
+  panel.labels() = db->labels();
+  for (const SelectedPattern& p : result.selection.patterns) {
+    panel.Add(p.graph);
+  }
+  if (!WriteDatabaseToFile(panel, *out)) {
+    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+    return 1;
+  }
+  std::printf(
+      "mined %zu patterns from %zu graphs (%zu clusters; clustering %.1fs, "
+      "selection %.1fs) -> %s\n",
+      result.selection.patterns.size(), db->size(), result.clusters.size(),
+      result.clustering_seconds, result.selection_seconds, out->c_str());
+  for (const SelectedPattern& p : result.selection.patterns) {
+    std::printf("  |E|=%zu score=%.4f ccov=%.3f div=%.1f cog=%.2f\n",
+                p.graph.NumEdges(), p.score, p.ccov, p.div, p.cog);
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  auto db_path = flags.Get("db");
+  auto patterns_path = flags.Get("patterns");
+  if (!db_path || !patterns_path) return Usage();
+  auto db = ReadDatabaseFromFile(*db_path);
+  auto patterns = ReadDatabaseFromFile(*patterns_path);
+  if (!db || !patterns) {
+    std::fprintf(stderr, "cannot read inputs\n");
+    return 1;
+  }
+  QueryWorkloadOptions wl;
+  wl.count = static_cast<size_t>(flags.GetInt("queries", 100));
+  wl.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  std::vector<Graph> queries = GenerateQueryWorkload(*db, wl);
+  GuiModel gui = MakeCatapultGui(std::vector<Graph>(
+      patterns->graphs().begin(), patterns->graphs().end()));
+  WorkloadReport report = EvaluateGui(queries, gui);
+  std::printf(
+      "%zu queries: MP=%.1f%%  max mu=%.1f%%  avg mu=%.1f%%  avg steps=%.1f\n",
+      report.num_queries, report.mp_percent, report.max_mu * 100,
+      report.avg_mu * 100, report.avg_steps);
+  std::printf("panel: avg cog=%.2f  avg div=%.2f  scov~%.3f\n",
+              AverageCognitiveLoad(gui.patterns),
+              AverageSetDiversity(gui.patterns),
+              SubgraphCoverage(gui.patterns, *db, 300));
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  auto db_path = flags.Get("db");
+  if (!db_path) return Usage();
+  auto db = ReadDatabaseFromFile(*db_path);
+  if (!db) {
+    std::fprintf(stderr, "cannot read %s\n", db_path->c_str());
+    return 1;
+  }
+  GraphId source = static_cast<GraphId>(flags.GetInt("query-id", 0));
+  if (source >= db->size()) {
+    std::fprintf(stderr, "query-id out of range\n");
+    return 1;
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 9)));
+  Graph query = RandomConnectedSubgraph(
+      db->graph(source), static_cast<size_t>(flags.GetInt("edges", 6)), rng);
+  SubgraphSearchEngine engine(*db);
+  std::vector<GraphId> matches = engine.Search(query);
+  std::printf("query (from G%u): %s\n%zu matches:", source,
+              query.DebugString().c_str(), matches.size());
+  for (size_t i = 0; i < matches.size() && i < 20; ++i) {
+    std::printf(" G%u", matches[i]);
+  }
+  std::printf("%s\n", matches.size() > 20 ? " ..." : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv, 2);
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "mine") return CmdMine(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "search") return CmdSearch(flags);
+  return Usage();
+}

@@ -1,0 +1,86 @@
+#include "src/cluster/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace catapult {
+
+AgglomerativeResult AgglomerativeCluster(
+    const std::vector<DynamicBitset>& points,
+    const AgglomerativeOptions& options) {
+  AgglomerativeResult result;
+  const size_t n = points.size();
+  if (n == 0) return result;
+  size_t target = std::max<size_t>(1, options.target_clusters);
+
+  // Lance-Williams update for average linkage over a dense distance matrix.
+  // Active clusters are tracked by size > 0.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = static_cast<double>(points[i].HammingDistance(points[j]));
+      dist[i][j] = d;
+      dist[j][i] = d;
+    }
+  }
+  std::vector<size_t> size(n, 1);
+  std::vector<size_t> member_of(n);  // point -> current cluster id
+  for (size_t i = 0; i < n; ++i) member_of[i] = i;
+  size_t active = n;
+
+  while (active > target) {
+    // Closest active pair (ties: smallest indices).
+    double best = std::numeric_limits<double>::max();
+    size_t bi = 0;
+    size_t bj = 0;
+    bool found = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (size[i] == 0) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (size[j] == 0) continue;
+        if (dist[i][j] < best) {
+          best = dist[i][j];
+          bi = i;
+          bj = j;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    if (options.max_merge_distance > 0.0 &&
+        best > options.max_merge_distance) {
+      break;
+    }
+    // Merge bj into bi (average linkage).
+    double wi = static_cast<double>(size[bi]);
+    double wj = static_cast<double>(size[bj]);
+    for (size_t k = 0; k < n; ++k) {
+      if (size[k] == 0 || k == bi || k == bj) continue;
+      double merged = (wi * dist[bi][k] + wj * dist[bj][k]) / (wi + wj);
+      dist[bi][k] = merged;
+      dist[k][bi] = merged;
+    }
+    size[bi] += size[bj];
+    size[bj] = 0;
+    for (size_t p = 0; p < n; ++p) {
+      if (member_of[p] == bj) member_of[p] = bi;
+    }
+    --active;
+  }
+
+  // Densify cluster ids.
+  std::vector<int> dense(n, -1);
+  size_t next = 0;
+  result.assignment.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    size_t c = member_of[p];
+    if (dense[c] < 0) dense[c] = static_cast<int>(next++);
+    result.assignment[p] = static_cast<size_t>(dense[c]);
+  }
+  result.num_clusters = next;
+  return result;
+}
+
+}  // namespace catapult

@@ -1,0 +1,40 @@
+#ifndef CATAPULT_CLUSTER_AGGLOMERATIVE_H_
+#define CATAPULT_CLUSTER_AGGLOMERATIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/bitset.h"
+
+namespace catapult {
+
+// Options for average-linkage agglomerative clustering over binary feature
+// vectors. The paper's remark in Section 4.1 notes that "the Catapult
+// framework is orthogonal to the choice of a feature vector-based
+// clustering approach as k-means can be replaced with an alternative
+// clustering algorithm" - this is that alternative: deterministic (no
+// seeding), hierarchy-based, at O(n^2 log n)-ish cost.
+struct AgglomerativeOptions {
+  // Stop merging when this many clusters remain (like k-means' k)...
+  size_t target_clusters = 8;
+
+  // ...or when the closest pair is farther apart than this average-linkage
+  // Hamming distance (0 = ignore; merging continues to target_clusters).
+  double max_merge_distance = 0.0;
+};
+
+// Result: assignment[i] is the cluster index (dense from 0) of point i.
+struct AgglomerativeResult {
+  std::vector<size_t> assignment;
+  size_t num_clusters = 0;
+};
+
+// Average-linkage agglomerative clustering with Hamming distance. Fully
+// deterministic: ties are broken by the smallest cluster indices.
+AgglomerativeResult AgglomerativeCluster(
+    const std::vector<DynamicBitset>& points,
+    const AgglomerativeOptions& options);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,63 @@
+#include "src/cluster/facility_location.h"
+
+#include <algorithm>
+
+#include "src/tree/canonical.h"
+#include "src/util/check.h"
+
+namespace catapult {
+
+std::vector<size_t> SelectRepresentativeSubtrees(
+    const std::vector<FrequentSubtree>& subtrees,
+    const FacilitySelectionOptions& options) {
+  const size_t n = subtrees.size();
+  std::vector<size_t> selected;
+  if (n == 0) return selected;
+
+  // Pairwise similarity matrix (symmetric; diagonal 1).
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    sim[i][i] = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = SubtreeSimilarity(subtrees[i].canonical,
+                                   subtrees[j].canonical);
+      sim[i][j] = s;
+      sim[j][i] = s;
+    }
+  }
+
+  // Greedy submodular maximisation. coverage[i] = max similarity of i to any
+  // selected facility so far.
+  std::vector<double> coverage(n, 0.0);
+  std::vector<bool> in_set(n, false);
+  double first_gain = 0.0;
+  while (options.max_selected == 0 || selected.size() < options.max_selected) {
+    double best_gain = 0.0;
+    size_t best = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (in_set[j]) continue;
+      double gain = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        gain += std::max(0.0, sim[i][j] - coverage[i]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = j;
+      }
+    }
+    if (best == n) break;
+    if (selected.empty()) {
+      first_gain = best_gain;
+    } else if (best_gain < options.min_relative_gain * first_gain) {
+      break;
+    }
+    in_set[best] = true;
+    selected.push_back(best);
+    for (size_t i = 0; i < n; ++i) {
+      coverage[i] = std::max(coverage[i], sim[i][best]);
+    }
+  }
+  return selected;
+}
+
+}  // namespace catapult

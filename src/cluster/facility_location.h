@@ -1,0 +1,34 @@
+#ifndef CATAPULT_CLUSTER_FACILITY_LOCATION_H_
+#define CATAPULT_CLUSTER_FACILITY_LOCATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/mining/subtree_miner.h"
+
+namespace catapult {
+
+// Options for the frequent-subtree refinement step (Algorithm 2, line 2 and
+// Appendix B): cast the subtree-selection problem as maximisation of the
+// monotone submodular uncapacitated-facility-location objective
+//   q(Tsel) = sum_{i in Tall} max_{j in Tsel} sigma_subtree(i, j)
+// and solve greedily (1 - 1/e guarantee).
+struct FacilitySelectionOptions {
+  // Maximum number of selected subtrees (0 = unlimited).
+  size_t max_selected = 50;
+
+  // Stop when the marginal gain of the best remaining facility falls below
+  // this fraction of the first (largest) gain.
+  double min_relative_gain = 0.01;
+};
+
+// Returns indices into `subtrees` of the greedily selected representative
+// set, in selection order. Pairwise similarities are computed from the
+// canonical strings via SubtreeSimilarity.
+std::vector<size_t> SelectRepresentativeSubtrees(
+    const std::vector<FrequentSubtree>& subtrees,
+    const FacilitySelectionOptions& options);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CLUSTER_FACILITY_LOCATION_H_

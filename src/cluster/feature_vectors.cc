@@ -1,0 +1,23 @@
+#include "src/cluster/feature_vectors.h"
+
+#include "src/iso/vf2.h"
+
+namespace catapult {
+
+std::vector<DynamicBitset> BuildFeatureVectors(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const std::vector<FrequentSubtree>& subtrees) {
+  std::vector<DynamicBitset> features;
+  features.reserve(graph_ids.size());
+  for (GraphId id : graph_ids) {
+    const Graph& g = db.graph(id);
+    DynamicBitset vec(subtrees.size());
+    for (size_t j = 0; j < subtrees.size(); ++j) {
+      if (ContainsSubgraph(subtrees[j].tree, g)) vec.Set(j);
+    }
+    features.push_back(std::move(vec));
+  }
+  return features;
+}
+
+}  // namespace catapult

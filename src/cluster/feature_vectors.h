@@ -1,0 +1,23 @@
+#ifndef CATAPULT_CLUSTER_FEATURE_VECTORS_H_
+#define CATAPULT_CLUSTER_FEATURE_VECTORS_H_
+
+#include <vector>
+
+#include "src/graph/graph_database.h"
+#include "src/mining/subtree_miner.h"
+#include "src/util/bitset.h"
+
+namespace catapult {
+
+// Builds the |Tsel|-dimensional binary feature vector of every graph in
+// `graph_ids`: bit j of vector i is set iff graph graph_ids[i] contains
+// subtree j (Algorithm 2, lines 3-10). Containment is tested by subgraph
+// isomorphism; the subtrees' own support bitsets cannot be reused here
+// because they may have been mined on a different (sampled) id set.
+std::vector<DynamicBitset> BuildFeatureVectors(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const std::vector<FrequentSubtree>& subtrees);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CLUSTER_FEATURE_VECTORS_H_

@@ -1,0 +1,88 @@
+#include "src/cluster/fine_clustering.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace catapult {
+
+std::vector<std::vector<GraphId>> FineCluster(
+    const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
+    const FineClusteringOptions& options, Rng& rng) {
+  CATAPULT_CHECK(options.max_cluster_size >= 2);
+  std::vector<std::vector<GraphId>> done;
+  std::deque<std::vector<GraphId>> large;
+  for (auto& cluster : clusters) {
+    if (cluster.size() > options.max_cluster_size) {
+      large.push_back(std::move(cluster));
+    } else if (!cluster.empty()) {
+      done.push_back(std::move(cluster));
+    }
+  }
+
+  while (!large.empty()) {
+    std::vector<GraphId> cluster = std::move(large.front());
+    large.pop_front();
+
+    // Seed1: random member. Seed2: member least similar to Seed1.
+    size_t seed1_pos = rng.UniformInt(cluster.size());
+    GraphId seed1 = cluster[seed1_pos];
+    std::vector<double> similarity(cluster.size(), 0.0);
+    double min_sim = 2.0;
+    size_t seed2_pos = seed1_pos;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      if (i == seed1_pos) continue;
+      similarity[i] =
+          McsSimilarity(db.graph(cluster[i]), db.graph(seed1), options.mcs);
+      if (similarity[i] < min_sim) {
+        min_sim = similarity[i];
+        seed2_pos = i;
+      }
+    }
+    GraphId seed2 = cluster[seed2_pos];
+
+    std::vector<GraphId> first = {seed1};
+    std::vector<GraphId> second = {seed2};
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      if (i == seed1_pos || i == seed2_pos) continue;
+      double to_seed2 =
+          McsSimilarity(db.graph(cluster[i]), db.graph(seed2), options.mcs);
+      if (similarity[i] > to_seed2) {
+        first.push_back(cluster[i]);
+      } else {
+        second.push_back(cluster[i]);
+      }
+    }
+
+    for (auto* part : {&first, &second}) {
+      if (part->size() > options.max_cluster_size) {
+        // A split that makes no progress (everything on one side) cannot
+        // recurse forever: the other side always keeps its seed, so each
+        // round strictly shrinks the larger part... unless the whole
+        // cluster collapsed onto one seed. Guard by forcing a balanced cut.
+        if (part->size() == cluster.size() - 1) {
+          // Degenerate: move half to `done` in arbitrary (id) order.
+          std::sort(part->begin(), part->end());
+          size_t half = part->size() / 2;
+          std::vector<GraphId> a(part->begin(), part->begin() + half);
+          std::vector<GraphId> b(part->begin() + half, part->end());
+          for (auto* piece : {&a, &b}) {
+            if (piece->size() > options.max_cluster_size) {
+              large.push_back(std::move(*piece));
+            } else {
+              done.push_back(std::move(*piece));
+            }
+          }
+          continue;
+        }
+        large.push_back(std::move(*part));
+      } else {
+        done.push_back(std::move(*part));
+      }
+    }
+  }
+  return done;
+}
+
+}  // namespace catapult

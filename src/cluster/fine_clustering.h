@@ -1,0 +1,36 @@
+#ifndef CATAPULT_CLUSTER_FINE_CLUSTERING_H_
+#define CATAPULT_CLUSTER_FINE_CLUSTERING_H_
+
+#include <vector>
+
+#include "src/graph/graph_database.h"
+#include "src/iso/mcs.h"
+#include "src/util/rng.h"
+
+namespace catapult {
+
+// Options for fine clustering (Algorithm 3): recursive 2-way splitting of
+// clusters larger than `max_cluster_size`, guided by MCCS (or MCS)
+// similarity to two seed graphs.
+struct FineClusteringOptions {
+  // Clusters at or below this size are left alone (the paper's N; default
+  // from Section 6.1).
+  size_t max_cluster_size = 20;
+
+  // MCS/MCCS search configuration (connected=true gives the paper's default
+  // mccs variant; set connected=false for the mcsFC/mcsH ablation).
+  McsOptions mcs;
+};
+
+// Splits every cluster in `clusters` (vectors of graph ids into `db`) that
+// exceeds options.max_cluster_size, per Algorithm 3: Seed1 is random, Seed2
+// is the graph least similar to Seed1, every other graph joins the seed it
+// is more similar to; oversized results are re-queued. Returns the final
+// cluster list. Deterministic given `rng`.
+std::vector<std::vector<GraphId>> FineCluster(
+    const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
+    const FineClusteringOptions& options, Rng& rng);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CLUSTER_FINE_CLUSTERING_H_

@@ -1,0 +1,97 @@
+#include "src/cluster/pipeline.h"
+
+#include <algorithm>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/feature_vectors.h"
+#include "src/cluster/kmeans.h"
+#include "src/util/timer.h"
+
+namespace catapult {
+
+ClusteringResult SmallGraphClustering(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SmallGraphClusteringOptions& options, Rng& rng) {
+  ClusteringResult result;
+  if (graph_ids.empty()) return result;
+
+  std::vector<std::vector<GraphId>> coarse_clusters;
+
+  if (options.mode == ClusteringMode::kFineOnly) {
+    // Single seed cluster containing everything; fine clustering does all
+    // of the work.
+    coarse_clusters.push_back(graph_ids);
+  } else {
+    // --- Coarse clustering (Algorithm 2) ---
+    WallTimer mining_timer;
+    std::vector<FrequentSubtree> all_subtrees =
+        MineFrequentSubtrees(db, graph_ids, options.miner);
+    // Refine the feature set by facility-location greedy selection.
+    std::vector<size_t> selected =
+        SelectRepresentativeSubtrees(all_subtrees, options.facility);
+    for (size_t idx : selected) {
+      result.features.push_back(all_subtrees[idx]);
+    }
+    result.mining_seconds = mining_timer.ElapsedSeconds();
+
+    WallTimer coarse_timer;
+    if (result.features.empty()) {
+      // No frequent subtrees (tiny/degenerate input): one cluster.
+      coarse_clusters.push_back(graph_ids);
+    } else {
+      std::vector<DynamicBitset> features =
+          BuildFeatureVectors(db, graph_ids, result.features);
+      size_t target_k =
+          options.explicit_k != 0
+              ? options.explicit_k
+              : std::max<size_t>(1,
+                                 graph_ids.size() / options.max_cluster_size);
+      std::vector<size_t> assignment;
+      if (options.coarse_algorithm == CoarseAlgorithm::kAgglomerative) {
+        AgglomerativeOptions agg;
+        agg.target_clusters = target_k;
+        assignment = AgglomerativeCluster(features, agg).assignment;
+      } else {
+        KMeansOptions kmeans_options;
+        kmeans_options.k = target_k;
+        kmeans_options.max_iterations = options.kmeans_max_iterations;
+        assignment = KMeansCluster(features, kmeans_options, rng).assignment;
+      }
+      size_t k = 0;
+      for (size_t a : assignment) k = std::max(k, a + 1);
+      coarse_clusters.assign(k, {});
+      for (size_t i = 0; i < graph_ids.size(); ++i) {
+        coarse_clusters[assignment[i]].push_back(graph_ids[i]);
+      }
+      coarse_clusters.erase(
+          std::remove_if(coarse_clusters.begin(), coarse_clusters.end(),
+                         [](const auto& c) { return c.empty(); }),
+          coarse_clusters.end());
+    }
+    result.coarse_seconds = coarse_timer.ElapsedSeconds();
+  }
+
+  if (options.mode == ClusteringMode::kCoarseOnly) {
+    result.clusters = std::move(coarse_clusters);
+    return result;
+  }
+
+  // --- Fine clustering (Algorithm 3) ---
+  WallTimer fine_timer;
+  FineClusteringOptions fine;
+  fine.max_cluster_size = options.max_cluster_size;
+  fine.mcs = options.fine_mcs;
+  result.clusters = FineCluster(db, std::move(coarse_clusters), fine, rng);
+  result.fine_seconds = fine_timer.ElapsedSeconds();
+  return result;
+}
+
+ClusteringResult SmallGraphClustering(
+    const GraphDatabase& db, const SmallGraphClusteringOptions& options,
+    Rng& rng) {
+  std::vector<GraphId> all(db.size());
+  for (GraphId i = 0; i < db.size(); ++i) all[i] = i;
+  return SmallGraphClustering(db, all, options, rng);
+}
+
+}  // namespace catapult

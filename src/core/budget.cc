@@ -1,0 +1,65 @@
+#include "src/core/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catapult {
+
+std::vector<size_t> PatternBudget::PerSizeCaps() const {
+  std::vector<size_t> caps(NumSizes(), 0);
+  if (size_distribution.empty()) {
+    std::fill(caps.begin(), caps.end(), MaxPerSize());
+    return caps;
+  }
+  double total = 0.0;
+  for (double w : size_distribution) total += w;
+  // Largest-remainder apportionment of gamma across positive weights.
+  std::vector<double> exact(NumSizes(), 0.0);
+  size_t assigned = 0;
+  for (size_t s = 0; s < NumSizes(); ++s) {
+    exact[s] = static_cast<double>(gamma) * size_distribution[s] / total;
+    caps[s] = static_cast<size_t>(exact[s]);
+    assigned += caps[s];
+  }
+  std::vector<size_t> order(NumSizes());
+  for (size_t s = 0; s < NumSizes(); ++s) order[s] = s;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return exact[a] - std::floor(exact[a]) > exact[b] - std::floor(exact[b]);
+  });
+  for (size_t i = 0; assigned < gamma && i < order.size(); ++i) {
+    if (size_distribution[order[i]] > 0.0) {
+      ++caps[order[i]];
+      ++assigned;
+    }
+  }
+  return caps;
+}
+
+std::vector<size_t> OpenPatternSizes(
+    const PatternBudget& budget,
+    const std::vector<size_t>& selected_per_size) {
+  CATAPULT_CHECK(selected_per_size.size() == budget.NumSizes());
+  std::vector<size_t> caps = budget.PerSizeCaps();
+  std::vector<size_t> open;
+  size_t total_selected = 0;
+  for (size_t count : selected_per_size) total_selected += count;
+  // Once every size hit its cap but gamma is not yet reached (rounding
+  // remainders under the uniform distribution), every allowed size reopens.
+  bool all_capped = true;
+  for (size_t s = 0; s < budget.NumSizes(); ++s) {
+    if (selected_per_size[s] < caps[s]) {
+      all_capped = false;
+      break;
+    }
+  }
+  for (size_t s = 0; s < budget.NumSizes(); ++s) {
+    if (total_selected >= budget.gamma) break;
+    if (caps[s] == 0) continue;  // excluded by Psi_dist
+    if (all_capped || selected_per_size[s] < caps[s]) {
+      open.push_back(budget.eta_min + s);
+    }
+  }
+  return open;
+}
+
+}  // namespace catapult

@@ -1,0 +1,127 @@
+#include "src/core/catapult.h"
+
+#include <algorithm>
+
+#include "src/cluster/feature_vectors.h"
+#include "src/cluster/kmeans.h"
+#include "src/util/timer.h"
+
+namespace catapult {
+
+namespace {
+
+// Sampling-mode clustering (Section 4.3): features are mined on the eager
+// sample at a lowered threshold and re-verified on the full database;
+// coarse clustering covers the full database; oversized coarse clusters are
+// lazily down-sampled before fine clustering.
+ClusteringResult ClusterWithSampling(const GraphDatabase& db,
+                                     const CatapultOptions& options,
+                                     Rng& rng) {
+  ClusteringResult result;
+  WallTimer mining_timer;
+
+  // Eager sample + lowered-threshold mining.
+  std::vector<GraphId> sample = EagerSample(db.size(), options.eager, rng);
+  SubtreeMinerOptions lowered = options.clustering.miner;
+  lowered.min_support = LoweredSupportThreshold(
+      options.clustering.miner.min_support, sample.size(), options.eager);
+  std::vector<FrequentSubtree> candidates =
+      MineFrequentSubtrees(db, sample, lowered);
+
+  // Re-count candidate supports on the full database at the original
+  // threshold (Lemma 4.4's verification step).
+  const size_t min_count = static_cast<size_t>(std::max(
+      1.0, options.clustering.miner.min_support *
+               static_cast<double>(db.size())));
+  std::vector<FrequentSubtree> verified;
+  for (FrequentSubtree& fs : candidates) {
+    DynamicBitset support = CountSupport(fs.tree, db);
+    if (support.Count() < min_count) continue;
+    fs.frequency = static_cast<double>(support.Count()) /
+                   static_cast<double>(db.size());
+    fs.support = std::move(support);
+    verified.push_back(std::move(fs));
+  }
+  std::vector<size_t> selected =
+      SelectRepresentativeSubtrees(verified, options.clustering.facility);
+  for (size_t idx : selected) result.features.push_back(verified[idx]);
+  result.mining_seconds = mining_timer.ElapsedSeconds();
+
+  // Coarse clustering over the full database; feature vectors come straight
+  // from the verified support sets (bit i of subtree j <=> graph i).
+  WallTimer coarse_timer;
+  std::vector<GraphId> all(db.size());
+  for (GraphId i = 0; i < db.size(); ++i) all[i] = i;
+  std::vector<std::vector<GraphId>> coarse;
+  if (result.features.empty()) {
+    coarse.push_back(all);
+  } else {
+    std::vector<DynamicBitset> features(db.size(),
+                                        DynamicBitset(result.features.size()));
+    for (size_t j = 0; j < result.features.size(); ++j) {
+      for (size_t i : result.features[j].support.ToIndices()) {
+        features[i].Set(j);
+      }
+    }
+    KMeansOptions kmeans_options;
+    kmeans_options.k = options.clustering.explicit_k != 0
+                           ? options.clustering.explicit_k
+                           : std::max<size_t>(
+                                 1, db.size() /
+                                        options.clustering.max_cluster_size);
+    kmeans_options.max_iterations =
+        options.clustering.kmeans_max_iterations;
+    KMeansResult kmeans = KMeansCluster(features, kmeans_options, rng);
+    size_t k = 0;
+    for (size_t a : kmeans.assignment) k = std::max(k, a + 1);
+    coarse.assign(k, {});
+    for (size_t i = 0; i < db.size(); ++i) {
+      coarse[kmeans.assignment[i]].push_back(static_cast<GraphId>(i));
+    }
+    coarse.erase(std::remove_if(coarse.begin(), coarse.end(),
+                                [](const auto& c) { return c.empty(); }),
+                 coarse.end());
+  }
+  result.coarse_seconds = coarse_timer.ElapsedSeconds();
+
+  // Lazy sampling of oversized clusters, then fine clustering.
+  WallTimer fine_timer;
+  std::vector<std::vector<GraphId>> sampled =
+      LazySampleClusters(coarse, db.size(), options.lazy, rng);
+  FineClusteringOptions fine;
+  fine.max_cluster_size = options.clustering.max_cluster_size;
+  fine.mcs = options.clustering.fine_mcs;
+  result.clusters = FineCluster(db, std::move(sampled), fine, rng);
+  result.fine_seconds = fine_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+CatapultResult RunCatapult(const GraphDatabase& db,
+                           const CatapultOptions& options) {
+  CatapultResult result;
+  if (db.empty()) return result;
+  Rng rng(options.seed);
+
+  WallTimer clustering_timer;
+  ClusteringResult clustering =
+      options.use_sampling
+          ? ClusterWithSampling(db, options, rng)
+          : SmallGraphClustering(db, options.clustering, rng);
+  result.clusters = std::move(clustering.clusters);
+  result.features = std::move(clustering.features);
+  result.clustering_seconds = clustering_timer.ElapsedSeconds();
+
+  WallTimer csg_timer;
+  result.csgs = BuildCsgs(db, result.clusters);
+  result.csg_seconds = csg_timer.ElapsedSeconds();
+
+  WallTimer selection_timer;
+  result.selection = FindCannedPatternSet(db, result.clusters, result.csgs,
+                                          options.selector, rng);
+  result.selection_seconds = selection_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace catapult

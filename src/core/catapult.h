@@ -1,0 +1,54 @@
+#ifndef CATAPULT_CORE_CATAPULT_H_
+#define CATAPULT_CORE_CATAPULT_H_
+
+#include <vector>
+
+#include "src/cluster/pipeline.h"
+#include "src/core/selector.h"
+#include "src/csg/csg.h"
+#include "src/graph/graph_database.h"
+#include "src/sample/sampling.h"
+
+namespace catapult {
+
+// End-to-end configuration of the Catapult pipeline (Algorithm 1 +
+// Section 4.3 sampling).
+struct CatapultOptions {
+  SmallGraphClusteringOptions clustering;
+  SelectorOptions selector;
+
+  // Enable the two-level sampling path for large databases (Figure 3's
+  // eager + lazy samplers).
+  bool use_sampling = false;
+  EagerSamplingOptions eager;
+  LazySamplingOptions lazy;
+
+  // Deterministic seed for the whole pipeline.
+  uint64_t seed = 42;
+};
+
+// Everything Algorithm 1 produces, plus phase timings for the benchmark
+// harnesses.
+struct CatapultResult {
+  SelectionResult selection;
+  std::vector<std::vector<GraphId>> clusters;
+  std::vector<ClusterSummaryGraph> csgs;
+  std::vector<FrequentSubtree> features;
+
+  double clustering_seconds = 0.0;  // mining + coarse + fine
+  double csg_seconds = 0.0;
+  double selection_seconds = 0.0;   // the paper's PGT
+
+  // Convenience view of the selected canned patterns.
+  std::vector<Graph> Patterns() const { return selection.PatternGraphs(); }
+};
+
+// Runs the full Catapult pipeline on `db` (Algorithm 1): (optionally eager-
+// sampled) small graph clustering, (optionally lazy-sampled) CSG
+// generation, and canned-pattern selection.
+CatapultResult RunCatapult(const GraphDatabase& db,
+                           const CatapultOptions& options);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CORE_CATAPULT_H_

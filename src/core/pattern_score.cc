@@ -1,0 +1,124 @@
+#include "src/core/pattern_score.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/iso/ged_bipartite.h"
+#include "src/iso/vf2.h"
+
+namespace catapult {
+
+double CognitiveLoad(const Graph& pattern) {
+  return static_cast<double>(pattern.NumEdges()) * pattern.Density();
+}
+
+double CognitiveLoadDegreeSum(const Graph& pattern) {
+  return 2.0 * static_cast<double>(pattern.NumEdges());
+}
+
+double CognitiveLoadAvgDegree(const Graph& pattern) {
+  if (pattern.NumVertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(pattern.NumEdges()) /
+         static_cast<double>(pattern.NumVertices());
+}
+
+double PatternSetDiversity(const Graph& pattern,
+                           const std::vector<Graph>& selected,
+                           const GedOptions& ged_options,
+                           double empty_set_value) {
+  if (selected.empty()) return empty_set_value;
+
+  // Order canned patterns by increasing GED lower bound (Definition 5.1),
+  // then iterate: compute exact GED, keep the minimum, and stop as soon as
+  // the next lower bound cannot beat it (Section 5's pruning procedure).
+  struct Entry {
+    double lower;
+    const Graph* graph;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(selected.size());
+  for (const Graph& q : selected) {
+    entries.push_back({GedLowerBound(pattern, q), &q});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.lower < b.lower; });
+
+  double best = std::numeric_limits<double>::max();
+  for (const Entry& entry : entries) {
+    if (entry.lower >= best) break;  // No later entry can improve either.
+    double distance = GraphEditDistance(pattern, *entry.graph, ged_options)
+                          .distance;
+    best = std::min(best, distance);
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+double PatternSetDiversityApprox(const Graph& pattern,
+                                 const std::vector<Graph>& selected,
+                                 double empty_set_value) {
+  if (selected.empty()) return empty_set_value;
+  struct Entry {
+    double lower;
+    const Graph* graph;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(selected.size());
+  for (const Graph& q : selected) {
+    entries.push_back({GedLowerBound(pattern, q), &q});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.lower < b.lower; });
+  double best = std::numeric_limits<double>::max();
+  for (const Entry& entry : entries) {
+    if (entry.lower >= best) break;
+    best = std::min(best, BipartiteGed(pattern, *entry.graph));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+std::vector<bool> CoveredCsgs(const Graph& pattern,
+                              const std::vector<Graph>& csg_summaries,
+                              uint64_t iso_node_budget) {
+  std::vector<bool> covered(csg_summaries.size(), false);
+  IsoOptions options;
+  options.node_budget = iso_node_budget;
+  for (size_t i = 0; i < csg_summaries.size(); ++i) {
+    if (csg_summaries[i].NumVertices() == 0) continue;
+    covered[i] = ContainsSubgraph(pattern, csg_summaries[i], options);
+  }
+  return covered;
+}
+
+double ClusterCoverage(const Graph& pattern,
+                       const std::vector<Graph>& csg_summaries,
+                       const ClusterWeights& weights,
+                       uint64_t iso_node_budget) {
+  CATAPULT_CHECK(weights.size() == csg_summaries.size());
+  std::vector<bool> covered =
+      CoveredCsgs(pattern, csg_summaries, iso_node_budget);
+  double total = 0.0;
+  for (size_t i = 0; i < csg_summaries.size(); ++i) {
+    if (covered[i]) total += weights.Get(i);
+  }
+  return total;
+}
+
+double PatternScore(const Graph& pattern,
+                    const std::vector<Graph>& csg_summaries,
+                    const ClusterWeights& cluster_weights,
+                    const LabelCoverageIndex& label_index,
+                    const std::vector<Graph>& selected,
+                    const GedOptions& ged_options,
+                    uint64_t iso_node_budget) {
+  double cog = CognitiveLoad(pattern);
+  if (cog <= 0.0) return 0.0;
+  double ccov = ClusterCoverage(pattern, csg_summaries, cluster_weights,
+                                iso_node_budget);
+  double lcov = label_index.PatternLabelCoverage(pattern);
+  double div = PatternSetDiversity(pattern, selected, ged_options);
+  return ccov * lcov * div / cog;
+}
+
+}  // namespace catapult

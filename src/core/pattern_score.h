@@ -1,0 +1,68 @@
+#ifndef CATAPULT_CORE_PATTERN_SCORE_H_
+#define CATAPULT_CORE_PATTERN_SCORE_H_
+
+#include <vector>
+
+#include "src/core/weights.h"
+#include "src/iso/ged.h"
+
+namespace catapult {
+
+// Cognitive load cog(p) = |Ep| * rho_p, where rho_p is the graph density
+// (Section 3.2; the measure validated as F1 in Exp 10).
+double CognitiveLoad(const Graph& pattern);
+
+// Alternative cognitive-load measures evaluated in Exp 10.
+double CognitiveLoadDegreeSum(const Graph& pattern);  // F2 = sum(deg) = 2|E|
+double CognitiveLoadAvgDegree(const Graph& pattern);  // F3 = 2|E| / |V|
+
+// Diversity div(p, P) = min_{q in P} GED(p, q) (Section 3.2), computed with
+// the Definition 5.1 lower bound as a pruning filter: canned patterns are
+// visited in increasing lower-bound order and exact GED is skipped once the
+// lower bound exceeds the best exact distance so far. Returns
+// `empty_set_value` when P is empty (the first selection has no diversity
+// signal; 1.0 keeps the score multiplicative and neutral).
+double PatternSetDiversity(const Graph& pattern,
+                           const std::vector<Graph>& selected,
+                           const GedOptions& ged_options = {},
+                           double empty_set_value = 1.0);
+
+// Polynomial-time variant using the assignment-based GED upper bound of
+// [Riesen & Neuhaus, GbRPR'07] (the paper's reference [32]) instead of the
+// exact branch-and-bound: min over the set of BipartiteGed(pattern, q),
+// still pruned by the Definition 5.1 lower bound. Use when panels are
+// large enough that exact GED dominates selection time.
+double PatternSetDiversityApprox(const Graph& pattern,
+                                 const std::vector<Graph>& selected,
+                                 double empty_set_value = 1.0);
+
+// Cluster coverage ccov(p, cw, C) ~= scov(p, D) (Section 5): the sum of
+// current cluster weights over clusters whose CSG contains p. `budget`
+// bounds each subgraph-isomorphism test; budget-exhausted tests count as
+// "not contained" (conservative).
+double ClusterCoverage(const Graph& pattern,
+                       const std::vector<Graph>& csg_summaries,
+                       const ClusterWeights& weights,
+                       uint64_t iso_node_budget = 2000000);
+
+// Marks which CSGs contain `pattern` (used both for scoring and for the
+// weight update after selection).
+// `csg_summaries` are the plain-graph views (ClusterSummaryGraph::ToGraph),
+// precomputed once by the caller.
+std::vector<bool> CoveredCsgs(const Graph& pattern,
+                              const std::vector<Graph>& csg_summaries,
+                              uint64_t iso_node_budget = 2000000);
+
+// The full pattern score of Equation 2:
+//   s_p = ccov(p, cw, C) * lcov(p, D) * div(p, P \ p) / cog(p).
+double PatternScore(const Graph& pattern,
+                    const std::vector<Graph>& csg_summaries,
+                    const ClusterWeights& cluster_weights,
+                    const LabelCoverageIndex& label_index,
+                    const std::vector<Graph>& selected,
+                    const GedOptions& ged_options = {},
+                    uint64_t iso_node_budget = 2000000);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CORE_PATTERN_SCORE_H_

@@ -1,0 +1,166 @@
+#include "src/core/random_walk.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace catapult {
+
+WeightedCsg MakeWeightedCsg(const ClusterSummaryGraph& csg,
+                            const EdgeLabelWeights& elw) {
+  WeightedCsg wcsg;
+  wcsg.csg = &csg;
+  wcsg.edge_weights.reserve(csg.NumEdges());
+  const double cluster_size = static_cast<double>(csg.cluster_size());
+  for (const ClusterSummaryGraph::CsgEdge& e : csg.edges()) {
+    EdgeLabelKey key =
+        MakeEdgeLabelKey(csg.VertexLabel(e.u), csg.VertexLabel(e.v));
+    double local = cluster_size > 0
+                       ? static_cast<double>(e.support.Count()) / cluster_size
+                       : 0.0;
+    wcsg.edge_weights.push_back(elw.Get(key) * local);
+  }
+  return wcsg;
+}
+
+Pcp GeneratePcp(const WeightedCsg& wcsg, size_t target_edges, Rng& rng) {
+  Pcp pcp;
+  const ClusterSummaryGraph& csg = *wcsg.csg;
+  if (csg.NumEdges() == 0 || target_edges == 0) return pcp;
+
+  // Seed edge: the largest weight (first such edge for determinism).
+  size_t seed = 0;
+  for (size_t i = 1; i < wcsg.edge_weights.size(); ++i) {
+    if (wcsg.edge_weights[i] > wcsg.edge_weights[seed]) seed = i;
+  }
+  std::vector<bool> edge_in(csg.NumEdges(), false);
+  std::unordered_set<VertexId> vertices;
+  auto Take = [&](size_t edge_index) {
+    edge_in[edge_index] = true;
+    pcp.push_back(edge_index);
+    vertices.insert(csg.edges()[edge_index].u);
+    vertices.insert(csg.edges()[edge_index].v);
+  };
+  Take(seed);
+
+  while (pcp.size() < target_edges) {
+    // Candidate adjacent edges (CAE) of the partial pattern.
+    std::vector<size_t> cae;
+    std::vector<double> weights;
+    for (VertexId v : vertices) {
+      for (size_t idx : csg.IncidentEdges(v)) {
+        if (edge_in[idx]) continue;
+        if (wcsg.edge_weights[idx] <= 0.0) continue;
+        // An edge incident to two pattern vertices appears twice; dedupe.
+        if (std::find(cae.begin(), cae.end(), idx) != cae.end()) continue;
+        cae.push_back(idx);
+        weights.push_back(wcsg.edge_weights[idx]);
+      }
+    }
+    if (cae.empty()) break;
+    Take(cae[rng.WeightedIndex(weights)]);
+  }
+  return pcp;
+}
+
+Pcp GenerateGreedyPcp(const WeightedCsg& wcsg, size_t target_edges) {
+  Pcp pcp;
+  const ClusterSummaryGraph& csg = *wcsg.csg;
+  if (csg.NumEdges() == 0 || target_edges == 0) return pcp;
+  size_t seed = 0;
+  for (size_t i = 1; i < wcsg.edge_weights.size(); ++i) {
+    if (wcsg.edge_weights[i] > wcsg.edge_weights[seed]) seed = i;
+  }
+  std::vector<bool> edge_in(csg.NumEdges(), false);
+  std::unordered_set<VertexId> vertices;
+  auto Take = [&](size_t edge_index) {
+    edge_in[edge_index] = true;
+    pcp.push_back(edge_index);
+    vertices.insert(csg.edges()[edge_index].u);
+    vertices.insert(csg.edges()[edge_index].v);
+  };
+  Take(seed);
+  while (pcp.size() < target_edges) {
+    int best = -1;
+    for (VertexId v : vertices) {
+      for (size_t idx : csg.IncidentEdges(v)) {
+        if (edge_in[idx] || wcsg.edge_weights[idx] <= 0.0) continue;
+        if (best < 0 || wcsg.edge_weights[idx] >
+                            wcsg.edge_weights[static_cast<size_t>(best)]) {
+          best = static_cast<int>(idx);
+        }
+      }
+    }
+    if (best < 0) break;
+    Take(static_cast<size_t>(best));
+  }
+  return pcp;
+}
+
+Pcp GenerateFcp(const ClusterSummaryGraph& csg,
+                const std::vector<Pcp>& library, size_t target_edges) {
+  Pcp fcp;
+  if (library.empty() || target_edges == 0) return fcp;
+
+  std::unordered_map<size_t, size_t> frequency;
+  for (const Pcp& pcp : library) {
+    for (size_t idx : pcp) ++frequency[idx];
+  }
+  if (frequency.empty()) return fcp;
+
+  // Most frequent edge first (ties: lowest index, deterministic).
+  auto MoreFrequent = [&](size_t a, size_t b) {
+    size_t fa = frequency.count(a) ? frequency.at(a) : 0;
+    size_t fb = frequency.count(b) ? frequency.at(b) : 0;
+    if (fa != fb) return fa > fb;
+    return a < b;
+  };
+  size_t first = frequency.begin()->first;
+  for (const auto& [idx, freq] : frequency) {
+    if (MoreFrequent(idx, first)) first = idx;
+  }
+
+  std::vector<bool> edge_in(csg.NumEdges(), false);
+  std::unordered_set<VertexId> vertices;
+  auto Take = [&](size_t edge_index) {
+    edge_in[edge_index] = true;
+    fcp.push_back(edge_index);
+    vertices.insert(csg.edges()[edge_index].u);
+    vertices.insert(csg.edges()[edge_index].v);
+  };
+  Take(first);
+
+  while (fcp.size() < target_edges) {
+    int best = -1;
+    for (VertexId v : vertices) {
+      for (size_t idx : csg.IncidentEdges(v)) {
+        if (edge_in[idx] || frequency.find(idx) == frequency.end()) continue;
+        if (best < 0 || MoreFrequent(idx, static_cast<size_t>(best))) {
+          best = static_cast<int>(idx);
+        }
+      }
+    }
+    if (best < 0) break;
+    Take(static_cast<size_t>(best));
+  }
+  return fcp;
+}
+
+Graph PatternFromCsgEdges(const ClusterSummaryGraph& csg, const Pcp& edges) {
+  Graph pattern;
+  std::unordered_map<VertexId, VertexId> remap;
+  auto MapVertex = [&](VertexId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    VertexId nv = pattern.AddVertex(csg.VertexLabel(v));
+    remap.emplace(v, nv);
+    return nv;
+  };
+  for (size_t idx : edges) {
+    const ClusterSummaryGraph::CsgEdge& e = csg.edges()[idx];
+    pattern.AddEdge(MapVertex(e.u), MapVertex(e.v));
+  }
+  return pattern;
+}
+
+}  // namespace catapult

@@ -1,0 +1,95 @@
+#include "src/core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace catapult {
+
+namespace {
+
+// JSON string escaping for label names (quotes, backslashes, control
+// characters; labels are typically atom symbols, but be safe).
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void WriteSelectionReport(const CatapultResult& result,
+                          const LabelMap& labels, std::ostream& out) {
+  out << "{\n";
+  out << "  \"database\": {\"graphs\": ";
+  size_t total_graphs = 0;
+  for (const auto& cluster : result.clusters) total_graphs += cluster.size();
+  out << total_graphs << ", \"clusters\": " << result.clusters.size()
+      << "},\n";
+  out << "  \"timings\": {\"clustering_s\": " << result.clustering_seconds
+      << ", \"csg_s\": " << result.csg_seconds
+      << ", \"selection_s\": " << result.selection_seconds << "},\n";
+  out << "  \"patterns\": [";
+  for (size_t i = 0; i < result.selection.patterns.size(); ++i) {
+    const SelectedPattern& p = result.selection.patterns[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"id\": " << i << ", \"score\": " << p.score
+        << ", \"ccov\": " << p.ccov << ", \"lcov\": " << p.lcov
+        << ", \"div\": " << p.div << ", \"cog\": " << p.cog
+        << ",\n     \"vertices\": [";
+    for (VertexId v = 0; v < p.graph.NumVertices(); ++v) {
+      if (v > 0) out << ", ";
+      out << "{\"id\": " << v << ", \"label\": ";
+      Label label = p.graph.VertexLabel(v);
+      if (label < labels.size()) {
+        WriteJsonString(out, labels.Name(label));
+      } else {
+        out << label;  // numeric fallback for labels without names
+      }
+      out << "}";
+    }
+    out << "],\n     \"edges\": [";
+    bool first_edge = true;
+    for (const Edge& e : p.graph.EdgeList()) {
+      if (!first_edge) out << ", ";
+      first_edge = false;
+      out << "{\"u\": " << e.u << ", \"v\": " << e.v << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string SelectionReportJson(const CatapultResult& result,
+                                const LabelMap& labels) {
+  std::ostringstream out;
+  WriteSelectionReport(result, labels, out);
+  return out.str();
+}
+
+}  // namespace catapult

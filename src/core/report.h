@@ -1,0 +1,36 @@
+#ifndef CATAPULT_CORE_REPORT_H_
+#define CATAPULT_CORE_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/catapult.h"
+#include "src/graph/label_map.h"
+
+namespace catapult {
+
+// JSON export of a pipeline run: the selected patterns (vertices with label
+// names, edges) with their selection diagnostics, plus clustering/CSG/
+// selection phase statistics. Intended for GUI layers and notebooks that
+// consume the miner's output without linking the library.
+//
+// Schema (stable; all keys always present):
+// {
+//   "database": {"graphs": N, "clusters": N},
+//   "timings": {"clustering_s": x, "csg_s": x, "selection_s": x},
+//   "patterns": [
+//     {"id": i, "score": s, "ccov": c, "lcov": l, "div": d, "cog": g,
+//      "vertices": [{"id": v, "label": "C"}, ...],
+//      "edges": [{"u": a, "v": b}, ...]},
+//     ...]
+// }
+void WriteSelectionReport(const CatapultResult& result, const LabelMap& labels,
+                          std::ostream& out);
+
+// Convenience: the report as a string.
+std::string SelectionReportJson(const CatapultResult& result,
+                                const LabelMap& labels);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CORE_REPORT_H_

@@ -1,0 +1,190 @@
+#include "src/core/selector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/iso/vf2.h"
+
+namespace catapult {
+
+std::vector<Graph> SelectionResult::PatternGraphs() const {
+  std::vector<Graph> graphs;
+  graphs.reserve(patterns.size());
+  for (const SelectedPattern& p : patterns) graphs.push_back(p.graph);
+  return graphs;
+}
+
+SelectionResult FindCannedPatternSet(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters,
+    const std::vector<ClusterSummaryGraph>& csgs,
+    const SelectorOptions& options, Rng& rng) {
+  options.budget.Validate();
+  CATAPULT_CHECK(clusters.size() == csgs.size());
+
+  SelectionResult result;
+  if (csgs.empty() || db.empty()) return result;
+
+  EdgeLabelWeights elw(db);
+  ClusterWeights cw(clusters, db.size());
+  LabelCoverageIndex label_index(db);
+
+  // Plain-graph views of the summaries, computed once.
+  std::vector<Graph> summaries;
+  summaries.reserve(csgs.size());
+  for (const ClusterSummaryGraph& csg : csgs) {
+    summaries.push_back(csg.ToGraph());
+  }
+
+  std::vector<Graph> selected_graphs;
+  std::vector<size_t> selected_per_size(options.budget.NumSizes(), 0);
+
+  // Which CSGs contain a given pattern is independent of the decaying
+  // weights, and candidates recur heavily across iterations (the same FCPs
+  // keep being proposed until their clusters decay away). Memoising the
+  // covered set by isomorphism class removes the dominant subgraph-
+  // isomorphism cost of scoring.
+  struct CoverageEntry {
+    Graph graph;
+    std::vector<bool> covered;
+  };
+  std::unordered_map<uint64_t, std::vector<CoverageEntry>> coverage_cache;
+  auto CoveredCached = [&](const Graph& g) -> const std::vector<bool>& {
+    uint64_t fp = GraphFingerprint(g);
+    std::vector<CoverageEntry>& bucket = coverage_cache[fp];
+    for (const CoverageEntry& entry : bucket) {
+      if (AreIsomorphic(entry.graph, g)) return entry.covered;
+    }
+    bucket.push_back({g, CoveredCsgs(g, summaries, options.iso_node_budget)});
+    return bucket.back().covered;
+  };
+
+  while (selected_graphs.size() < options.budget.gamma) {
+    std::vector<size_t> open_sizes =
+        OpenPatternSizes(options.budget, selected_per_size);
+    if (open_sizes.empty()) break;
+
+    // Every CSG proposes one FCP per open size.
+    struct Candidate {
+      Graph graph;
+      size_t source_csg;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t csg_index = 0; csg_index < csgs.size(); ++csg_index) {
+      const ClusterSummaryGraph& csg = csgs[csg_index];
+      if (csg.NumEdges() == 0) continue;
+      WeightedCsg wcsg = MakeWeightedCsg(csg, elw);
+      // A CSG whose every edge weight decayed to zero proposes nothing.
+      double weight_sum = 0.0;
+      for (double w : wcsg.edge_weights) weight_sum += w;
+      if (weight_sum <= 0.0) continue;
+      for (size_t size : open_sizes) {
+        Pcp fcp;
+        if (options.strategy == CandidateStrategy::kGreedyBfs) {
+          fcp = GenerateGreedyPcp(wcsg, size);
+        } else {
+          std::vector<Pcp> library;
+          library.reserve(options.walks_per_candidate);
+          for (size_t walk = 0; walk < options.walks_per_candidate; ++walk) {
+            Pcp pcp = GeneratePcp(wcsg, size, rng);
+            if (!pcp.empty()) library.push_back(std::move(pcp));
+          }
+          fcp = GenerateFcp(csg, library, size);
+        }
+        if (fcp.size() < options.budget.eta_min) continue;
+        Candidate candidate;
+        candidate.graph = PatternFromCsgEdges(csg, fcp);
+        candidate.source_csg = csg_index;
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Different CSGs frequently propose isomorphic FCPs (molecule databases
+    // share motifs); scoring is the expensive part, so collapse candidates
+    // to one representative per isomorphism class first.
+    {
+      std::vector<Candidate> unique;
+      std::vector<uint64_t> fingerprints;
+      for (Candidate& c : candidates) {
+        uint64_t fp = GraphFingerprint(c.graph);
+        bool duplicate = false;
+        for (size_t i = 0; i < unique.size(); ++i) {
+          if (fingerprints[i] == fp &&
+              AreIsomorphic(unique[i].graph, c.graph)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          unique.push_back(std::move(c));
+          fingerprints.push_back(fp);
+        }
+      }
+      candidates = std::move(unique);
+    }
+
+    // Score candidates; keep the best.
+    int best_index = -1;
+    SelectedPattern best;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Graph& g = candidates[i].graph;
+      // FCP assembly can fall short of the requested size; keep only
+      // candidates whose actual size is still open, preserving the uniform
+      // size distribution of Definition 3.1.
+      if (std::find(open_sizes.begin(), open_sizes.end(), g.NumEdges()) ==
+          open_sizes.end()) {
+        continue;
+      }
+      if (options.skip_duplicates) {
+        bool duplicate = false;
+        for (const Graph& s : selected_graphs) {
+          if (AreIsomorphic(g, s)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+      }
+      SelectedPattern scored;
+      scored.graph = g;
+      scored.cog = CognitiveLoad(g);
+      {
+        const std::vector<bool>& covered = CoveredCached(g);
+        double ccov = 0.0;
+        for (size_t c = 0; c < covered.size(); ++c) {
+          if (covered[c]) ccov += cw.Get(c);
+        }
+        scored.ccov = ccov;
+      }
+      scored.lcov = label_index.PatternLabelCoverage(g);
+      scored.div =
+          options.approximate_diversity
+              ? PatternSetDiversityApprox(g, selected_graphs)
+              : PatternSetDiversity(g, selected_graphs, options.ged);
+      scored.score = scored.cog > 0.0
+                         ? scored.ccov * scored.lcov * scored.div / scored.cog
+                         : 0.0;
+      scored.source_csg = candidates[i].source_csg;
+      if (best_index < 0 || scored.score > best.score) {
+        best_index = static_cast<int>(i);
+        best = std::move(scored);
+      }
+    }
+    if (best_index < 0) break;
+
+    // Record the winner and decay weights (Algorithm 4, lines 19-21).
+    size_t size_slot = best.graph.NumEdges() - options.budget.eta_min;
+    if (size_slot < selected_per_size.size()) ++selected_per_size[size_slot];
+    const std::vector<bool>& covered = CoveredCached(best.graph);
+    for (size_t i = 0; i < covered.size(); ++i) {
+      if (covered[i]) cw.Decay(i, options.weight_decay);
+    }
+    elw.DecayForPattern(best.graph, options.weight_decay);
+    selected_graphs.push_back(best.graph);
+    result.patterns.push_back(std::move(best));
+  }
+  return result;
+}
+
+}  // namespace catapult

@@ -1,0 +1,85 @@
+#ifndef CATAPULT_CORE_SELECTOR_H_
+#define CATAPULT_CORE_SELECTOR_H_
+
+#include <vector>
+
+#include "src/core/budget.h"
+#include "src/core/pattern_score.h"
+#include "src/core/random_walk.h"
+#include "src/core/weights.h"
+#include "src/csg/csg.h"
+#include "src/util/rng.h"
+
+namespace catapult {
+
+// How candidate patterns are proposed from each weighted CSG.
+enum class CandidateStrategy {
+  // The paper's approach: x weighted random walks -> PCP library -> FCP.
+  kRandomWalk,
+  // DaVinci-style deterministic greedy growth (Section 7 / ablation): one
+  // BFS-greedy expansion always taking the heaviest adjacent edge.
+  kGreedyBfs,
+};
+
+// Options for canned-pattern selection (Algorithm 4).
+struct SelectorOptions {
+  PatternBudget budget;
+
+  // Number of random walks per (CSG, size) pair (the paper's x; Example 5.3
+  // uses 100). The PCP library per final candidate has this many walks.
+  size_t walks_per_candidate = 40;
+
+  // Candidate proposal strategy (ablation bench exp12).
+  CandidateStrategy strategy = CandidateStrategy::kRandomWalk;
+
+  // Multiplicative-weights decay applied to covered clusters and used edge
+  // labels after each selection (n = 0.5 in the paper; 1.0 disables the
+  // update - ablation bench exp11).
+  double weight_decay = 0.5;
+
+  // Resource budgets for the NP-hard oracles.
+  uint64_t iso_node_budget = 2000000;
+  GedOptions ged;
+
+  // Use the polynomial assignment-based GED (reference [32]) for the
+  // diversity term instead of exact branch-and-bound GED.
+  bool approximate_diversity = false;
+
+  // Skip candidates isomorphic to an already selected pattern (a diversity
+  // of 0 would zero their score anyway; skipping saves the scoring work).
+  bool skip_duplicates = true;
+};
+
+// A selected canned pattern with its selection-time diagnostics.
+struct SelectedPattern {
+  Graph graph;
+  double score = 0.0;
+  double ccov = 0.0;
+  double lcov = 0.0;
+  double div = 0.0;
+  double cog = 0.0;
+  size_t source_csg = 0;  // index of the CSG that proposed it
+};
+
+// Result of Algorithm 4.
+struct SelectionResult {
+  std::vector<SelectedPattern> patterns;
+
+  // Convenience view of just the pattern graphs.
+  std::vector<Graph> PatternGraphs() const;
+};
+
+// FindCannedPatternSet (Algorithm 4): greedy iterations; in each iteration
+// every CSG proposes one final candidate pattern per open size (via weighted
+// random walks and the PCP->FCP statistics), the candidate with the highest
+// Equation 2 score joins the set, and cluster/edge-label weights decay
+// multiplicatively. Stops at gamma patterns or when no new candidate can be
+// produced. Deterministic given `rng`.
+SelectionResult FindCannedPatternSet(
+    const GraphDatabase& db, const std::vector<std::vector<GraphId>>& clusters,
+    const std::vector<ClusterSummaryGraph>& csgs,
+    const SelectorOptions& options, Rng& rng);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CORE_SELECTOR_H_

@@ -1,0 +1,84 @@
+#include "src/core/weights.h"
+
+#include <unordered_set>
+
+namespace catapult {
+
+EdgeLabelWeights::EdgeLabelWeights(const GraphDatabase& db) {
+  const double total = static_cast<double>(db.size());
+  for (const auto& [key, support] : db.EdgeLabelSupport()) {
+    weights_[key] = static_cast<double>(support) / total;
+  }
+}
+
+double EdgeLabelWeights::Get(EdgeLabelKey key) const {
+  auto it = weights_.find(key);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+void EdgeLabelWeights::DecayForPattern(const Graph& pattern, double factor) {
+  std::unordered_set<EdgeLabelKey> keys;
+  for (const Edge& e : pattern.EdgeList()) {
+    keys.insert(pattern.EdgeKey(e.u, e.v));
+  }
+  for (EdgeLabelKey key : keys) {
+    auto it = weights_.find(key);
+    if (it != weights_.end()) it->second *= factor;
+  }
+}
+
+ClusterWeights::ClusterWeights(
+    const std::vector<std::vector<GraphId>>& clusters, size_t database_size) {
+  CATAPULT_CHECK(database_size > 0);
+  weights_.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    weights_.push_back(static_cast<double>(cluster.size()) /
+                       static_cast<double>(database_size));
+  }
+  initial_ = weights_;
+}
+
+LabelCoverageIndex::LabelCoverageIndex(const GraphDatabase& db)
+    : database_size_(db.size()) {
+  for (GraphId i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    std::unordered_set<EdgeLabelKey> seen;
+    for (const Edge& e : g.EdgeList()) seen.insert(g.EdgeKey(e.u, e.v));
+    for (EdgeLabelKey key : seen) {
+      auto [it, inserted] =
+          graphs_with_key_.try_emplace(key, DynamicBitset(database_size_));
+      it->second.Set(i);
+    }
+  }
+}
+
+DynamicBitset LabelCoverageIndex::UnionFor(const Graph& pattern,
+                                           DynamicBitset acc) const {
+  std::unordered_set<EdgeLabelKey> keys;
+  for (const Edge& e : pattern.EdgeList()) {
+    keys.insert(pattern.EdgeKey(e.u, e.v));
+  }
+  for (EdgeLabelKey key : keys) {
+    auto it = graphs_with_key_.find(key);
+    if (it != graphs_with_key_.end()) acc |= it->second;
+  }
+  return acc;
+}
+
+double LabelCoverageIndex::PatternLabelCoverage(const Graph& pattern) const {
+  if (database_size_ == 0) return 0.0;
+  DynamicBitset acc = UnionFor(pattern, DynamicBitset(database_size_));
+  return static_cast<double>(acc.Count()) /
+         static_cast<double>(database_size_);
+}
+
+double LabelCoverageIndex::SetLabelCoverage(
+    const std::vector<Graph>& patterns) const {
+  if (database_size_ == 0) return 0.0;
+  DynamicBitset acc(database_size_);
+  for (const Graph& p : patterns) acc = UnionFor(p, std::move(acc));
+  return static_cast<double>(acc.Count()) /
+         static_cast<double>(database_size_);
+}
+
+}  // namespace catapult

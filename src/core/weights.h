@@ -1,0 +1,91 @@
+#ifndef CATAPULT_CORE_WEIGHTS_H_
+#define CATAPULT_CORE_WEIGHTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph_database.h"
+#include "src/util/bitset.h"
+
+namespace catapult {
+
+// Multiplicative-weights decay factor n = 0.5 (Section 5, after [Arora et
+// al.]): weights of covered clusters / used edge labels are halved after
+// each pattern selection.
+inline constexpr double kWeightDecay = 0.5;
+
+// Global edge-label weights elw (Algorithm 1, line 4): initially the label
+// coverage lcov(e, D) of each labelled edge, decayed multiplicatively as
+// patterns consume labels (Algorithm 4, line 21).
+class EdgeLabelWeights {
+ public:
+  // Builds weights from the database: weight(key) = |L(e, D)| / |D|.
+  explicit EdgeLabelWeights(const GraphDatabase& db);
+
+  // Current weight of `key` (0 for labels absent from D).
+  double Get(EdgeLabelKey key) const;
+
+  // Multiplies the weight of every labelled edge occurring in `pattern` by
+  // `factor` (kWeightDecay by default).
+  void DecayForPattern(const Graph& pattern, double factor = kWeightDecay);
+
+ private:
+  std::unordered_map<EdgeLabelKey, double> weights_;
+};
+
+// Cluster weights cw (Algorithm 1, line 5): cw_i = |C_i| / |D|, decayed
+// multiplicatively for every cluster whose CSG is covered by a selected
+// pattern (Algorithm 4, line 20).
+class ClusterWeights {
+ public:
+  ClusterWeights(const std::vector<std::vector<GraphId>>& clusters,
+                 size_t database_size);
+
+  size_t size() const { return weights_.size(); }
+  double Get(size_t cluster) const {
+    CATAPULT_CHECK(cluster < weights_.size());
+    return weights_[cluster];
+  }
+
+  // Multiplies the weight of `cluster` by `factor`.
+  void Decay(size_t cluster, double factor = kWeightDecay) {
+    CATAPULT_CHECK(cluster < weights_.size());
+    weights_[cluster] *= factor;
+  }
+
+  // The original (undecayed) weight, used for reporting coverage.
+  double Initial(size_t cluster) const {
+    CATAPULT_CHECK(cluster < initial_.size());
+    return initial_[cluster];
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> initial_;
+};
+
+// Index from labelled-edge key to the set of graphs containing it; supports
+// exact lcov computations for patterns and pattern sets (Section 3.2).
+class LabelCoverageIndex {
+ public:
+  explicit LabelCoverageIndex(const GraphDatabase& db);
+
+  // lcov(p, D): fraction of graphs containing at least one of the pattern's
+  // labelled edges.
+  double PatternLabelCoverage(const Graph& pattern) const;
+
+  // lcov(P, D) over a whole pattern set.
+  double SetLabelCoverage(const std::vector<Graph>& patterns) const;
+
+  size_t database_size() const { return database_size_; }
+
+ private:
+  DynamicBitset UnionFor(const Graph& pattern, DynamicBitset acc) const;
+
+  std::unordered_map<EdgeLabelKey, DynamicBitset> graphs_with_key_;
+  size_t database_size_;
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CORE_WEIGHTS_H_

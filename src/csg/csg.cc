@@ -1,0 +1,221 @@
+#include "src/csg/csg.h"
+
+#include <algorithm>
+
+#include "src/graph/algorithms.h"
+
+namespace catapult {
+
+int ClusterSummaryGraph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= incident_.size() || v >= incident_.size()) return -1;
+  const std::vector<size_t>& list =
+      incident_[u].size() <= incident_[v].size() ? incident_[u]
+                                                 : incident_[v];
+  for (size_t idx : list) {
+    const CsgEdge& e = edges_[idx];
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) {
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+Graph ClusterSummaryGraph::ToGraph() const {
+  Graph g;
+  for (Label label : vertex_labels_) g.AddVertex(label);
+  for (const CsgEdge& e : edges_) g.AddEdge(e.u, e.v);
+  return g;
+}
+
+double ClusterSummaryGraph::Compactness(double t) const {
+  if (edges_.empty()) return 0.0;
+  double threshold = t * static_cast<double>(cluster_size_);
+  size_t heavy = 0;
+  for (const CsgEdge& e : edges_) {
+    if (static_cast<double>(e.support.Count()) >= threshold) ++heavy;
+  }
+  return static_cast<double>(heavy) / static_cast<double>(edges_.size());
+}
+
+VertexId ClusterSummaryGraph::AddVertex(Label label) {
+  vertex_labels_.push_back(label);
+  vertex_support_.emplace_back(cluster_size_);
+  incident_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+void ClusterSummaryGraph::MarkVertex(VertexId v, size_t member) {
+  CATAPULT_CHECK(v < vertex_support_.size());
+  vertex_support_[v].Set(member);
+}
+
+void ClusterSummaryGraph::MarkEdge(VertexId u, VertexId v, size_t member) {
+  CATAPULT_CHECK(u != v);
+  int idx = FindEdge(u, v);
+  if (idx < 0) {
+    CsgEdge edge;
+    edge.u = u;
+    edge.v = v;
+    edge.support = DynamicBitset(cluster_size_);
+    edges_.push_back(std::move(edge));
+    idx = static_cast<int>(edges_.size() - 1);
+    incident_[u].push_back(static_cast<size_t>(idx));
+    incident_[v].push_back(static_cast<size_t>(idx));
+  }
+  edges_[static_cast<size_t>(idx)].support.Set(member);
+}
+
+namespace {
+
+// Greedy label/adjacency-guided mapping of `g` into `csg` (the closure-tree
+// heuristic). mapping[gv] is the summary vertex for gv, or -1 where a new
+// vertex would be created. Returns the number of g-edges whose endpoints
+// map to an existing summary edge.
+size_t GreedyFoldMapping(const ClusterSummaryGraph& csg, const Graph& g,
+                         std::vector<int>& mapping) {
+  mapping.assign(g.NumVertices(), -1);
+  if (g.NumVertices() == 0) return 0;
+  VertexId start = 0;
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > g.Degree(start)) start = v;
+  }
+  std::vector<VertexId> order = BfsOrder(g, start);
+  if (order.size() < g.NumVertices()) {
+    std::vector<bool> seen(g.NumVertices(), false);
+    for (VertexId v : order) seen[v] = true;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!seen[v]) order.push_back(v);
+    }
+  }
+  std::vector<bool> summary_used(csg.NumVertices(), false);
+  for (VertexId gv : order) {
+    Label label = g.VertexLabel(gv);
+    int best = -1;
+    size_t best_adjacency = 0;
+    size_t best_support = 0;
+    for (VertexId sv = 0; sv < csg.NumVertices(); ++sv) {
+      if (summary_used[sv] || csg.VertexLabel(sv) != label) continue;
+      size_t adjacency = 0;
+      for (const Graph::Neighbor& n : g.Neighbors(gv)) {
+        int mapped = mapping[n.to];
+        if (mapped >= 0 &&
+            csg.FindEdge(sv, static_cast<VertexId>(mapped)) >= 0) {
+          ++adjacency;
+        }
+      }
+      size_t support = csg.VertexSupport(sv).Count();
+      if (best < 0 || adjacency > best_adjacency ||
+          (adjacency == best_adjacency && support > best_support)) {
+        best = static_cast<int>(sv);
+        best_adjacency = adjacency;
+        best_support = support;
+      }
+    }
+    mapping[gv] = best;
+    if (best >= 0) summary_used[static_cast<VertexId>(best)] = true;
+  }
+  size_t mapped_edges = 0;
+  for (const Edge& e : g.EdgeList()) {
+    int mu = mapping[e.u];
+    int mv = mapping[e.v];
+    if (mu >= 0 && mv >= 0 &&
+        csg.FindEdge(static_cast<VertexId>(mu),
+                     static_cast<VertexId>(mv)) >= 0) {
+      ++mapped_edges;
+    }
+  }
+  return mapped_edges;
+}
+
+}  // namespace
+
+double MappedEdgeFraction(const ClusterSummaryGraph& csg, const Graph& g) {
+  if (g.NumEdges() == 0) return 0.0;
+  std::vector<int> mapping;
+  size_t mapped = GreedyFoldMapping(csg, g, mapping);
+  return static_cast<double>(mapped) / static_cast<double>(g.NumEdges());
+}
+
+ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
+                             const std::vector<GraphId>& member_ids) {
+  ClusterSummaryGraph csg(member_ids.size());
+  for (size_t member = 0; member < member_ids.size(); ++member) {
+    const Graph& g = db.graph(member_ids[member]);
+    if (g.NumVertices() == 0) continue;
+
+    // Map g's vertices into the summary in BFS order from the highest-
+    // degree vertex, greedily choosing the same-label summary vertex that
+    // realises the most edges to already-mapped neighbours (ties: the
+    // vertex supported by more members, then the lowest id).
+    VertexId start = 0;
+    for (VertexId v = 1; v < g.NumVertices(); ++v) {
+      if (g.Degree(v) > g.Degree(start)) start = v;
+    }
+    std::vector<VertexId> order = BfsOrder(g, start);
+    // Disconnected member graphs: append remaining vertices (the library's
+    // data generators produce connected graphs, but be safe).
+    if (order.size() < g.NumVertices()) {
+      std::vector<bool> seen(g.NumVertices(), false);
+      for (VertexId v : order) seen[v] = true;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (!seen[v]) order.push_back(v);
+      }
+    }
+
+    std::vector<int> mapping(g.NumVertices(), -1);
+    std::vector<bool> summary_used(csg.NumVertices(), false);
+    for (VertexId gv : order) {
+      Label label = g.VertexLabel(gv);
+      int best = -1;
+      size_t best_adjacency = 0;
+      size_t best_support = 0;
+      for (VertexId sv = 0; sv < csg.NumVertices(); ++sv) {
+        if (summary_used[sv] || csg.VertexLabel(sv) != label) continue;
+        size_t adjacency = 0;
+        for (const Graph::Neighbor& n : g.Neighbors(gv)) {
+          int mapped = mapping[n.to];
+          if (mapped >= 0 &&
+              csg.FindEdge(sv, static_cast<VertexId>(mapped)) >= 0) {
+            ++adjacency;
+          }
+        }
+        size_t support = csg.VertexSupport(sv).Count();
+        if (best < 0 || adjacency > best_adjacency ||
+            (adjacency == best_adjacency && support > best_support)) {
+          best = static_cast<int>(sv);
+          best_adjacency = adjacency;
+          best_support = support;
+        }
+      }
+      VertexId target;
+      if (best < 0) {
+        target = csg.AddVertex(label);
+        summary_used.push_back(false);
+      } else {
+        target = static_cast<VertexId>(best);
+      }
+      mapping[gv] = static_cast<int>(target);
+      summary_used[target] = true;
+      csg.MarkVertex(target, member);
+    }
+
+    for (const Edge& e : g.EdgeList()) {
+      csg.MarkEdge(static_cast<VertexId>(mapping[e.u]),
+                   static_cast<VertexId>(mapping[e.v]), member);
+    }
+  }
+  return csg;
+}
+
+std::vector<ClusterSummaryGraph> BuildCsgs(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters) {
+  std::vector<ClusterSummaryGraph> csgs;
+  csgs.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    csgs.push_back(BuildCsg(db, cluster));
+  }
+  return csgs;
+}
+
+}  // namespace catapult

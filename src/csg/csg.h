@@ -1,0 +1,97 @@
+#ifndef CATAPULT_CSG_CSG_H_
+#define CATAPULT_CSG_CSG_H_
+
+#include <vector>
+
+#include "src/graph/graph_database.h"
+#include "src/util/bitset.h"
+
+namespace catapult {
+
+// A cluster summary graph (Section 4.2): the closure graph of all data
+// graphs in one cluster. Every vertex and edge carries the set of member
+// graphs (by position within the cluster) containing it. Dummy labels never
+// appear: a member graph simply leaves its bit unset on parts it lacks,
+// which is equivalent to the paper's epsilon-removal.
+class ClusterSummaryGraph {
+ public:
+  // One summarised edge with its supporting members.
+  struct CsgEdge {
+    VertexId u = 0;
+    VertexId v = 0;
+    DynamicBitset support;  // bit i: cluster member i contains this edge
+  };
+
+  ClusterSummaryGraph(size_t cluster_size) : cluster_size_(cluster_size) {}
+
+  // Number of member graphs summarised.
+  size_t cluster_size() const { return cluster_size_; }
+
+  size_t NumVertices() const { return vertex_labels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  Label VertexLabel(VertexId v) const {
+    CATAPULT_CHECK(v < vertex_labels_.size());
+    return vertex_labels_[v];
+  }
+  const DynamicBitset& VertexSupport(VertexId v) const {
+    CATAPULT_CHECK(v < vertex_support_.size());
+    return vertex_support_[v];
+  }
+  const std::vector<CsgEdge>& edges() const { return edges_; }
+
+  // Edge indices incident to `v`.
+  const std::vector<size_t>& IncidentEdges(VertexId v) const {
+    CATAPULT_CHECK(v < incident_.size());
+    return incident_[v];
+  }
+
+  // Index of edge {u, v}, or -1 if absent.
+  int FindEdge(VertexId u, VertexId v) const;
+
+  // Plain labelled-graph view (drops support sets). Used for the cluster-
+  // coverage subgraph isomorphism tests and for compactness accounting.
+  Graph ToGraph() const;
+
+  // csg compactness xi_t (Section 6.1): fraction of summary edges contained
+  // in at least t * cluster_size() member graphs.
+  double Compactness(double t) const;
+
+  // --- mutation API used by the builder ---
+  VertexId AddVertex(Label label);
+  void MarkVertex(VertexId v, size_t member);
+  // Adds support of `member` to edge {u, v}, creating the edge if needed.
+  void MarkEdge(VertexId u, VertexId v, size_t member);
+
+ private:
+  size_t cluster_size_;
+  std::vector<Label> vertex_labels_;
+  std::vector<DynamicBitset> vertex_support_;
+  std::vector<CsgEdge> edges_;
+  std::vector<std::vector<size_t>> incident_;
+};
+
+// Builds the CSG of the cluster `member_ids` (graph ids into `db`) by
+// iteratively closing each member into the summary (Section 4.2). The
+// vertex mapping of each incoming graph is the greedy label/adjacency-guided
+// heuristic of closure-trees [He & Singh, ICDE'06]: vertices are mapped in
+// BFS order to same-label summary vertices maximising already-realised
+// adjacency, and unmappable vertices extend the summary (the paper's dummy-
+// vertex extension).
+ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
+                             const std::vector<GraphId>& member_ids);
+
+// Dry-run of the closure step: greedily maps `g` onto `csg` exactly the way
+// BuildCsg would, without mutating the summary, and returns the fraction of
+// g's edges that land on existing summary edges (1.0 = g folds in with no
+// growth). Used by incremental maintenance as a structural affinity score.
+double MappedEdgeFraction(const ClusterSummaryGraph& csg, const Graph& g);
+
+// Builds one CSG per cluster.
+std::vector<ClusterSummaryGraph> BuildCsgs(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CSG_CSG_H_

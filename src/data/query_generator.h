@@ -1,0 +1,64 @@
+#ifndef CATAPULT_DATA_QUERY_GENERATOR_H_
+#define CATAPULT_DATA_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "src/graph/graph_database.h"
+#include "src/mining/subgraph_miner.h"
+#include "src/util/rng.h"
+
+namespace catapult {
+
+// Subgraph-query workload generation (Section 6.1: "1000 subgraph queries
+// with sizes in the range [4-40] ... randomly selecting connected subgraphs
+// from the dataset").
+struct QueryWorkloadOptions {
+  size_t count = 1000;
+  size_t min_edges = 4;
+  size_t max_edges = 40;
+  uint64_t seed = 7;
+};
+
+// Draws `count` random connected subgraph queries: pick a random data graph,
+// extract a random connected subgraph of a uniform size in
+// [min_edges, max_edges] (capped by the graph's own size, floored at
+// min(min_edges, |G|)).
+std::vector<Graph> GenerateQueryWorkload(const GraphDatabase& db,
+                                         const QueryWorkloadOptions& options);
+
+// Exp 9's mixed workloads Q_x: a fraction `infrequent_fraction` of the
+// queries are infrequent subgraphs, the rest are frequent ones.
+struct QueryMixOptions {
+  size_t count = 50;
+  double infrequent_fraction = 0.2;  // the x of Q_x
+
+  // A query counts as frequent when it appears in at least this fraction of
+  // a verification sample of the database.
+  double frequent_threshold = 0.04;
+  size_t verification_sample = 200;
+
+  size_t min_edges = 4;
+  size_t max_edges = 14;
+  uint64_t seed = 11;
+
+  // When a random subgraph refuses to be infrequent (its parts are all
+  // common), relabel a couple of its vertices to the database's rarest
+  // vertex labels. User queries are not restricted to subgraphs of D
+  // (Section 3.3: users "may frequently pose infrequent subgraph
+  // queries"), and rare functional groups are exactly what makes real
+  // queries infrequent.
+  bool perturb_labels_for_infrequent = true;
+};
+
+// Builds Q_x: frequent queries are drawn from `frequent_pool` (e.g. mined
+// frequent subgraphs of >= min_edges edges, possibly repeated); infrequent
+// queries are random connected subgraphs re-drawn until their support on a
+// verification sample falls below the threshold (best effort, bounded
+// retries).
+std::vector<Graph> GenerateQueryMix(const GraphDatabase& db,
+                                    const std::vector<Graph>& frequent_pool,
+                                    const QueryMixOptions& options);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_DATA_QUERY_GENERATOR_H_

@@ -1,0 +1,112 @@
+#include "src/formulate/evaluate.h"
+
+#include <algorithm>
+
+#include "src/core/pattern_score.h"
+#include "src/formulate/steps.h"
+#include "src/graph/algorithms.h"
+#include "src/iso/ged.h"
+#include "src/iso/vf2.h"
+
+namespace catapult {
+
+QueryFormulation FormulateQuery(const Graph& query, const GuiModel& gui,
+                                const CoverOptions& options) {
+  QueryFormulation out;
+  out.steps_total = StepsEdgeAtATime(query);
+
+  const Graph* effective_query = &query;
+  Graph relabelled;
+  if (gui.unlabelled && !gui.patterns.empty()) {
+    // Exp 3 normalisation: erase the query's labels so unlabelled panel
+    // patterns can match anywhere.
+    Label common = gui.patterns.front().NumVertices() > 0
+                       ? gui.patterns.front().VertexLabel(0)
+                       : 0;
+    relabelled = RelabelAllVertices(query, common);
+    effective_query = &relabelled;
+  }
+
+  QueryCover cover = MaxPatternCover(*effective_query, gui.patterns, options);
+  out.patterns_used = cover.uses.size();
+  out.steps_patterns =
+      StepsWithPatterns(query, gui.patterns, cover, gui.unlabelled);
+  out.mu = ReductionRatio(out.steps_total, out.steps_patterns);
+  return out;
+}
+
+WorkloadReport EvaluateGui(const std::vector<Graph>& queries,
+                           const GuiModel& gui, const CoverOptions& options,
+                           std::vector<QueryFormulation>* details) {
+  WorkloadReport report;
+  report.num_queries = queries.size();
+  if (queries.empty()) return report;
+  size_t missed = 0;
+  double mu_sum = 0.0;
+  double steps_sum = 0.0;
+  for (const Graph& query : queries) {
+    QueryFormulation f = FormulateQuery(query, gui, options);
+    if (f.patterns_used == 0) ++missed;
+    report.max_mu = std::max(report.max_mu, f.mu);
+    mu_sum += f.mu;
+    steps_sum += static_cast<double>(f.steps_patterns);
+    if (details != nullptr) details->push_back(f);
+  }
+  report.avg_mu = mu_sum / static_cast<double>(queries.size());
+  report.mp_percent = 100.0 * static_cast<double>(missed) /
+                      static_cast<double>(queries.size());
+  report.avg_steps = steps_sum / static_cast<double>(queries.size());
+  return report;
+}
+
+double SubgraphCoverage(const std::vector<Graph>& patterns,
+                        const GraphDatabase& db, size_t sample_cap,
+                        uint64_t iso_node_budget) {
+  if (db.empty() || patterns.empty()) return 0.0;
+  IsoOptions iso;
+  iso.node_budget = iso_node_budget;
+
+  // Deterministic stride sample when capped.
+  size_t n = db.size();
+  size_t count = (sample_cap == 0 || sample_cap >= n) ? n : sample_cap;
+  size_t stride = n / count;
+  if (stride == 0) stride = 1;
+
+  size_t tested = 0;
+  size_t covered = 0;
+  for (size_t i = 0; i < n && tested < count; i += stride, ++tested) {
+    const Graph& g = db.graph(static_cast<GraphId>(i));
+    for (const Graph& p : patterns) {
+      if (ContainsSubgraph(p, g, iso)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return tested == 0 ? 0.0
+                     : static_cast<double>(covered) /
+                           static_cast<double>(tested);
+}
+
+double AverageSetDiversity(const std::vector<Graph>& patterns) {
+  if (patterns.size() < 2) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    std::vector<Graph> rest;
+    rest.reserve(patterns.size() - 1);
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      if (j != i) rest.push_back(patterns[j]);
+    }
+    total += PatternSetDiversity(patterns[i], rest);
+  }
+  return total / static_cast<double>(patterns.size());
+}
+
+double AverageCognitiveLoad(const std::vector<Graph>& patterns) {
+  if (patterns.empty()) return 0.0;
+  double total = 0.0;
+  for (const Graph& p : patterns) total += CognitiveLoad(p);
+  return total / static_cast<double>(patterns.size());
+}
+
+}  // namespace catapult

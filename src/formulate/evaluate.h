@@ -1,0 +1,58 @@
+#ifndef CATAPULT_FORMULATE_EVALUATE_H_
+#define CATAPULT_FORMULATE_EVALUATE_H_
+
+#include <vector>
+
+#include "src/formulate/cover.h"
+#include "src/formulate/gui.h"
+#include "src/graph/graph_database.h"
+
+namespace catapult {
+
+// Outcome of visually formulating one query with one GUI.
+struct QueryFormulation {
+  size_t steps_total = 0;     // edge-at-a-time baseline
+  size_t steps_patterns = 0;  // step_P with the GUI's pattern panel
+  double mu = 0.0;            // reduction ratio
+  size_t patterns_used = 0;   // |PQ|
+};
+
+// Formulates `query` with `gui`. For unlabelled panels the query is first
+// relabelled to the panel's common label (Exp 3's normalisation, which
+// favours the unlabelled GUI) and relabelling steps are charged per placed
+// pattern vertex.
+QueryFormulation FormulateQuery(const Graph& query, const GuiModel& gui,
+                                const CoverOptions& options = {});
+
+// Aggregate workload report (the paper's MP / max mu / avg mu measures).
+struct WorkloadReport {
+  size_t num_queries = 0;
+  double max_mu = 0.0;
+  double avg_mu = 0.0;
+  double mp_percent = 0.0;  // % of queries using no canned pattern
+  double avg_steps = 0.0;   // average step_P
+};
+
+// Evaluates `gui` over a workload; `details` (optional) receives the
+// per-query formulations, index-aligned with `queries`.
+WorkloadReport EvaluateGui(const std::vector<Graph>& queries,
+                           const GuiModel& gui,
+                           const CoverOptions& options = {},
+                           std::vector<QueryFormulation>* details = nullptr);
+
+// Subgraph coverage scov(P, D) (Section 3.2): the fraction of data graphs
+// containing at least one pattern. `sample_cap` bounds the number of graphs
+// tested (0 = all; deterministic prefix-stride sample otherwise).
+double SubgraphCoverage(const std::vector<Graph>& patterns,
+                        const GraphDatabase& db, size_t sample_cap = 0,
+                        uint64_t iso_node_budget = 2000000);
+
+// Average pairwise-minimum GED over the set (the paper's reported div).
+double AverageSetDiversity(const std::vector<Graph>& patterns);
+
+// Average cognitive load over the set.
+double AverageCognitiveLoad(const std::vector<Graph>& patterns);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_FORMULATE_EVALUATE_H_

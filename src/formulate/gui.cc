@@ -1,0 +1,105 @@
+#include "src/formulate/gui.h"
+
+#include "src/util/check.h"
+
+namespace catapult {
+
+namespace {
+
+Graph Ring(size_t n, Label label) {
+  CATAPULT_CHECK(n >= 3);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(label);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph Chain(size_t vertices, Label label) {
+  CATAPULT_CHECK(vertices >= 2);
+  Graph g;
+  for (size_t i = 0; i < vertices; ++i) g.AddVertex(label);
+  for (size_t i = 0; i + 1 < vertices; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return g;
+}
+
+Graph Star(size_t leaves, Label label) {
+  Graph g;
+  VertexId center = g.AddVertex(label);
+  for (size_t i = 0; i < leaves; ++i) {
+    g.AddEdge(center, g.AddVertex(label));
+  }
+  return g;
+}
+
+// Two triangles sharing one edge (4 vertices, 5 edges).
+Graph FusedTriangles(Label label) {
+  Graph g;
+  VertexId a = g.AddVertex(label);
+  VertexId b = g.AddVertex(label);
+  VertexId c = g.AddVertex(label);
+  VertexId d = g.AddVertex(label);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(c, a);
+  g.AddEdge(b, d);
+  g.AddEdge(d, c);
+  return g;
+}
+
+// A 6-ring with one chain arm (7 vertices, 7 edges).
+Graph RingWithTail(Label label) {
+  Graph g = Ring(6, label);
+  VertexId tail = g.AddVertex(label);
+  g.AddEdge(0, tail);
+  return g;
+}
+
+}  // namespace
+
+GuiModel MakePubChemGui(Label common_label) {
+  GuiModel gui;
+  gui.name = "PubChem";
+  gui.unlabelled = true;
+  // Sizes in edges: 3,4,5,6,7,8 rings; 3,4,5-edge chains; 3-edge star;
+  // 5-edge fused triangles; 7-edge ring-with-tail. 12 patterns, sizes 3-8.
+  gui.patterns.push_back(Ring(3, common_label));
+  gui.patterns.push_back(Ring(4, common_label));
+  gui.patterns.push_back(Ring(5, common_label));
+  gui.patterns.push_back(Ring(6, common_label));
+  gui.patterns.push_back(Ring(7, common_label));
+  gui.patterns.push_back(Ring(8, common_label));
+  gui.patterns.push_back(Chain(4, common_label));  // 3 edges
+  gui.patterns.push_back(Chain(5, common_label));  // 4 edges
+  gui.patterns.push_back(Chain(6, common_label));  // 5 edges
+  gui.patterns.push_back(Star(3, common_label));   // 3 edges
+  gui.patterns.push_back(FusedTriangles(common_label));
+  gui.patterns.push_back(RingWithTail(common_label));
+  return gui;
+}
+
+GuiModel MakeEMolGui(Label common_label) {
+  GuiModel gui;
+  gui.name = "eMolecules";
+  gui.unlabelled = true;
+  gui.patterns.push_back(Ring(3, common_label));
+  gui.patterns.push_back(Ring(4, common_label));
+  gui.patterns.push_back(Ring(5, common_label));
+  gui.patterns.push_back(Ring(6, common_label));
+  gui.patterns.push_back(Chain(4, common_label));  // 3 edges
+  gui.patterns.push_back(RingWithTail(common_label));
+  return gui;
+}
+
+GuiModel MakeCatapultGui(std::vector<Graph> patterns) {
+  GuiModel gui;
+  gui.name = "Catapult";
+  gui.unlabelled = false;
+  gui.patterns = std::move(patterns);
+  return gui;
+}
+
+}  // namespace catapult

@@ -1,0 +1,38 @@
+#ifndef CATAPULT_FORMULATE_GUI_H_
+#define CATAPULT_FORMULATE_GUI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/graph/label_map.h"
+
+namespace catapult {
+
+// A visual query interface's canned-pattern panel.
+struct GuiModel {
+  std::string name;
+  std::vector<Graph> patterns;
+
+  // True when the panel's patterns carry no vertex labels: formulation then
+  // incurs the relabelling steps of Exp 3 and containment is tested on a
+  // label-erased copy of the query.
+  bool unlabelled = false;
+};
+
+// The PubChem-like interface of Exp 3: 12 patterns with sizes (edge counts)
+// in [3, 8] - rings of 3..8 vertices, short chains, a star, and one fused
+// bicyclic - 11 of them unlabelled (modelled by assigning every vertex the
+// `common_label`). Mirrors Figure 1's panel as described in Section 6.2.
+GuiModel MakePubChemGui(Label common_label);
+
+// The eMolecules-like interface of Exp 3: 6 unlabelled patterns with sizes
+// in [3, 8] (rings of 3..6, a chain, a fused pair).
+GuiModel MakeEMolGui(Label common_label);
+
+// Wraps a Catapult-selected pattern set as a (labelled) GUI model.
+GuiModel MakeCatapultGui(std::vector<Graph> patterns);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_FORMULATE_GUI_H_

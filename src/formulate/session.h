@@ -1,0 +1,53 @@
+#ifndef CATAPULT_FORMULATE_SESSION_H_
+#define CATAPULT_FORMULATE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/formulate/cover.h"
+#include "src/formulate/gui.h"
+#include "src/graph/label_map.h"
+
+namespace catapult {
+
+// One concrete visual-formulation action, in the vocabulary of the paper's
+// Example 1.1 walkthrough ("Select and drag P1 to the query construction
+// canvas", "Construct an edge between ...", "Label all vertices ...").
+struct FormulationStep {
+  enum class Kind {
+    kPlacePattern,   // drag canned pattern `pattern_index` onto the canvas
+    kAddVertex,      // add query vertex `u` with its label
+    kAddEdge,        // draw the edge {u, v}
+    kRelabelVertex,  // assign the proper label to vertex `u` (unlabelled
+                     // panels only)
+  };
+  Kind kind;
+  size_t pattern_index = 0;  // kPlacePattern
+  VertexId u = 0;            // kAddVertex / kAddEdge / kRelabelVertex
+  VertexId v = 0;            // kAddEdge
+};
+
+// A complete step-by-step script that reconstructs a query with a GUI's
+// pattern panel. `steps.size()` equals StepsWithPatterns() for the same
+// cover, making the script an executable witness of the step counts used
+// throughout the evaluation.
+struct FormulationPlan {
+  std::vector<FormulationStep> steps;
+  QueryCover cover;  // the pattern placements behind the script
+};
+
+// Plans the formulation of `query` under `gui` (computing the pattern cover
+// internally, with the same unlabelled-panel normalisation as
+// FormulateQuery).
+FormulationPlan PlanFormulation(const Graph& query, const GuiModel& gui,
+                                const CoverOptions& options = {});
+
+// Renders a plan as numbered human-readable lines; `labels` (optional) maps
+// label ids to names for nicer output.
+std::string DescribePlan(const FormulationPlan& plan, const Graph& query,
+                         const GuiModel& gui,
+                         const LabelMap* labels = nullptr);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_FORMULATE_SESSION_H_

@@ -1,0 +1,64 @@
+#include "src/formulate/steps.h"
+
+#include "src/util/check.h"
+
+namespace catapult {
+
+size_t StepsEdgeAtATime(const Graph& query) {
+  return query.NumVertices() + query.NumEdges();
+}
+
+size_t StepsWithPatterns(const Graph& query,
+                         const std::vector<Graph>& patterns,
+                         const QueryCover& cover, bool patterns_unlabelled,
+                         RelabelCostModel relabel_model) {
+  size_t pattern_steps = cover.uses.size();
+  CATAPULT_CHECK(cover.covered_vertices <= query.NumVertices());
+  CATAPULT_CHECK(cover.covered_edges <= query.NumEdges());
+  size_t remaining_vertices = query.NumVertices() - cover.covered_vertices;
+  size_t remaining_edges = query.NumEdges() - cover.covered_edges;
+  size_t relabel_steps = 0;
+  if (patterns_unlabelled) {
+    if (relabel_model == RelabelCostModel::kOneStep) {
+      for (const PatternUse& use : cover.uses) {
+        relabel_steps += patterns[use.pattern_index].NumVertices();
+      }
+    } else {
+      // Sequential 1-step/2-step labelling: walk placed vertices in
+      // placement order; re-selecting the label palette costs an extra
+      // step whenever the needed label changes.
+      bool have_selection = false;
+      Label selected = 0;
+      for (const PatternUse& use : cover.uses) {
+        const Graph& p = patterns[use.pattern_index];
+        for (VertexId pv = 0; pv < p.NumVertices(); ++pv) {
+          Label needed = query.VertexLabel(use.embedding[pv]);
+          if (!have_selection || needed != selected) {
+            relabel_steps += 2;  // pick label, then click the vertex
+            selected = needed;
+            have_selection = true;
+          } else {
+            relabel_steps += 1;  // click the vertex
+          }
+        }
+      }
+    }
+  }
+  return pattern_steps + remaining_vertices + remaining_edges + relabel_steps;
+}
+
+double ReductionRatio(size_t steps_total, size_t steps_with_patterns) {
+  if (steps_total == 0) return 0.0;
+  return (static_cast<double>(steps_total) -
+          static_cast<double>(steps_with_patterns)) /
+         static_cast<double>(steps_total);
+}
+
+double RelativeReduction(size_t baseline_steps, size_t catapult_steps) {
+  if (baseline_steps == 0) return 0.0;
+  return (static_cast<double>(baseline_steps) -
+          static_cast<double>(catapult_steps)) /
+         static_cast<double>(baseline_steps);
+}
+
+}  // namespace catapult

@@ -1,0 +1,49 @@
+#ifndef CATAPULT_FORMULATE_STEPS_H_
+#define CATAPULT_FORMULATE_STEPS_H_
+
+#include <vector>
+
+#include "src/formulate/cover.h"
+#include "src/graph/graph.h"
+
+namespace catapult {
+
+// The visual-formulation step model of Section 6.1. A step is the addition
+// of a vertex, an edge, or a whole pattern, or the relabelling of one
+// vertex.
+
+// Steps to build `query` edge-at-a-time: one per vertex plus one per edge.
+size_t StepsEdgeAtATime(const Graph& query);
+
+// How vertex relabelling of unlabelled panel patterns is charged (Exp 3):
+enum class RelabelCostModel {
+  // Optimistic: one step per placed pattern vertex (the paper's
+  // step_P(gui) = step_P + |V_Pl| accounting).
+  kOneStep,
+  // Faithful to the GUI interaction: selecting a vertex label costs one
+  // extra step whenever it differs from the previously selected label
+  // (2-step labelling), one step otherwise (1-step labelling), charged in
+  // placement order.
+  kSequential,
+};
+
+// Step count for one query under a pattern set, given its cover:
+//   step_P = |PQ| + |VQ \ V_PQ| + |EQ \ E_PQ|
+// and, when the patterns are unlabelled (PubChem/eMol GUIs), the
+// relabelling steps per placed pattern vertex under `relabel_model`.
+size_t StepsWithPatterns(const Graph& query,
+                         const std::vector<Graph>& patterns,
+                         const QueryCover& cover, bool patterns_unlabelled,
+                         RelabelCostModel relabel_model =
+                             RelabelCostModel::kOneStep);
+
+// Reduction ratio mu = (step_total - step_P) / step_total (Section 6.1).
+double ReductionRatio(size_t steps_total, size_t steps_with_patterns);
+
+// Relative reduction mu_G = (step_P(gui) - step_P(other)) / step_P(gui)
+// (Exp 3 / Exp 6 / Exp 9 all use this shape with different baselines).
+double RelativeReduction(size_t baseline_steps, size_t catapult_steps);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_FORMULATE_STEPS_H_

@@ -1,0 +1,46 @@
+#ifndef CATAPULT_GRAPH_ALGORITHMS_H_
+#define CATAPULT_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace catapult {
+
+// True if `g` is connected (the empty graph and single vertices count as
+// connected).
+bool IsConnected(const Graph& g);
+
+// True if `g` is connected and acyclic.
+bool IsTree(const Graph& g);
+
+// Connected components; result[v] is the component index of vertex v,
+// components are numbered densely from 0.
+std::vector<int> ConnectedComponents(const Graph& g);
+
+// BFS visit order starting from `start`, restricted to its component.
+std::vector<VertexId> BfsOrder(const Graph& g, VertexId start);
+
+// Extracts a uniformly grown random connected subgraph of `g` with exactly
+// `num_edges` edges (or fewer if g is smaller): starts from a random edge and
+// repeatedly adds a random incident edge of the partial subgraph. Vertex ids
+// are remapped densely; labels are preserved. Used to generate subgraph query
+// workloads (Section 6.1: "randomly selecting connected subgraphs").
+Graph RandomConnectedSubgraph(const Graph& g, size_t num_edges, Rng& rng);
+
+// Induced subgraph on `vertices` (which must be distinct ids of g); vertex
+// ids are remapped densely in the given order.
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+// Returns a copy of `g` with every vertex relabelled to `label` (the
+// "unlabelled GUI pattern" normalisation used by Exp 3).
+Graph RelabelAllVertices(const Graph& g, Label label);
+
+// True if `a` and `b` are identical as labelled adjacency structures under
+// the identity vertex mapping (NOT isomorphism; used by tests).
+bool StructurallyEqual(const Graph& a, const Graph& b);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,78 @@
+#include "src/graph/graph.h"
+
+#include <sstream>
+
+namespace catapult {
+
+void Graph::Reserve(size_t vertices, size_t edges) {
+  vertex_labels_.reserve(vertices);
+  adj_.reserve(vertices);
+  (void)edges;
+}
+
+VertexId Graph::AddVertex(Label label) {
+  vertex_labels_.push_back(label);
+  adj_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+void Graph::AddEdge(VertexId u, VertexId v, Label edge_label) {
+  CATAPULT_CHECK(u < NumVertices() && v < NumVertices());
+  CATAPULT_CHECK_MSG(u != v, "self-loops are not supported");
+  CATAPULT_CHECK_MSG(!HasEdge(u, v), "duplicate edge %u-%u", u, v);
+  adj_[u].push_back({v, edge_label});
+  adj_[v].push_back({u, edge_label});
+  ++num_edges_;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  CATAPULT_CHECK(u < NumVertices() && v < NumVertices());
+  // Scan the smaller adjacency list; molecule-scale degrees make this O(1).
+  const std::vector<Neighbor>& list =
+      adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  for (const Neighbor& n : list) {
+    if (n.to == target) return true;
+  }
+  return false;
+}
+
+Label Graph::EdgeLabel(VertexId u, VertexId v) const {
+  CATAPULT_CHECK(u < NumVertices() && v < NumVertices());
+  for (const Neighbor& n : adj_[u]) {
+    if (n.to == v) return n.edge_label;
+  }
+  CATAPULT_CHECK_MSG(false, "edge %u-%u not found", u, v);
+  return 0;
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Neighbor& n : adj_[u]) {
+      if (u < n.to) edges.push_back({u, n.to, n.edge_label});
+    }
+  }
+  return edges;
+}
+
+double Graph::Density() const {
+  size_t n = NumVertices();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream out;
+  out << "Graph(|V|=" << NumVertices() << ", |E|=" << NumEdges() << ";";
+  for (const Edge& e : EdgeList()) {
+    out << " " << e.u << "(" << VertexLabel(e.u) << ")-" << e.v << "("
+        << VertexLabel(e.v) << ")";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace catapult

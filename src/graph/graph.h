@@ -1,0 +1,127 @@
+#ifndef CATAPULT_GRAPH_GRAPH_H_
+#define CATAPULT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace catapult {
+
+// Vertex index within a single graph.
+using VertexId = uint32_t;
+// Integer vertex/edge label (interned via LabelMap for string labels).
+using Label = uint32_t;
+// Index of a data graph within a GraphDatabase.
+using GraphId = uint32_t;
+
+inline constexpr GraphId kInvalidGraphId = static_cast<GraphId>(-1);
+
+// Canonical key of a labelled edge: the unordered pair of endpoint vertex
+// labels packed into one word (paper Section 3.2 footnote: "an edge label can
+// be considered as concatenation of labels of the end vertices").
+using EdgeLabelKey = uint64_t;
+
+// Packs the unordered label pair {a, b} into an EdgeLabelKey.
+inline EdgeLabelKey MakeEdgeLabelKey(Label a, Label b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// An undirected edge with its (canonicalised) endpoints.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Label label = 0;  // Explicit edge label; 0 when unused.
+};
+
+// A connected(-able), undirected, simple graph with labelled vertices and
+// optionally labelled edges. This is the unit stored in a GraphDatabase and
+// the representation of queries and canned patterns.
+//
+// The paper defines |G| = |E| (graph "size" is the edge count); see Size().
+// Vertices are dense indices [0, NumVertices()).
+class Graph {
+ public:
+  // One adjacency entry.
+  struct Neighbor {
+    VertexId to = 0;
+    Label edge_label = 0;
+  };
+
+  Graph() = default;
+
+  // Pre-allocates capacity; purely an optimisation.
+  void Reserve(size_t vertices, size_t edges);
+
+  // Adds a vertex with `label`; returns its id (consecutive from 0).
+  VertexId AddVertex(Label label);
+
+  // Adds the undirected edge {u, v}. Self-loops and duplicate edges are
+  // programmer errors (CHECK-fail): data sources are deduplicated on load.
+  void AddEdge(VertexId u, VertexId v, Label edge_label = 0);
+
+  // Number of vertices / edges.
+  size_t NumVertices() const { return vertex_labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  // Paper convention: the size of a graph is its edge count.
+  size_t Size() const { return num_edges_; }
+
+  // Label of vertex `v`.
+  Label VertexLabel(VertexId v) const {
+    CATAPULT_CHECK(v < vertex_labels_.size());
+    return vertex_labels_[v];
+  }
+
+  // Overwrites the label of vertex `v` (used by the GUI relabelling model).
+  void SetVertexLabel(VertexId v, Label label) {
+    CATAPULT_CHECK(v < vertex_labels_.size());
+    vertex_labels_[v] = label;
+  }
+
+  // Adjacency list of `v` (unordered).
+  const std::vector<Neighbor>& Neighbors(VertexId v) const {
+    CATAPULT_CHECK(v < adj_.size());
+    return adj_[v];
+  }
+
+  // Degree of `v`.
+  size_t Degree(VertexId v) const { return Neighbors(v).size(); }
+
+  // True if the undirected edge {u, v} exists.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Label of the edge {u, v}; CHECK-fails if absent.
+  Label EdgeLabel(VertexId u, VertexId v) const;
+
+  // Canonical labelled-edge key of {u, v} based on endpoint vertex labels.
+  EdgeLabelKey EdgeKey(VertexId u, VertexId v) const {
+    return MakeEdgeLabelKey(VertexLabel(u), VertexLabel(v));
+  }
+
+  // All edges, each reported once with u < v.
+  std::vector<Edge> EdgeList() const;
+
+  // Graph density rho = 2|E| / (|V| (|V|-1)); 0 for graphs with < 2 vertices.
+  double Density() const;
+
+  // Identifier of this graph within its database (kInvalidGraphId if free-
+  // standing, e.g. a query or pattern).
+  GraphId id() const { return id_; }
+  void set_id(GraphId id) { id_ = id; }
+
+  // Human-readable dump ("v0(C)-v1(O), ..."), for tests and debugging.
+  std::string DebugString() const;
+
+ private:
+  GraphId id_ = kInvalidGraphId;
+  std::vector<Label> vertex_labels_;
+  std::vector<std::vector<Neighbor>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_GRAPH_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace catapult {
+
+void WriteDatabase(const GraphDatabase& db, std::ostream& out) {
+  for (GraphId id = 0; id < db.size(); ++id) {
+    const Graph& g = db.graph(id);
+    out << "t # " << id << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      out << "v " << v << " " << db.labels().Name(g.VertexLabel(v)) << "\n";
+    }
+    for (const Edge& e : g.EdgeList()) {
+      out << "e " << e.u << " " << e.v << " " << e.label << "\n";
+    }
+  }
+}
+
+bool WriteDatabaseToFile(const GraphDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteDatabase(db, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<GraphDatabase> ReadDatabase(std::istream& in) {
+  GraphDatabase db;
+  Graph current;
+  bool has_current = false;
+
+  auto FlushCurrent = [&]() {
+    if (has_current) db.Add(std::move(current));
+    current = Graph();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    char kind = 0;
+    tokens >> kind;
+    if (kind == 't') {
+      FlushCurrent();
+      has_current = true;
+    } else if (kind == 'v') {
+      if (!has_current) return std::nullopt;
+      long long id = -1;
+      std::string label;
+      tokens >> id >> label;
+      if (!tokens || id != static_cast<long long>(current.NumVertices())) {
+        return std::nullopt;  // Vertices must be dense and in order.
+      }
+      current.AddVertex(db.labels().Intern(label));
+    } else if (kind == 'e') {
+      if (!has_current) return std::nullopt;
+      long long u = -1;
+      long long v = -1;
+      tokens >> u >> v;
+      if (!tokens || u < 0 || v < 0 || u == v ||
+          u >= static_cast<long long>(current.NumVertices()) ||
+          v >= static_cast<long long>(current.NumVertices())) {
+        return std::nullopt;
+      }
+      long long edge_label = 0;
+      tokens >> edge_label;  // Optional; leaves 0 on failure.
+      if (current.HasEdge(static_cast<VertexId>(u),
+                          static_cast<VertexId>(v))) {
+        return std::nullopt;
+      }
+      current.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                      static_cast<Label>(edge_label));
+    } else {
+      return std::nullopt;
+    }
+  }
+  FlushCurrent();
+  return db;
+}
+
+std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadDatabase(in);
+}
+
+}  // namespace catapult

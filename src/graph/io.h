@@ -1,0 +1,37 @@
+#ifndef CATAPULT_GRAPH_IO_H_
+#define CATAPULT_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/graph/graph_database.h"
+
+namespace catapult {
+
+// Serialisation of graph databases in the standard gSpan-style text format
+// used by AIDS/PubChem-style benchmark distributions:
+//
+//   t # <graph-id>
+//   v <vertex-id> <label-name>
+//   e <u> <v> [<edge-label-int>]
+//
+// Vertex labels are strings ("C", "N", ...) interned through the database's
+// LabelMap; '#' lines and blank lines are ignored.
+
+// Writes `db` to `out` in the format above.
+void WriteDatabase(const GraphDatabase& db, std::ostream& out);
+
+// Convenience wrapper that writes to `path`. Returns false on I/O failure.
+bool WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
+
+// Parses a database from `in`. Returns std::nullopt on malformed input
+// (negative ids, dangling edge endpoints, duplicate edges).
+std::optional<GraphDatabase> ReadDatabase(std::istream& in);
+
+// Convenience wrapper that reads from `path`.
+std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_GRAPH_IO_H_

@@ -1,0 +1,24 @@
+#include "src/graph/label_map.h"
+
+namespace catapult {
+
+Label LabelMap::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Label label = static_cast<Label>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, label);
+  return label;
+}
+
+Label LabelMap::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kUnknown : it->second;
+}
+
+const std::string& LabelMap::Name(Label label) const {
+  CATAPULT_CHECK(label < names_.size());
+  return names_[label];
+}
+
+}  // namespace catapult

@@ -1,0 +1,39 @@
+#ifndef CATAPULT_GRAPH_LABEL_MAP_H_
+#define CATAPULT_GRAPH_LABEL_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace catapult {
+
+// Bidirectional mapping between string labels (atom symbols such as "C",
+// "N", "O") and dense integer Labels. A GraphDatabase owns one LabelMap so
+// that labels are comparable across its graphs, queries, and patterns.
+class LabelMap {
+ public:
+  LabelMap() = default;
+
+  // Returns the Label for `name`, interning it on first use.
+  Label Intern(const std::string& name);
+
+  // Returns the Label for `name` or kUnknown if never interned.
+  static constexpr Label kUnknown = static_cast<Label>(-1);
+  Label Find(const std::string& name) const;
+
+  // Returns the string for `label`; CHECK-fails on out-of-range labels.
+  const std::string& Name(Label label) const;
+
+  // Number of distinct labels interned so far.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Label> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_GRAPH_LABEL_MAP_H_

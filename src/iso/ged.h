@@ -1,0 +1,44 @@
+#ifndef CATAPULT_ISO_GED_H_
+#define CATAPULT_ISO_GED_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace catapult {
+
+// Options for graph edit distance computation. All edit operations (vertex
+// insertion/deletion/relabelling, edge insertion/deletion) cost 1, the
+// uniform-cost model implied by the paper's use of GED as a structural
+// diversity measure.
+struct GedOptions {
+  // Branch-and-bound node budget (0 = unlimited). When hit, the best upper
+  // bound found so far is returned (still an admissible *upper* bound on the
+  // true distance) and `exact` is reported false via GedResult.
+  uint64_t node_budget = 500000;
+};
+
+// Result of a GED computation.
+struct GedResult {
+  double distance = 0.0;
+  bool exact = true;
+};
+
+// Lower bound on GED(a, b) per Definition 5.1 of the paper:
+//   |V|-term = ||VA|-|VB|| + min(|VA|,|VB|) - |L(VA) ^ L(VB)|
+//   |E|-term = ||EA|-|EB||
+// where L(VA) ^ L(VB) is the multiset intersection of vertex labels (the
+// exact number of vertex substitutions plus insertions/deletions needed,
+// ignoring structure). Cheap: O(|V| log |V|).
+double GedLowerBound(const Graph& a, const Graph& b);
+
+// Exact graph edit distance via depth-first branch-and-bound over vertex
+// assignments, seeded with a greedy upper bound and pruned with label-based
+// lower bounds. Exponential in the worst case; intended for canned-pattern
+// sized graphs (<= ~13 vertices), with anytime fallback under `node_budget`.
+GedResult GraphEditDistance(const Graph& a, const Graph& b,
+                            GedOptions options = {});
+
+}  // namespace catapult
+
+#endif  // CATAPULT_ISO_GED_H_

@@ -1,0 +1,32 @@
+#ifndef CATAPULT_ISO_GED_BIPARTITE_H_
+#define CATAPULT_ISO_GED_BIPARTITE_H_
+
+#include "src/graph/graph.h"
+
+namespace catapult {
+
+// Assignment-based graph edit distance approximation of Riesen, Neuhaus &
+// Bunke [GbRPR'07] - the paper's reference [32] for GED computation.
+//
+// A cost matrix over (a-vertex or deletion) x (b-vertex or insertion) is
+// built, where the cost of mapping u -> v combines the vertex substitution
+// cost with an estimate of the induced edge edit cost (matching the two
+// vertices' incident-edge label multisets); the optimal assignment is found
+// with the Hungarian algorithm in O((|Va|+|Vb|)^3), and the edit operations
+// implied by the assignment are summed.
+//
+// The result is an *upper bound* on the true GED (every assignment induces
+// a valid edit path) that is typically tight for molecule-sized graphs, at
+// polynomial cost - the selector can use it instead of the exponential
+// exact search when pattern sets grow large.
+double BipartiteGed(const Graph& a, const Graph& b);
+
+// Solves the square assignment problem for `cost` (row-major n x n),
+// returning the minimal total cost; `assignment` (optional) receives the
+// column chosen for each row. Exposed for tests.
+double SolveAssignment(const std::vector<double>& cost, size_t n,
+                       std::vector<size_t>* assignment = nullptr);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_ISO_GED_BIPARTITE_H_

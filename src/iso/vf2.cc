@@ -1,0 +1,239 @@
+#include "src/iso/vf2.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace catapult {
+
+namespace {
+
+// Chooses the root of the matching order: rarest label in the target, ties
+// broken by highest pattern degree.
+VertexId PickRoot(const Graph& pattern, const Graph& target) {
+  std::unordered_map<Label, size_t> target_label_count;
+  for (VertexId v = 0; v < target.NumVertices(); ++v) {
+    ++target_label_count[target.VertexLabel(v)];
+  }
+  auto Rarity = [&](VertexId v) {
+    auto it = target_label_count.find(pattern.VertexLabel(v));
+    return it == target_label_count.end() ? size_t{0} : it->second;
+  };
+  VertexId best = 0;
+  for (VertexId v = 1; v < pattern.NumVertices(); ++v) {
+    size_t rv = Rarity(v);
+    size_t rb = Rarity(best);
+    if (rv < rb || (rv == rb && pattern.Degree(v) > pattern.Degree(best))) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SubgraphIsomorphism::SubgraphIsomorphism(const Graph& pattern,
+                                         const Graph& target,
+                                         IsoOptions options)
+    : pattern_(pattern), target_(target), options_(options) {
+  CATAPULT_CHECK(pattern.NumVertices() > 0);
+  if (options_.budget_exhausted != nullptr) {
+    *options_.budget_exhausted = false;
+  }
+  // BFS matching order from the root. The pattern is connected by contract,
+  // so every non-root vertex is discovered from an earlier vertex, which
+  // becomes its anchor: its match constrains the candidate set to the
+  // anchor's target neighbourhood.
+  order_.reserve(pattern_.NumVertices());
+  parent_.assign(pattern_.NumVertices(), -1);   // anchor vertex id, by vertex
+  position_.assign(pattern_.NumVertices(), -1);  // index in order_, by vertex
+  std::deque<VertexId> frontier = {PickRoot(pattern_, target_)};
+  std::vector<bool> discovered(pattern_.NumVertices(), false);
+  discovered[frontier.front()] = true;
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    position_[v] = static_cast<int>(order_.size());
+    order_.push_back(v);
+    for (const Graph::Neighbor& n : pattern_.Neighbors(v)) {
+      if (!discovered[n.to]) {
+        discovered[n.to] = true;
+        parent_[n.to] = static_cast<int>(v);
+        frontier.push_back(n.to);
+      }
+    }
+  }
+  CATAPULT_CHECK_MSG(order_.size() == pattern_.NumVertices(),
+                     "pattern must be connected");
+  mapping_.assign(pattern_.NumVertices(), 0);
+  target_used_.assign(target_.NumVertices(), false);
+}
+
+bool SubgraphIsomorphism::Backtrack(
+    size_t depth, const std::function<bool(const Embedding&)>& visitor,
+    size_t& found) {
+  if (options_.node_budget != 0 && nodes_ >= options_.node_budget) {
+    if (options_.budget_exhausted != nullptr) {
+      *options_.budget_exhausted = true;
+    }
+    return false;  // Abort the whole search.
+  }
+  ++nodes_;
+
+  if (depth == order_.size()) {
+    ++found;
+    return visitor(mapping_);
+  }
+
+  VertexId pv = order_[depth];
+  Label pv_label = pattern_.VertexLabel(pv);
+  size_t pv_degree = pattern_.Degree(pv);
+
+  // Tries to extend the partial embedding with pv -> tv. Returns false only
+  // when the entire search should stop.
+  auto TryCandidate = [&](VertexId tv) -> bool {
+    if (target_used_[tv]) return true;
+    if (target_.VertexLabel(tv) != pv_label) return true;
+    if (target_.Degree(tv) < pv_degree) return true;
+    // Every pattern edge from pv to an already-matched vertex must be
+    // realised in the target.
+    for (const Graph::Neighbor& n : pattern_.Neighbors(pv)) {
+      if (position_[n.to] >= static_cast<int>(depth)) continue;  // unmatched
+      VertexId mapped = mapping_[n.to];
+      if (!target_.HasEdge(tv, mapped)) return true;
+      if (options_.match_edge_labels &&
+          target_.EdgeLabel(tv, mapped) != pattern_.EdgeLabel(pv, n.to)) {
+        return true;
+      }
+    }
+    if (options_.induced) {
+      // Matched pattern vertices non-adjacent to pv must stay non-adjacent.
+      for (size_t d = 0; d < depth; ++d) {
+        VertexId other = order_[d];
+        if (!pattern_.HasEdge(pv, other) &&
+            target_.HasEdge(tv, mapping_[other])) {
+          return true;
+        }
+      }
+    }
+    mapping_[pv] = tv;
+    target_used_[tv] = true;
+    bool keep_going = Backtrack(depth + 1, visitor, found);
+    target_used_[tv] = false;
+    return keep_going;
+  };
+
+  if (depth == 0) {
+    for (VertexId tv = 0; tv < target_.NumVertices(); ++tv) {
+      if (!TryCandidate(tv)) return false;
+    }
+  } else {
+    VertexId anchor = static_cast<VertexId>(parent_[pv]);
+    for (const Graph::Neighbor& n : target_.Neighbors(mapping_[anchor])) {
+      if (!TryCandidate(n.to)) return false;
+    }
+  }
+  return true;
+}
+
+bool SubgraphIsomorphism::Exists() {
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return false;
+  }
+  size_t found = 0;
+  nodes_ = 0;
+  Backtrack(0, [](const Embedding&) { return false; }, found);
+  return found > 0;
+}
+
+size_t SubgraphIsomorphism::Count(size_t cap) {
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return 0;
+  }
+  size_t found = 0;
+  nodes_ = 0;
+  Backtrack(0,
+            [&](const Embedding&) { return cap == 0 || found < cap; },
+            found);
+  return found;
+}
+
+size_t SubgraphIsomorphism::Enumerate(
+    const std::function<bool(const Embedding&)>& visitor) {
+  if (pattern_.NumVertices() > target_.NumVertices() ||
+      pattern_.NumEdges() > target_.NumEdges()) {
+    return 0;
+  }
+  size_t found = 0;
+  nodes_ = 0;
+  Backtrack(0, visitor, found);
+  return found;
+}
+
+bool ContainsSubgraph(const Graph& pattern, const Graph& target,
+                      IsoOptions options) {
+  return SubgraphIsomorphism(pattern, target, options).Exists();
+}
+
+std::vector<Embedding> FindEmbeddings(const Graph& pattern,
+                                      const Graph& target, size_t max_count,
+                                      IsoOptions options) {
+  std::vector<Embedding> embeddings;
+  SubgraphIsomorphism iso(pattern, target, options);
+  iso.Enumerate([&](const Embedding& e) {
+    embeddings.push_back(e);
+    return max_count == 0 || embeddings.size() < max_count;
+  });
+  return embeddings;
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b, IsoOptions options) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  if (a.NumVertices() == 0) return true;
+  if (GraphFingerprint(a) != GraphFingerprint(b)) return false;
+  // With equal vertex and edge counts, an embedding is a bijection covering
+  // all edges, i.e. an isomorphism (induced holds automatically, but is
+  // cheap to enforce and prunes the search).
+  options.induced = true;
+  return ContainsSubgraph(a, b, options);
+}
+
+uint64_t GraphFingerprint(const Graph& g) {
+  // Weisfeiler-Leman style colour refinement hashed into 64 bits. This is an
+  // invariant: isomorphic graphs always produce the same value.
+  auto Mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::vector<uint64_t> color(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    color[v] = Mix(0x12345678ULL, g.VertexLabel(v));
+  }
+  const int kRounds = 3;
+  std::vector<uint64_t> next(g.NumVertices());
+  std::vector<uint64_t> neighbor_colors;
+  for (int round = 0; round < kRounds; ++round) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      neighbor_colors.clear();
+      neighbor_colors.reserve(g.Degree(v));
+      for (const Graph::Neighbor& n : g.Neighbors(v)) {
+        neighbor_colors.push_back(color[n.to]);
+      }
+      std::sort(neighbor_colors.begin(), neighbor_colors.end());
+      uint64_t h = Mix(color[v], 0xABCDEFULL);
+      for (uint64_t c : neighbor_colors) h = Mix(h, c);
+      next[v] = h;
+    }
+    color.swap(next);
+  }
+  std::sort(color.begin(), color.end());
+  uint64_t h = Mix(g.NumVertices(), g.NumEdges());
+  for (uint64_t c : color) h = Mix(h, c);
+  return h;
+}
+
+}  // namespace catapult

@@ -1,0 +1,92 @@
+#ifndef CATAPULT_ISO_VF2_H_
+#define CATAPULT_ISO_VF2_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace catapult {
+
+// Options for subgraph isomorphism search.
+struct IsoOptions {
+  // If true, requires an induced embedding (non-edges of the pattern must map
+  // to non-edges of the target). The paper's containment tests (coverage,
+  // "p is contained in Q") use ordinary subgraph isomorphism, i.e. false.
+  bool induced = false;
+
+  // If true, edge labels must match; otherwise only vertex labels matter
+  // (molecule benchmarks in the paper treat single/double bonds alike, cf.
+  // Example 1.1: "single and double bonds are both represented as unweighted
+  // edges").
+  bool match_edge_labels = false;
+
+  // Backtracking-node budget; 0 means unlimited. When the budget is hit the
+  // search reports "not found" and sets `budget_exhausted` (if provided).
+  uint64_t node_budget = 0;
+  bool* budget_exhausted = nullptr;
+};
+
+// A pattern->target embedding: mapping[i] is the target vertex matched to
+// pattern vertex i.
+using Embedding = std::vector<VertexId>;
+
+// VF2-style backtracking subgraph isomorphism.
+//
+// The matching order is a BFS order of the pattern rooted at its most
+// constrained vertex (rarest label, then highest degree), so every vertex
+// after the first is matched adjacent to already-matched vertices; candidate
+// target vertices are filtered by label, degree, and adjacency consistency.
+class SubgraphIsomorphism {
+ public:
+  // `pattern` must be connected and non-empty.
+  SubgraphIsomorphism(const Graph& pattern, const Graph& target,
+                      IsoOptions options = {});
+
+  // True if at least one embedding exists.
+  bool Exists();
+
+  // Number of embeddings, stopping early at `cap` (0 = no cap). Note that
+  // automorphic images count separately.
+  size_t Count(size_t cap);
+
+  // Invokes `visitor` for each embedding until it returns false or the
+  // search space is exhausted. Returns the number of embeddings visited.
+  size_t Enumerate(const std::function<bool(const Embedding&)>& visitor);
+
+ private:
+  bool Backtrack(size_t depth, const std::function<bool(const Embedding&)>& visitor,
+                 size_t& found);
+
+  const Graph& pattern_;
+  const Graph& target_;
+  IsoOptions options_;
+  std::vector<VertexId> order_;  // pattern vertices in matching order
+  std::vector<int> parent_;      // BFS anchor vertex id, indexed by vertex
+  std::vector<int> position_;    // index in order_, indexed by vertex
+  Embedding mapping_;                    // pattern vertex -> target vertex
+  std::vector<bool> target_used_;
+  uint64_t nodes_ = 0;
+};
+
+// Convenience: true if `pattern` has an embedding in `target`.
+bool ContainsSubgraph(const Graph& pattern, const Graph& target,
+                      IsoOptions options = {});
+
+// Convenience: up to `max_count` embeddings of `pattern` in `target`.
+std::vector<Embedding> FindEmbeddings(const Graph& pattern,
+                                      const Graph& target, size_t max_count,
+                                      IsoOptions options = {});
+
+// True if `a` and `b` are isomorphic as labelled graphs.
+bool AreIsomorphic(const Graph& a, const Graph& b, IsoOptions options = {});
+
+// Isomorphism-invariant 64-bit fingerprint (colour-refinement hash). Equal
+// graphs hash equal; unequal hashes imply non-isomorphism. Used to bucket
+// candidates before exact isomorphism checks in mining and deduplication.
+uint64_t GraphFingerprint(const Graph& g);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_ISO_VF2_H_

@@ -1,0 +1,100 @@
+#include "src/mining/frequent_edges.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/iso/vf2.h"
+
+namespace catapult {
+
+std::vector<RankedEdge> RankEdgesBySupport(const GraphDatabase& db) {
+  auto support_map = db.EdgeLabelSupport();
+  std::vector<RankedEdge> ranked;
+  ranked.reserve(support_map.size());
+  for (const auto& [key, support] : support_map) {
+    ranked.push_back({key, support});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedEdge& a, const RankedEdge& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.key < b.key;
+            });
+  return ranked;
+}
+
+std::vector<Graph> TopFrequentEdgePatterns(const GraphDatabase& db,
+                                           size_t k) {
+  std::vector<Graph> patterns;
+  for (const RankedEdge& e : RankEdgesBySupport(db)) {
+    if (patterns.size() >= k) break;
+    Graph g;
+    VertexId a = g.AddVertex(static_cast<Label>(e.key >> 32));
+    VertexId b = g.AddVertex(static_cast<Label>(e.key & 0xFFFFFFFFULL));
+    g.AddEdge(a, b);
+    patterns.push_back(std::move(g));
+  }
+  return patterns;
+}
+
+std::vector<Graph> TopBasicPatterns(const GraphDatabase& db, size_t m) {
+  // Single edges: reuse the ranking. 2-paths: count support of distinct
+  // (label, center-label, label) triples per graph.
+  struct Scored {
+    Graph pattern;
+    size_t support;
+  };
+  std::vector<Scored> scored;
+  for (const RankedEdge& e : RankEdgesBySupport(db)) {
+    Graph g;
+    VertexId a = g.AddVertex(static_cast<Label>(e.key >> 32));
+    VertexId b = g.AddVertex(static_cast<Label>(e.key & 0xFFFFFFFFULL));
+    g.AddEdge(a, b);
+    scored.push_back({std::move(g), e.support});
+  }
+
+  // 2-path key: (min(end labels), center label, max(end labels)).
+  std::map<std::tuple<Label, Label, Label>, size_t> path_support;
+  for (const Graph& g : db.graphs()) {
+    std::unordered_set<uint64_t> seen;  // per-graph dedup of packed triples
+    for (VertexId c = 0; c < g.NumVertices(); ++c) {
+      const auto& nbrs = g.Neighbors(c);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          Label e1 = g.VertexLabel(nbrs[i].to);
+          Label e2 = g.VertexLabel(nbrs[j].to);
+          if (e1 > e2) std::swap(e1, e2);
+          uint64_t packed = (static_cast<uint64_t>(e1) << 42) ^
+                            (static_cast<uint64_t>(g.VertexLabel(c)) << 21) ^
+                            e2;
+          if (seen.insert(packed).second) {
+            ++path_support[{e1, g.VertexLabel(c), e2}];
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [key, support] : path_support) {
+    auto [e1, center, e2] = key;
+    Graph g;
+    VertexId a = g.AddVertex(e1);
+    VertexId c = g.AddVertex(center);
+    VertexId b = g.AddVertex(e2);
+    g.AddEdge(a, c);
+    g.AddEdge(c, b);
+    scored.push_back({std::move(g), support});
+  }
+
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.support > b.support;
+                   });
+  std::vector<Graph> result;
+  for (Scored& s : scored) {
+    if (result.size() >= m) break;
+    result.push_back(std::move(s.pattern));
+  }
+  return result;
+}
+
+}  // namespace catapult

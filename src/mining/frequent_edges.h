@@ -1,0 +1,31 @@
+#ifndef CATAPULT_MINING_FREQUENT_EDGES_H_
+#define CATAPULT_MINING_FREQUENT_EDGES_H_
+
+#include <vector>
+
+#include "src/graph/graph_database.h"
+
+namespace catapult {
+
+// A labelled edge ranked by the number of data graphs containing it.
+struct RankedEdge {
+  EdgeLabelKey key = 0;
+  size_t support = 0;  // |L(e, D)|
+};
+
+// Labelled edges of `db` in decreasing support order (ties broken by key for
+// determinism). Exp 5 compares Catapult's pattern set against the top-|P|
+// entries of this ranking.
+std::vector<RankedEdge> RankEdgesBySupport(const GraphDatabase& db);
+
+// Materialises the top-`k` ranked edges as 1-edge pattern graphs.
+std::vector<Graph> TopFrequentEdgePatterns(const GraphDatabase& db, size_t k);
+
+// Top-m basic patterns for the GUI (Section 3.2 remark): single labelled
+// edges and labelled 2-paths ranked by support. Sizes 1-2 are below eta_min
+// and are exposed separately from canned patterns.
+std::vector<Graph> TopBasicPatterns(const GraphDatabase& db, size_t m);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_MINING_FREQUENT_EDGES_H_

@@ -1,0 +1,201 @@
+#include "src/mining/subgraph_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/iso/vf2.h"
+#include "src/util/check.h"
+
+namespace catapult {
+
+namespace {
+
+// Deduplication table keyed by isomorphism-invariant fingerprints, with
+// exact isomorphism checks within buckets.
+class IsoDeduper {
+ public:
+  // Returns true if `g` was not seen before (and records it).
+  bool Insert(const Graph& g) {
+    uint64_t fp = GraphFingerprint(g);
+    auto& bucket = buckets_[fp];
+    for (const Graph& seen : bucket) {
+      if (AreIsomorphic(seen, g)) return false;
+    }
+    bucket.push_back(g);
+    return true;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Graph>> buckets_;
+};
+
+}  // namespace
+
+std::vector<FrequentSubgraph> MineFrequentSubgraphs(
+    const GraphDatabase& db, const SubgraphMinerOptions& options) {
+  std::vector<FrequentSubgraph> results;
+  const size_t universe = db.size();
+  if (universe == 0) return results;
+  const size_t min_count = static_cast<size_t>(
+      std::max(1.0, options.min_support * static_cast<double>(universe)));
+
+  // Level 1: frequent labelled edges.
+  std::unordered_map<EdgeLabelKey, DynamicBitset> edge_support;
+  for (GraphId i = 0; i < universe; ++i) {
+    const Graph& g = db.graph(i);
+    std::unordered_set<EdgeLabelKey> seen;
+    for (const Edge& e : g.EdgeList()) seen.insert(g.EdgeKey(e.u, e.v));
+    for (EdgeLabelKey key : seen) {
+      auto [it, inserted] =
+          edge_support.try_emplace(key, DynamicBitset(universe));
+      it->second.Set(i);
+    }
+  }
+  std::unordered_map<Label, size_t> vertex_label_count;
+  for (GraphId i = 0; i < universe; ++i) {
+    const Graph& g = db.graph(i);
+    std::unordered_set<Label> seen;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      seen.insert(g.VertexLabel(v));
+    }
+    for (Label l : seen) ++vertex_label_count[l];
+  }
+  std::vector<Label> frequent_labels;
+  for (const auto& [label, count] : vertex_label_count) {
+    if (count >= min_count) frequent_labels.push_back(label);
+  }
+  std::sort(frequent_labels.begin(), frequent_labels.end());
+
+  std::vector<FrequentSubgraph> frontier;
+  for (const auto& [key, support] : edge_support) {
+    if (support.Count() < min_count) continue;
+    Graph g;
+    VertexId a = g.AddVertex(static_cast<Label>(key >> 32));
+    VertexId b = g.AddVertex(static_cast<Label>(key & 0xFFFFFFFFULL));
+    g.AddEdge(a, b);
+    FrequentSubgraph fs;
+    fs.graph = std::move(g);
+    fs.frequency =
+        static_cast<double>(support.Count()) / static_cast<double>(universe);
+    fs.support = support;
+    frontier.push_back(std::move(fs));
+  }
+
+  while (!frontier.empty()) {
+    for (const FrequentSubgraph& fs : frontier) {
+      if (fs.graph.NumEdges() >= options.min_edges) results.push_back(fs);
+    }
+    if (frontier.front().graph.NumEdges() >= options.max_edges) break;
+
+    IsoDeduper deduper;
+    struct Candidate {
+      Graph graph;
+      const DynamicBitset* parent_support;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<size_t> parent_order(frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) parent_order[i] = i;
+    std::stable_sort(parent_order.begin(), parent_order.end(),
+                     [&](size_t l, size_t r) {
+                       return frontier[l].frequency > frontier[r].frequency;
+                     });
+    for (size_t pi : parent_order) {
+      const FrequentSubgraph& parent = frontier[pi];
+      if (options.max_candidates_per_level != 0 &&
+          candidates.size() >= options.max_candidates_per_level) {
+        break;
+      }
+      // (a) Attach a new labelled leaf anywhere.
+      for (VertexId attach = 0; attach < parent.graph.NumVertices();
+           ++attach) {
+        for (Label label : frequent_labels) {
+          Graph extended = parent.graph;
+          VertexId leaf = extended.AddVertex(label);
+          extended.AddEdge(attach, leaf);
+          if (deduper.Insert(extended)) {
+            candidates.push_back({std::move(extended), &parent.support});
+          }
+        }
+      }
+      // (b) Close a cycle between two existing non-adjacent vertices.
+      for (VertexId u = 0; u < parent.graph.NumVertices(); ++u) {
+        for (VertexId v = u + 1; v < parent.graph.NumVertices(); ++v) {
+          if (parent.graph.HasEdge(u, v)) continue;
+          Graph extended = parent.graph;
+          extended.AddEdge(u, v);
+          if (deduper.Insert(extended)) {
+            candidates.push_back({std::move(extended), &parent.support});
+          }
+        }
+      }
+    }
+
+    std::vector<FrequentSubgraph> next;
+    for (Candidate& c : candidates) {
+      DynamicBitset support(universe);
+      for (size_t i = 0; i < universe; ++i) {
+        if (!c.parent_support->Test(i)) continue;
+        if (ContainsSubgraph(c.graph, db.graph(static_cast<GraphId>(i)))) {
+          support.Set(i);
+        }
+      }
+      if (support.Count() < min_count) continue;
+      FrequentSubgraph fs;
+      fs.frequency = static_cast<double>(support.Count()) /
+                     static_cast<double>(universe);
+      fs.graph = std::move(c.graph);
+      fs.support = std::move(support);
+      next.push_back(std::move(fs));
+    }
+    frontier = std::move(next);
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const FrequentSubgraph& a, const FrequentSubgraph& b) {
+                     return a.frequency > b.frequency;
+                   });
+  if (options.max_results != 0 && results.size() > options.max_results) {
+    results.resize(options.max_results);
+  }
+  return results;
+}
+
+std::vector<Graph> FrequentSubgraphPatternSet(
+    const std::vector<FrequentSubgraph>& mined, size_t total,
+    size_t min_edges, size_t max_edges) {
+  CATAPULT_CHECK(max_edges >= min_edges);
+  size_t per_size = std::max<size_t>(
+      1, total / (max_edges - min_edges + 1));
+  std::unordered_map<size_t, size_t> taken;  // size -> count
+  std::vector<Graph> patterns;
+  for (const FrequentSubgraph& fs : mined) {  // already most-frequent first
+    size_t size = fs.graph.NumEdges();
+    if (size < min_edges || size > max_edges) continue;
+    if (taken[size] >= per_size) continue;
+    if (patterns.size() >= total) break;
+    patterns.push_back(fs.graph);
+    ++taken[size];
+  }
+  // If some sizes were underpopulated, backfill with the most frequent
+  // remaining patterns regardless of per-size caps.
+  if (patterns.size() < total) {
+    for (const FrequentSubgraph& fs : mined) {
+      if (patterns.size() >= total) break;
+      size_t size = fs.graph.NumEdges();
+      if (size < min_edges || size > max_edges) continue;
+      bool already = false;
+      for (const Graph& p : patterns) {
+        if (p.NumEdges() == fs.graph.NumEdges() &&
+            AreIsomorphic(p, fs.graph)) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) patterns.push_back(fs.graph);
+    }
+  }
+  return patterns;
+}
+
+}  // namespace catapult

@@ -1,0 +1,61 @@
+#ifndef CATAPULT_MINING_SUBTREE_MINER_H_
+#define CATAPULT_MINING_SUBTREE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph_database.h"
+#include "src/util/bitset.h"
+
+namespace catapult {
+
+// Options for frequent free-tree mining (Section 4.1; Chi et al. style
+// pattern growth with canonical-form deduplication).
+struct SubtreeMinerOptions {
+  // Minimum relative support (fraction of graphs containing the subtree).
+  double min_support = 0.1;
+
+  // Maximum subtree size in edges. Frequent subtrees are clustering
+  // features; small trees already capture the crucial topology (paper
+  // footnote 8) while keeping mining cheap.
+  size_t max_edges = 3;
+
+  // Hard cap on the number of frequent subtrees returned (most frequent
+  // kept; 0 = unlimited).
+  size_t max_results = 0;
+
+  // Cap on candidates expanded per level, to bound worst-case mining time
+  // (0 = unlimited). Candidates with the highest parent support are kept.
+  size_t max_candidates_per_level = 5000;
+};
+
+// A mined frequent subtree with its support set.
+struct FrequentSubtree {
+  Graph tree;
+  std::string canonical;   // CanonicalTreeString(tree)
+  DynamicBitset support;   // bit i set iff graph i contains the subtree
+  double frequency = 0.0;  // |support| / universe size
+};
+
+// Mines frequent free subtrees of the graphs in `db` whose ids are listed in
+// `graph_ids` (support is measured against graph_ids.size()). Pattern
+// growth: frequent labelled edges seed level 1; each level-k tree is
+// extended by attaching one new labelled leaf at every position, candidates
+// are deduplicated by canonical string, and support is counted by subgraph
+// isomorphism restricted to the parent's support set (anti-monotonicity).
+std::vector<FrequentSubtree> MineFrequentSubtrees(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SubtreeMinerOptions& options);
+
+// Convenience overload over the whole database.
+std::vector<FrequentSubtree> MineFrequentSubtrees(
+    const GraphDatabase& db, const SubtreeMinerOptions& options);
+
+// Recounts the support of `tree` over the full database (used after eager
+// sampling: mine with a lowered threshold on the sample, then verify with
+// the original threshold on D; Section 4.3).
+DynamicBitset CountSupport(const Graph& tree, const GraphDatabase& db);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_MINING_SUBTREE_MINER_H_

@@ -1,0 +1,84 @@
+#include "src/sample/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace catapult {
+
+size_t EagerSampleSize(const EagerSamplingOptions& options) {
+  CATAPULT_CHECK(options.epsilon > 0.0 && options.rho > 0.0 &&
+                 options.rho < 1.0);
+  double size = 1.0 / (2.0 * options.epsilon * options.epsilon) *
+                std::log(2.0 / options.rho);
+  return static_cast<size_t>(std::ceil(size));
+}
+
+double LoweredSupportThreshold(double min_support, size_t sample_size,
+                               const EagerSamplingOptions& options) {
+  CATAPULT_CHECK(sample_size > 0);
+  CATAPULT_CHECK(options.phi > 0.0 && options.phi < 1.0);
+  double slack = std::sqrt(1.0 / (2.0 * static_cast<double>(sample_size)) *
+                           std::log(1.0 / options.phi));
+  double lowered = min_support - slack;
+  // Keep the threshold strictly positive: a zero threshold would make the
+  // miner enumerate everything.
+  return std::clamp(lowered, std::min(0.01, min_support), min_support);
+}
+
+std::vector<GraphId> EagerSample(size_t db_size,
+                                 const EagerSamplingOptions& options,
+                                 Rng& rng) {
+  size_t target = EagerSampleSize(options);
+  std::vector<size_t> indices = rng.SampleIndices(db_size, target);
+  std::vector<GraphId> ids;
+  ids.reserve(indices.size());
+  for (size_t i : indices) ids.push_back(static_cast<GraphId>(i));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t CochranSampleSize(const LazySamplingOptions& options) {
+  double q = 1.0 - options.p;
+  double size = options.z * options.z * options.p * q /
+                (options.e * options.e);
+  return static_cast<size_t>(std::ceil(size));
+}
+
+size_t LazySampleSize(size_t total_population, size_t cluster_size,
+                      const LazySamplingOptions& options) {
+  CATAPULT_CHECK(total_population > 0);
+  double sample = static_cast<double>(CochranSampleSize(options)) /
+                  static_cast<double>(total_population) *
+                  static_cast<double>(cluster_size);
+  size_t rounded = static_cast<size_t>(std::ceil(sample));
+  return std::clamp<size_t>(rounded, 1, cluster_size);
+}
+
+std::vector<std::vector<GraphId>> LazySampleClusters(
+    const std::vector<std::vector<GraphId>>& clusters,
+    size_t total_population, const LazySamplingOptions& options, Rng& rng) {
+  std::vector<std::vector<GraphId>> result;
+  result.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    if (cluster.size() <= options.min_cluster_size_to_sample) {
+      result.push_back(cluster);
+      continue;
+    }
+    size_t target =
+        LazySampleSize(total_population, cluster.size(), options);
+    if (target >= cluster.size()) {
+      result.push_back(cluster);
+      continue;
+    }
+    std::vector<size_t> picks = rng.SampleIndices(cluster.size(), target);
+    std::vector<GraphId> sampled;
+    sampled.reserve(picks.size());
+    for (size_t i : picks) sampled.push_back(cluster[i]);
+    result.push_back(std::move(sampled));
+  }
+  return result;
+}
+
+}  // namespace catapult

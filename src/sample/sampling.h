@@ -1,0 +1,69 @@
+#ifndef CATAPULT_SAMPLE_SAMPLING_H_
+#define CATAPULT_SAMPLE_SAMPLING_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace catapult {
+
+// Eager sampling (Section 4.3): a uniform random sample drawn *before*
+// clustering, sized by the Toivonen bound so that frequent-subtree
+// frequencies in the sample deviate from the truth by more than `epsilon`
+// with probability at most `rho`.
+struct EagerSamplingOptions {
+  double epsilon = 0.02;  // error bound on subtree frequency
+  double rho = 0.01;      // probability of exceeding epsilon
+
+  // Probability that a truly frequent subtree is missed when mining the
+  // sample at the lowered threshold (Lemma 4.4's phi).
+  double phi = 0.01;
+};
+
+// |S_eager| >= 1/(2 eps^2) * ln(2/rho). Independent of |D|.
+size_t EagerSampleSize(const EagerSamplingOptions& options);
+
+// Lowered support threshold for mining the sample (Lemma 4.4):
+// low_fr = min_fr - sqrt(1/(2 |S|) * ln(1/phi)), clamped to (0, min_fr].
+double LoweredSupportThreshold(double min_support, size_t sample_size,
+                               const EagerSamplingOptions& options);
+
+// Draws the eager sample: min(EagerSampleSize(), db_size) distinct graph
+// ids. When the database is smaller than the bound, sampling is a no-op and
+// all ids are returned.
+std::vector<GraphId> EagerSample(size_t db_size,
+                                 const EagerSamplingOptions& options,
+                                 Rng& rng);
+
+// Lazy sampling (Section 4.3 / Lemma 4.5): proportional stratified sampling
+// of oversized coarse clusters.
+struct LazySamplingOptions {
+  double p = 0.5;   // estimated proportion sampled
+  double z = 1.65;  // normal abscissa for the desired confidence (95%)
+  double e = 0.03;  // desired precision
+
+  // Clusters at or below this size are kept whole; only larger clusters are
+  // down-sampled (sampling a 5-graph cluster to 2 would only destroy
+  // signal).
+  size_t min_cluster_size_to_sample = 50;
+};
+
+// Cochran representative sample size for the whole population:
+// |S_sample| = z^2 p q / e^2.
+size_t CochranSampleSize(const LazySamplingOptions& options);
+
+// Lemma 4.5: |S_lazy(C)| = |S_sample| / |D| * |C| (at least 1).
+size_t LazySampleSize(size_t total_population, size_t cluster_size,
+                      const LazySamplingOptions& options);
+
+// Applies lazy sampling to every cluster: clusters larger than the
+// threshold are reduced to their Lemma 4.5 size by uniform sampling without
+// replacement; others pass through unchanged.
+std::vector<std::vector<GraphId>> LazySampleClusters(
+    const std::vector<std::vector<GraphId>>& clusters,
+    size_t total_population, const LazySamplingOptions& options, Rng& rng);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_SAMPLE_SAMPLING_H_

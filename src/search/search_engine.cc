@@ -1,0 +1,123 @@
+#include "src/search/search_engine.h"
+
+#include <unordered_set>
+
+namespace catapult {
+
+SubgraphSearchEngine::SubgraphSearchEngine(const GraphDatabase& db)
+    : db_(&db) {
+  const size_t n = db.size();
+  vertex_counts_.resize(n);
+  edge_counts_.resize(n);
+  for (GraphId i = 0; i < n; ++i) {
+    const Graph& g = db.graph(i);
+    vertex_counts_[i] = static_cast<uint32_t>(g.NumVertices());
+    edge_counts_[i] = static_cast<uint32_t>(g.NumEdges());
+    std::unordered_set<EdgeLabelKey> seen;
+    for (const Edge& e : g.EdgeList()) seen.insert(g.EdgeKey(e.u, e.v));
+    for (EdgeLabelKey key : seen) {
+      auto [it, inserted] = edge_index_.try_emplace(key, DynamicBitset(n));
+      it->second.Set(i);
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      auto [it, inserted] = label_counts_.try_emplace(
+          g.VertexLabel(v), std::vector<uint32_t>(n, 0));
+      ++it->second[i];
+    }
+  }
+}
+
+DynamicBitset SubgraphSearchEngine::FilterCandidates(
+    const Graph& query) const {
+  const size_t n = db_->size();
+  DynamicBitset candidates(n);
+  if (n == 0 || query.NumVertices() == 0) return candidates;
+
+  // Start from the rarest labelled-edge posting list (or everything for a
+  // single-vertex query), then intersect the rest.
+  std::unordered_set<EdgeLabelKey> keys;
+  for (const Edge& e : query.EdgeList()) keys.insert(query.EdgeKey(e.u, e.v));
+
+  bool initialised = false;
+  for (EdgeLabelKey key : keys) {
+    auto it = edge_index_.find(key);
+    if (it == edge_index_.end()) return DynamicBitset(n);  // label absent
+    if (!initialised) {
+      candidates = it->second;
+      initialised = true;
+    } else {
+      candidates &= it->second;
+    }
+  }
+  if (!initialised) {
+    // Vertex-only query: all graphs are candidates so far.
+    for (size_t i = 0; i < n; ++i) candidates.Set(i);
+  }
+
+  // Label-count and size filters.
+  std::unordered_map<Label, uint32_t> needed;
+  for (VertexId v = 0; v < query.NumVertices(); ++v) {
+    ++needed[query.VertexLabel(v)];
+  }
+  for (size_t i : candidates.ToIndices()) {
+    bool keep = vertex_counts_[i] >= query.NumVertices() &&
+                edge_counts_[i] >= query.NumEdges();
+    if (keep) {
+      for (const auto& [label, count] : needed) {
+        auto it = label_counts_.find(label);
+        if (it == label_counts_.end() || it->second[i] < count) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    if (!keep) candidates.Clear(i);
+  }
+  return candidates;
+}
+
+std::vector<GraphId> SubgraphSearchEngine::Search(const Graph& query,
+                                                  IsoOptions options) const {
+  std::vector<GraphId> results;
+  for (size_t i : FilterCandidates(query).ToIndices()) {
+    if (ContainsSubgraph(query, db_->graph(static_cast<GraphId>(i)),
+                         options)) {
+      results.push_back(static_cast<GraphId>(i));
+    }
+  }
+  return results;
+}
+
+size_t SubgraphSearchEngine::CountMatches(const Graph& query, size_t cap,
+                                          IsoOptions options) const {
+  size_t count = 0;
+  for (size_t i : FilterCandidates(query).ToIndices()) {
+    if (ContainsSubgraph(query, db_->graph(static_cast<GraphId>(i)),
+                         options)) {
+      ++count;
+      if (cap != 0 && count >= cap) return count;
+    }
+  }
+  return count;
+}
+
+double ExactSubgraphCoverage(const SubgraphSearchEngine& engine,
+                             const std::vector<Graph>& patterns,
+                             IsoOptions options) {
+  const size_t n = engine.db().size();
+  if (n == 0) return 0.0;
+  DynamicBitset covered(n);
+  for (const Graph& p : patterns) {
+    if (p.NumVertices() == 0) continue;
+    for (size_t i : engine.FilterCandidates(p).ToIndices()) {
+      if (covered.Test(i)) continue;
+      if (ContainsSubgraph(p, engine.db().graph(static_cast<GraphId>(i)),
+                           options)) {
+        covered.Set(i);
+      }
+    }
+  }
+  return static_cast<double>(covered.Count()) / static_cast<double>(n);
+}
+
+}  // namespace catapult

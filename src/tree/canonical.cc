@@ -1,0 +1,178 @@
+#include "src/tree/canonical.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/graph/algorithms.h"
+#include "src/util/check.h"
+
+namespace catapult {
+
+namespace {
+
+// Recursive canonical key of the subtree rooted at `v` with parent `parent`.
+// Children are sorted by (edge label, child key); the key uniquely encodes
+// the rooted labelled subtree.
+std::string SubtreeKey(const Graph& tree, VertexId v, int parent) {
+  struct Child {
+    Label edge_label;
+    std::string key;
+  };
+  std::vector<Child> children;
+  for (const Graph::Neighbor& n : tree.Neighbors(v)) {
+    if (static_cast<int>(n.to) == parent) continue;
+    children.push_back(
+        {n.edge_label, SubtreeKey(tree, n.to, static_cast<int>(v))});
+  }
+  std::sort(children.begin(), children.end(),
+            [](const Child& a, const Child& b) {
+              if (a.edge_label != b.edge_label) {
+                return a.edge_label < b.edge_label;
+              }
+              return a.key < b.key;
+            });
+  std::ostringstream out;
+  out << tree.VertexLabel(v) << "(";
+  for (const Child& c : children) out << c.edge_label << ":" << c.key << ";";
+  out << ")";
+  return out.str();
+}
+
+// Children of each vertex under rooting at `root`, ordered canonically.
+struct RootedView {
+  std::vector<std::vector<VertexId>> children;  // ordered canonically
+  std::vector<Label> child_edge_label;          // edge label to parent
+};
+
+RootedView BuildRootedView(const Graph& tree, VertexId root) {
+  RootedView view;
+  view.children.assign(tree.NumVertices(), {});
+  view.child_edge_label.assign(tree.NumVertices(), 0);
+  // BFS to establish parents.
+  std::vector<int> parent(tree.NumVertices(), -2);
+  std::deque<VertexId> frontier = {root};
+  parent[root] = -1;
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    for (const Graph::Neighbor& n : tree.Neighbors(v)) {
+      if (parent[n.to] == -2) {
+        parent[n.to] = static_cast<int>(v);
+        view.children[v].push_back(n.to);
+        view.child_edge_label[n.to] = n.edge_label;
+        frontier.push_back(n.to);
+      }
+    }
+  }
+  // Canonical child ordering via recursive keys.
+  for (VertexId v = 0; v < tree.NumVertices(); ++v) {
+    std::stable_sort(view.children[v].begin(), view.children[v].end(),
+                     [&](VertexId a, VertexId b) {
+                       if (view.child_edge_label[a] !=
+                           view.child_edge_label[b]) {
+                         return view.child_edge_label[a] <
+                                view.child_edge_label[b];
+                       }
+                       return SubtreeKey(tree, a, static_cast<int>(v)) <
+                              SubtreeKey(tree, b, static_cast<int>(v));
+                     });
+  }
+  return view;
+}
+
+// Emits the breadth-first '$'-delimited canonical string for the rooting.
+std::string EmitBfsString(const Graph& tree, VertexId root,
+                          const RootedView& view) {
+  std::ostringstream out;
+  out << tree.VertexLabel(root);
+  std::deque<VertexId> frontier = {root};
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop_front();
+    if (tree.NumVertices() > 1) {
+      out << "$";
+      bool first = true;
+      for (VertexId c : view.children[v]) {
+        if (!first) out << ",";
+        first = false;
+        out << view.child_edge_label[c] << "." << tree.VertexLabel(c);
+        frontier.push_back(c);
+      }
+    }
+  }
+  out << "#";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<VertexId> TreeCenters(const Graph& tree) {
+  CATAPULT_CHECK(tree.NumVertices() > 0);
+  CATAPULT_CHECK_MSG(IsTree(tree), "TreeCenters requires a tree");
+  size_t n = tree.NumVertices();
+  if (n == 1) return {0};
+  std::vector<size_t> degree(n);
+  std::vector<bool> removed(n, false);
+  std::deque<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = tree.Degree(v);
+    if (degree[v] <= 1) leaves.push_back(v);
+  }
+  size_t remaining = n;
+  while (remaining > 2) {
+    std::deque<VertexId> next;
+    for (VertexId leaf : leaves) {
+      removed[leaf] = true;
+      --remaining;
+      for (const Graph::Neighbor& nb : tree.Neighbors(leaf)) {
+        if (!removed[nb.to] && --degree[nb.to] == 1) {
+          next.push_back(nb.to);
+        }
+      }
+    }
+    leaves = std::move(next);
+  }
+  std::vector<VertexId> centers;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!removed[v]) centers.push_back(v);
+  }
+  return centers;
+}
+
+std::string CanonicalTreeString(const Graph& tree) {
+  std::vector<VertexId> centers = TreeCenters(tree);
+  std::string best;
+  for (VertexId root : centers) {
+    RootedView view = BuildRootedView(tree, root);
+    std::string candidate = EmitBfsString(tree, root, view);
+    if (best.empty() || candidate < best) best = candidate;
+  }
+  return best;
+}
+
+size_t LongestCommonSubsequence(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling single-row DP.
+  std::vector<size_t> row(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = 0;  // row[j-1] from the previous iteration of i
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      row[j] = (a[i - 1] == b[j - 1]) ? diag + 1 : std::max(row[j], row[j - 1]);
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+double SubtreeSimilarity(const std::string& canonical_a,
+                         const std::string& canonical_b) {
+  size_t longer = std::max(canonical_a.size(), canonical_b.size());
+  if (longer == 0) return 1.0;
+  return static_cast<double>(
+             LongestCommonSubsequence(canonical_a, canonical_b)) /
+         static_cast<double>(longer);
+}
+
+}  // namespace catapult

@@ -1,0 +1,45 @@
+#ifndef CATAPULT_TREE_CANONICAL_H_
+#define CATAPULT_TREE_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace catapult {
+
+// Center vertex/vertices of a free tree (1 or 2, by repeated leaf removal).
+// `tree` must satisfy IsTree() and be non-empty.
+std::vector<VertexId> TreeCenters(const Graph& tree);
+
+// Canonical string of a labelled free tree (Section 4.1 / Figure 5).
+//
+// The tree is rooted at its center (for bicentric trees, both rootings are
+// tried and the lexicographically smaller string wins), children are ordered
+// bottom-up by their canonical subtree keys (the normalisation step of
+// Figure 5), and the result is emitted level-by-level breadth-first in the
+// paper's format: the root label, then one '$'-preceded family per vertex in
+// BFS order listing "<edge-label>.<child-label>" entries separated by ',',
+// and a final '#'. Unlike the paper's pretty-printed example, empty families
+// of leaves are emitted too (a bare '$'): dropping them would make the
+// encoding ambiguous between different parents. Numeric labels are rendered
+// in decimal; the separators make the encoding injective.
+//
+// Two labelled free trees are isomorphic iff their canonical strings are
+// equal.
+std::string CanonicalTreeString(const Graph& tree);
+
+// Length of the longest common subsequence of `a` and `b`. O(|a| * |b|).
+size_t LongestCommonSubsequence(const std::string& a, const std::string& b);
+
+// Subtree similarity sigma(i, j) = |lcs(ci, cj)| / max(|ci|, |cj|) over the
+// canonical strings ci, cj (Section 4.1; the longest common subtree is
+// approximated by the longest common subsequence of the canonical strings,
+// which upper-bounds it and is exact for shared prefixes/suffixes of
+// families). Returns 1 for two empty strings.
+double SubtreeSimilarity(const std::string& canonical_a,
+                         const std::string& canonical_b);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_TREE_CANONICAL_H_

@@ -1,0 +1,35 @@
+#ifndef CATAPULT_UTIL_CHECK_H_
+#define CATAPULT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight runtime assertions for programmer errors. These are enabled in
+// all build types: the library's contracts (e.g. "vertex id must be in
+// range") are cheap to verify relative to the NP-hard work done around them,
+// and silent memory corruption in a research codebase is far more expensive
+// than the check.
+
+// Aborts with a message when `condition` is false.
+#define CATAPULT_CHECK(condition)                                          \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CATAPULT_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+// Aborts with a formatted message when `condition` is false.
+#define CATAPULT_CHECK_MSG(condition, ...)                                 \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "CATAPULT_CHECK failed at %s:%d: %s: ",         \
+                   __FILE__, __LINE__, #condition);                        \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // CATAPULT_UTIL_CHECK_H_

@@ -1,0 +1,98 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace catapult {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  CATAPULT_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInRange(int64_t lo, int64_t hi) {
+  CATAPULT_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformReal() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformReal() < p; }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    CATAPULT_CHECK(w >= 0.0 && std::isfinite(w));
+    total += w;
+  }
+  CATAPULT_CHECK_MSG(total > 0.0, "all weights are zero");
+  double target = UniformReal() * total;
+  double acc = 0.0;
+  size_t last_positive = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    last_positive = i;
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return last_positive;  // Floating-point slack: fall back to the last one.
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> result;
+  if (k >= n) {
+    result.resize(n);
+    for (size_t i = 0; i < n; ++i) result[i] = i;
+    return result;
+  }
+  result.reserve(k);
+  for (size_t i = 0; i < n; ++i) {
+    if (result.size() < k) {
+      result.push_back(i);
+    } else {
+      size_t j = UniformInt(i + 1);
+      if (j < k) result[j] = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace catapult

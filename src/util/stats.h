@@ -1,0 +1,26 @@
+#ifndef CATAPULT_UTIL_STATS_H_
+#define CATAPULT_UTIL_STATS_H_
+
+#include <vector>
+
+namespace catapult {
+
+// Summary statistics over a sample. All functions tolerate empty input by
+// returning 0 (the benchmark harnesses print aggregates over possibly-empty
+// query subsets, e.g. "all queries that used at least one pattern").
+double Mean(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+double Min(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+// p in [0, 100]; linear interpolation between closest ranks.
+double Percentile(std::vector<double> values, double p);
+
+// Kendall rank correlation coefficient (tau-a) between two equally sized
+// score vectors. Used by Exp 10 to compare cognitive-load measures against
+// observed task-time ranks. Returns 0 for fewer than two items.
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_UTIL_STATS_H_

@@ -1,0 +1,32 @@
+#ifndef CATAPULT_UTIL_TIMER_H_
+#define CATAPULT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace catapult {
+
+// Simple wall-clock stopwatch used by the benchmark harnesses to report the
+// paper's timing measures (clustering time, pattern generation time).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_UTIL_TIMER_H_

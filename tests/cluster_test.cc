@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/facility_location.h"
+#include "src/cluster/feature_vectors.h"
+#include "src/cluster/fine_clustering.h"
+#include "src/cluster/kmeans.h"
+#include "src/cluster/pipeline.h"
+#include "src/data/molecule_generator.h"
+#include "src/tree/canonical.h"
+
+namespace catapult {
+namespace {
+
+DynamicBitset Bits(size_t n, std::initializer_list<size_t> set) {
+  DynamicBitset b(n);
+  for (size_t i : set) b.Set(i);
+  return b;
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two well-separated groups in 4 dimensions.
+  std::vector<DynamicBitset> points;
+  for (int i = 0; i < 5; ++i) points.push_back(Bits(4, {0, 1}));
+  for (int i = 0; i < 5; ++i) points.push_back(Bits(4, {2, 3}));
+  KMeansOptions options;
+  options.k = 2;
+  Rng rng(17);
+  KMeansResult result = KMeansCluster(points, options, rng);
+  ASSERT_EQ(result.assignment.size(), 10u);
+  // All of the first five share a cluster, all of the last five the other.
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)],
+              result.assignment[0]);
+  }
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)],
+              result.assignment[5]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[5]);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, KLargerThanPoints) {
+  std::vector<DynamicBitset> points = {Bits(2, {0}), Bits(2, {1})};
+  KMeansOptions options;
+  options.k = 10;
+  Rng rng(3);
+  KMeansResult result = KMeansCluster(points, options, rng);
+  EXPECT_EQ(result.assignment.size(), 2u);
+}
+
+TEST(KMeansTest, Deterministic) {
+  std::vector<DynamicBitset> points;
+  Rng data_rng(5);
+  for (int i = 0; i < 30; ++i) {
+    DynamicBitset b(8);
+    for (size_t d = 0; d < 8; ++d) {
+      if (data_rng.Bernoulli(0.4)) b.Set(d);
+    }
+    points.push_back(std::move(b));
+  }
+  KMeansOptions options;
+  options.k = 4;
+  Rng rng1(9);
+  Rng rng2(9);
+  EXPECT_EQ(KMeansCluster(points, options, rng1).assignment,
+            KMeansCluster(points, options, rng2).assignment);
+}
+
+TEST(FacilityLocationTest, SelectsDiverseRepresentatives) {
+  // Three pairs of near-duplicate subtrees; selection should hit all three
+  // families before duplicating one.
+  auto MakeSubtree = [](std::vector<Label> labels) {
+    FrequentSubtree fs;
+    for (Label l : labels) fs.tree.AddVertex(l);
+    for (size_t i = 0; i + 1 < labels.size(); ++i) {
+      fs.tree.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+    }
+    fs.canonical = CanonicalTreeString(fs.tree);
+    return fs;
+  };
+  std::vector<FrequentSubtree> subtrees;
+  subtrees.push_back(MakeSubtree({0, 0, 0}));
+  subtrees.push_back(MakeSubtree({0, 0, 0, 0}));
+  subtrees.push_back(MakeSubtree({1, 1, 1}));
+  subtrees.push_back(MakeSubtree({1, 1, 1, 1}));
+  subtrees.push_back(MakeSubtree({2, 2}));
+  subtrees.push_back(MakeSubtree({2, 2, 2}));
+  FacilitySelectionOptions options;
+  options.max_selected = 3;
+  std::vector<size_t> selected =
+      SelectRepresentativeSubtrees(subtrees, options);
+  ASSERT_EQ(selected.size(), 3u);
+  // All selections distinct, and (since coverage of a family saturates
+  // after one pick) at least two label families must be represented.
+  std::set<size_t> distinct(selected.begin(), selected.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  std::set<Label> families;
+  for (size_t idx : selected) {
+    families.insert(subtrees[idx].tree.VertexLabel(0));
+  }
+  EXPECT_GE(families.size(), 2u);
+}
+
+TEST(FacilityLocationTest, EmptyInput) {
+  FacilitySelectionOptions options;
+  EXPECT_TRUE(SelectRepresentativeSubtrees({}, options).empty());
+}
+
+TEST(FeatureVectorsTest, BitsMatchContainment) {
+  GraphDatabase db;
+  Label C = db.labels().Intern("C");
+  Label O = db.labels().Intern("O");
+  // g0: C-C; g1: C-O.
+  {
+    Graph g;
+    g.AddVertex(C);
+    g.AddVertex(C);
+    g.AddEdge(0, 1);
+    db.Add(std::move(g));
+  }
+  {
+    Graph g;
+    g.AddVertex(C);
+    g.AddVertex(O);
+    g.AddEdge(0, 1);
+    db.Add(std::move(g));
+  }
+  FrequentSubtree cc;
+  cc.tree.AddVertex(C);
+  cc.tree.AddVertex(C);
+  cc.tree.AddEdge(0, 1);
+  FrequentSubtree co;
+  co.tree.AddVertex(C);
+  co.tree.AddVertex(O);
+  co.tree.AddEdge(0, 1);
+  auto features = BuildFeatureVectors(db, {0, 1}, {cc, co});
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_TRUE(features[0].Test(0));
+  EXPECT_FALSE(features[0].Test(1));
+  EXPECT_FALSE(features[1].Test(0));
+  EXPECT_TRUE(features[1].Test(1));
+}
+
+TEST(FineClusteringTest, SplitsOversizedClusters) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 40;
+  gen.seed = 77;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  std::vector<GraphId> all;
+  for (GraphId i = 0; i < db.size(); ++i) all.push_back(i);
+  FineClusteringOptions options;
+  options.max_cluster_size = 10;
+  options.mcs.node_budget = 3000;
+  Rng rng(1);
+  auto clusters = FineCluster(db, {all}, options, rng);
+  size_t total = 0;
+  for (const auto& c : clusters) {
+    EXPECT_LE(c.size(), 10u);
+    EXPECT_FALSE(c.empty());
+    total += c.size();
+  }
+  EXPECT_EQ(total, 40u);  // partition: nothing lost or duplicated
+  std::set<GraphId> seen;
+  for (const auto& c : clusters) {
+    for (GraphId id : c) EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(FineClusteringTest, SmallClustersUntouched) {
+  GraphDatabase db = GenerateMoleculeDatabase(
+      {.num_graphs = 8, .seed = 3});
+  std::vector<GraphId> cluster = {0, 1, 2};
+  FineClusteringOptions options;
+  options.max_cluster_size = 5;
+  Rng rng(2);
+  auto clusters = FineCluster(db, {cluster}, options, rng);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(PipelineTest, HybridPartitionsDatabase) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 60;
+  gen.seed = 11;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  SmallGraphClusteringOptions options;
+  options.max_cluster_size = 15;
+  options.fine_mcs.node_budget = 3000;
+  Rng rng(4);
+  ClusteringResult result = SmallGraphClustering(db, options, rng);
+  size_t total = 0;
+  std::set<GraphId> seen;
+  for (const auto& c : result.clusters) {
+    EXPECT_LE(c.size(), 15u);
+    total += c.size();
+    for (GraphId id : c) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(PipelineTest, CoarseOnlyMayKeepLargeClusters) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 60;
+  gen.seed = 11;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  SmallGraphClusteringOptions options;
+  options.mode = ClusteringMode::kCoarseOnly;
+  options.max_cluster_size = 15;
+  Rng rng(4);
+  ClusteringResult result = SmallGraphClustering(db, options, rng);
+  size_t total = 0;
+  for (const auto& c : result.clusters) total += c.size();
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(PipelineTest, FineOnlySkipsMining) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 30;
+  gen.seed = 12;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  SmallGraphClusteringOptions options;
+  options.mode = ClusteringMode::kFineOnly;
+  options.max_cluster_size = 10;
+  options.fine_mcs.node_budget = 3000;
+  Rng rng(4);
+  ClusteringResult result = SmallGraphClustering(db, options, rng);
+  EXPECT_TRUE(result.features.empty());
+  size_t total = 0;
+  for (const auto& c : result.clusters) {
+    EXPECT_LE(c.size(), 10u);
+    total += c.size();
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+}  // namespace
+}  // namespace catapult

@@ -1,0 +1,174 @@
+#include "src/csg/csg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/molecule_generator.h"
+#include "src/graph/algorithms.h"
+#include "src/iso/vf2.h"
+
+namespace catapult {
+namespace {
+
+// Recreates the running example of Figure 4: graphs over labels C, O, S, N,
+// P sharing a common C-O-S triangle-ish core.
+GraphDatabase Figure4Database() {
+  GraphDatabase db;
+  Label C = db.labels().Intern("C");
+  Label O = db.labels().Intern("O");
+  Label S = db.labels().Intern("S");
+  Label N = db.labels().Intern("N");
+  // G1: C-O, C-S, O-S triangle.
+  {
+    Graph g;
+    VertexId c = g.AddVertex(C);
+    VertexId o = g.AddVertex(O);
+    VertexId s = g.AddVertex(S);
+    g.AddEdge(c, o);
+    g.AddEdge(c, s);
+    g.AddEdge(o, s);
+    db.Add(std::move(g));
+  }
+  // G2: same triangle plus N attached to C.
+  {
+    Graph g;
+    VertexId c = g.AddVertex(C);
+    VertexId o = g.AddVertex(O);
+    VertexId s = g.AddVertex(S);
+    VertexId n = g.AddVertex(N);
+    g.AddEdge(c, o);
+    g.AddEdge(c, s);
+    g.AddEdge(o, s);
+    g.AddEdge(c, n);
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+TEST(CsgTest, ClosureOfTwoGraphs) {
+  GraphDatabase db = Figure4Database();
+  ClusterSummaryGraph csg = BuildCsg(db, {0, 1});
+  // The closure should have 4 vertices (C, O, S, N) and 4 edges; the
+  // triangle edges supported by both graphs, C-N by graph 1 only.
+  EXPECT_EQ(csg.NumVertices(), 4u);
+  EXPECT_EQ(csg.NumEdges(), 4u);
+  size_t both = 0;
+  size_t single = 0;
+  for (const auto& e : csg.edges()) {
+    if (e.support.Count() == 2) ++both;
+    if (e.support.Count() == 1) ++single;
+  }
+  EXPECT_EQ(both, 3u);
+  EXPECT_EQ(single, 1u);
+}
+
+TEST(CsgTest, MembersAreSubgraphsOfSummary) {
+  GraphDatabase db = Figure4Database();
+  ClusterSummaryGraph csg = BuildCsg(db, {0, 1});
+  Graph summary = csg.ToGraph();
+  for (GraphId id : {GraphId{0}, GraphId{1}}) {
+    EXPECT_TRUE(ContainsSubgraph(db.graph(id), summary))
+        << "member " << id << " must embed into its cluster summary";
+  }
+}
+
+TEST(CsgTest, IdenticalGraphsCollapse) {
+  GraphDatabase db;
+  Label C = db.labels().Intern("C");
+  for (int i = 0; i < 5; ++i) {
+    Graph g;
+    g.AddVertex(C);
+    g.AddVertex(C);
+    g.AddVertex(C);
+    g.AddEdge(0, 1);
+    g.AddEdge(1, 2);
+    db.Add(std::move(g));
+  }
+  ClusterSummaryGraph csg = BuildCsg(db, {0, 1, 2, 3, 4});
+  EXPECT_EQ(csg.NumVertices(), 3u);
+  EXPECT_EQ(csg.NumEdges(), 2u);
+  for (const auto& e : csg.edges()) EXPECT_EQ(e.support.Count(), 5u);
+  EXPECT_DOUBLE_EQ(csg.Compactness(1.0), 1.0);
+}
+
+TEST(CsgTest, CompactnessThresholds) {
+  GraphDatabase db = Figure4Database();
+  ClusterSummaryGraph csg = BuildCsg(db, {0, 1});
+  // 3 of 4 edges occur in 100% of members, 1 in 50%.
+  EXPECT_DOUBLE_EQ(csg.Compactness(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(csg.Compactness(0.5), 1.0);
+}
+
+TEST(CsgTest, EmptyCluster) {
+  GraphDatabase db = Figure4Database();
+  ClusterSummaryGraph csg = BuildCsg(db, {});
+  EXPECT_EQ(csg.NumVertices(), 0u);
+  EXPECT_EQ(csg.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(csg.Compactness(0.5), 0.0);
+}
+
+TEST(CsgTest, VertexSupportTracksMembers) {
+  GraphDatabase db = Figure4Database();
+  ClusterSummaryGraph csg = BuildCsg(db, {0, 1});
+  // Find the N vertex: supported only by member 1.
+  Label N = db.labels().Find("N");
+  bool found = false;
+  for (VertexId v = 0; v < csg.NumVertices(); ++v) {
+    if (csg.VertexLabel(v) == N) {
+      found = true;
+      EXPECT_EQ(csg.VertexSupport(v).Count(), 1u);
+      EXPECT_TRUE(csg.VertexSupport(v).Test(1));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CsgTest, FindEdgeSymmetric) {
+  GraphDatabase db = Figure4Database();
+  // G2's summary: triangle C-O-S plus N attached to C only.
+  ClusterSummaryGraph csg = BuildCsg(db, {1});
+  ASSERT_GE(csg.NumEdges(), 1u);
+  const auto& e = csg.edges()[0];
+  EXPECT_EQ(csg.FindEdge(e.u, e.v), 0);
+  EXPECT_EQ(csg.FindEdge(e.v, e.u), 0);
+  // N-O is not an edge of G2.
+  Label N = db.labels().Find("N");
+  Label O = db.labels().Find("O");
+  VertexId vn = 0;
+  VertexId vo = 0;
+  for (VertexId v = 0; v < csg.NumVertices(); ++v) {
+    if (csg.VertexLabel(v) == N) vn = v;
+    if (csg.VertexLabel(v) == O) vo = v;
+  }
+  EXPECT_EQ(csg.FindEdge(vn, vo), -1);
+}
+
+TEST(CsgTest, SummaryStaysSmallForSimilarGraphs) {
+  // 10 near-identical molecule graphs from one scaffold family should
+  // produce a summary much smaller than the sum of the parts.
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 10;
+  gen.scaffold_families = 1;
+  gen.min_vertices = 8;
+  gen.max_vertices = 12;
+  gen.seed = 21;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  std::vector<GraphId> all;
+  size_t total_vertices = 0;
+  for (GraphId i = 0; i < db.size(); ++i) {
+    all.push_back(i);
+    total_vertices += db.graph(i).NumVertices();
+  }
+  ClusterSummaryGraph csg = BuildCsg(db, all);
+  EXPECT_LT(csg.NumVertices(), total_vertices / 2);
+}
+
+TEST(CsgTest, BuildCsgsOnePerCluster) {
+  GraphDatabase db = Figure4Database();
+  auto csgs = BuildCsgs(db, {{0}, {1}, {0, 1}});
+  ASSERT_EQ(csgs.size(), 3u);
+  EXPECT_EQ(csgs[0].cluster_size(), 1u);
+  EXPECT_EQ(csgs[2].cluster_size(), 2u);
+}
+
+}  // namespace
+}  // namespace catapult

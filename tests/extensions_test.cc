@@ -1,0 +1,197 @@
+// Tests for the post-paper extensions: agglomerative coarse clustering,
+// the sequential relabelling cost model, and the JSON selection report.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/cluster/agglomerative.h"
+#include "src/cluster/pipeline.h"
+#include "src/core/catapult.h"
+#include "src/core/report.h"
+#include "src/data/molecule_generator.h"
+#include "src/formulate/evaluate.h"
+#include "src/formulate/steps.h"
+
+namespace catapult {
+namespace {
+
+DynamicBitset Bits(size_t n, std::initializer_list<size_t> set) {
+  DynamicBitset b(n);
+  for (size_t i : set) b.Set(i);
+  return b;
+}
+
+TEST(AgglomerativeTest, SeparatesObviousClusters) {
+  std::vector<DynamicBitset> points;
+  for (int i = 0; i < 4; ++i) points.push_back(Bits(6, {0, 1, 2}));
+  for (int i = 0; i < 4; ++i) points.push_back(Bits(6, {3, 4, 5}));
+  AgglomerativeOptions options;
+  options.target_clusters = 2;
+  AgglomerativeResult result = AgglomerativeCluster(points, options);
+  EXPECT_EQ(result.num_clusters, 2u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)],
+              result.assignment[0]);
+  }
+  for (int i = 5; i < 8; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<size_t>(i)],
+              result.assignment[4]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[4]);
+}
+
+TEST(AgglomerativeTest, Deterministic) {
+  std::vector<DynamicBitset> points;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    DynamicBitset b(8);
+    for (size_t d = 0; d < 8; ++d) {
+      if (rng.Bernoulli(0.5)) b.Set(d);
+    }
+    points.push_back(std::move(b));
+  }
+  AgglomerativeOptions options;
+  options.target_clusters = 4;
+  EXPECT_EQ(AgglomerativeCluster(points, options).assignment,
+            AgglomerativeCluster(points, options).assignment);
+}
+
+TEST(AgglomerativeTest, DistanceCutoffStopsEarly) {
+  std::vector<DynamicBitset> points = {Bits(4, {0}), Bits(4, {1}),
+                                       Bits(4, {2}), Bits(4, {3})};
+  AgglomerativeOptions options;
+  options.target_clusters = 1;
+  options.max_merge_distance = 0.5;  // all pairwise distances are 2
+  AgglomerativeResult result = AgglomerativeCluster(points, options);
+  EXPECT_EQ(result.num_clusters, 4u);
+}
+
+TEST(AgglomerativeTest, EmptyInput) {
+  AgglomerativeOptions options;
+  AgglomerativeResult result = AgglomerativeCluster({}, options);
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(AgglomerativePipelineTest, CoarsePhaseRunsWithAgglomerative) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 40;
+  gen.seed = 15;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  SmallGraphClusteringOptions options;
+  options.coarse_algorithm = CoarseAlgorithm::kAgglomerative;
+  options.mode = ClusteringMode::kCoarseOnly;
+  options.max_cluster_size = 10;
+  Rng rng(2);
+  ClusteringResult result = SmallGraphClustering(db, options, rng);
+  size_t total = 0;
+  std::set<GraphId> seen;
+  for (const auto& c : result.clusters) {
+    total += c.size();
+    for (GraphId id : c) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+Graph Ring(size_t n, Label label) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(label);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  return g;
+}
+
+TEST(RelabelModelTest, SequentialMatchesOneStepForUniformLabels) {
+  // All query labels equal: after the first 2-step selection, every click
+  // is 1 step -> sequential = one-step + 1.
+  Graph query = Ring(5, 3);
+  std::vector<Graph> patterns = {Ring(5, 0)};
+  Graph relabelled = query;
+  for (VertexId v = 0; v < relabelled.NumVertices(); ++v) {
+    relabelled.SetVertexLabel(v, 0);
+  }
+  QueryCover cover = MaxPatternCover(relabelled, patterns);
+  ASSERT_EQ(cover.uses.size(), 1u);
+  size_t one_step = StepsWithPatterns(query, patterns, cover, true,
+                                      RelabelCostModel::kOneStep);
+  size_t sequential = StepsWithPatterns(query, patterns, cover, true,
+                                        RelabelCostModel::kSequential);
+  EXPECT_EQ(sequential, one_step + 1);
+}
+
+TEST(RelabelModelTest, SequentialChargesLabelSwitches) {
+  // Query with alternating labels: every placed vertex needs a new
+  // selection -> 2 steps each.
+  Graph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddEdge(0, 1);
+  query.AddEdge(1, 2);
+  query.AddEdge(2, 3);
+  std::vector<Graph> patterns;
+  Graph chain;  // unlabelled 4-chain
+  for (int i = 0; i < 4; ++i) chain.AddVertex(0);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  chain.AddEdge(2, 3);
+  patterns.push_back(chain);
+  Graph relabelled = query;
+  for (VertexId v = 0; v < relabelled.NumVertices(); ++v) {
+    relabelled.SetVertexLabel(v, 0);
+  }
+  QueryCover cover = MaxPatternCover(relabelled, patterns);
+  ASSERT_EQ(cover.uses.size(), 1u);
+  // 1 placement + 4 vertices x 2 steps = 9.
+  EXPECT_EQ(StepsWithPatterns(query, patterns, cover, true,
+                              RelabelCostModel::kSequential),
+            9u);
+  // Optimistic model: 1 + 4 = 5.
+  EXPECT_EQ(StepsWithPatterns(query, patterns, cover, true,
+                              RelabelCostModel::kOneStep),
+            5u);
+}
+
+TEST(ReportTest, JsonContainsPatternsAndTimings) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = 30;
+  gen.seed = 16;
+  GraphDatabase db = GenerateMoleculeDatabase(gen);
+  CatapultOptions options;
+  options.selector.budget = {.eta_min = 3, .eta_max = 5, .gamma = 4};
+  options.selector.walks_per_candidate = 8;
+  options.clustering.fine_mcs.node_budget = 3000;
+  options.seed = 3;
+  CatapultResult result = RunCatapult(db, options);
+  std::string json = SelectionReportJson(result, db.labels());
+  EXPECT_NE(json.find("\"patterns\""), std::string::npos);
+  EXPECT_NE(json.find("\"timings\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"C\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity check).
+  long braces = 0;
+  long brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportTest, EscapesSpecialCharacters) {
+  CatapultResult empty;
+  LabelMap labels;
+  labels.Intern("C\"N");  // pathological label name
+  std::string json = SelectionReportJson(empty, labels);
+  EXPECT_NE(json.find("\"patterns\": [\n  ]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catapult

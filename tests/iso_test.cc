@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "src/iso/ged.h"
+#include "src/iso/mcs.h"
+#include "src/iso/vf2.h"
+#include "src/util/rng.h"
+#include "src/graph/algorithms.h"
+
+namespace catapult {
+namespace {
+
+Graph Ring(size_t n, Label label = 0) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(label);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph Path(size_t n, Label label = 0) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddVertex(label);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return g;
+}
+
+// Labelled molecule-ish target: C-C(-O)-N ring with tail.
+Graph LabelledTarget() {
+  Graph g;
+  VertexId c1 = g.AddVertex(0);  // C
+  VertexId c2 = g.AddVertex(0);  // C
+  VertexId o = g.AddVertex(1);   // O
+  VertexId n = g.AddVertex(2);   // N
+  VertexId c3 = g.AddVertex(0);  // C
+  g.AddEdge(c1, c2);
+  g.AddEdge(c2, o);
+  g.AddEdge(c2, n);
+  g.AddEdge(n, c3);
+  g.AddEdge(c3, c1);
+  return g;
+}
+
+TEST(Vf2Test, PathInRing) {
+  EXPECT_TRUE(ContainsSubgraph(Path(3), Ring(5)));
+  EXPECT_TRUE(ContainsSubgraph(Path(5), Ring(5)));
+}
+
+TEST(Vf2Test, RingNotInPath) {
+  EXPECT_FALSE(ContainsSubgraph(Ring(3), Path(5)));
+}
+
+TEST(Vf2Test, LargerPatternNeverContained) {
+  EXPECT_FALSE(ContainsSubgraph(Ring(6), Ring(5)));
+}
+
+TEST(Vf2Test, LabelsMustMatch) {
+  Graph pattern;
+  pattern.AddVertex(0);
+  pattern.AddVertex(1);
+  pattern.AddEdge(0, 1);
+  Graph target;
+  target.AddVertex(0);
+  target.AddVertex(2);
+  target.AddEdge(0, 1);
+  EXPECT_FALSE(ContainsSubgraph(pattern, target));
+  target.AddVertex(1);
+  target.AddEdge(0, 2);
+  EXPECT_TRUE(ContainsSubgraph(pattern, target));
+}
+
+TEST(Vf2Test, LabelledPatternInTarget) {
+  Graph pattern;  // O-C-N star
+  VertexId c = pattern.AddVertex(0);
+  VertexId o = pattern.AddVertex(1);
+  VertexId n = pattern.AddVertex(2);
+  pattern.AddEdge(c, o);
+  pattern.AddEdge(c, n);
+  EXPECT_TRUE(ContainsSubgraph(pattern, LabelledTarget()));
+}
+
+TEST(Vf2Test, InducedModeRejectsExtraEdges) {
+  // P3 (path) embeds in a triangle non-induced but not induced.
+  IsoOptions induced;
+  induced.induced = true;
+  EXPECT_TRUE(ContainsSubgraph(Path(3), Ring(3)));
+  EXPECT_FALSE(ContainsSubgraph(Path(3), Ring(3), induced));
+}
+
+TEST(Vf2Test, CountEmbeddingsOfEdgeInTriangle) {
+  // An unlabelled edge has 6 embeddings in a triangle (3 edges x 2
+  // orientations).
+  EXPECT_EQ(SubgraphIsomorphism(Path(2), Ring(3)).Count(0), 6u);
+}
+
+TEST(Vf2Test, CountRespectsCap) {
+  EXPECT_EQ(SubgraphIsomorphism(Path(2), Ring(3)).Count(4), 4u);
+}
+
+TEST(Vf2Test, EnumerateProducesValidEmbeddings) {
+  Graph pattern = Path(3);
+  Graph target = Ring(4);
+  SubgraphIsomorphism iso(pattern, target);
+  size_t count = iso.Enumerate([&](const Embedding& e) {
+    // Each pattern edge must be realised.
+    for (const Edge& pe : pattern.EdgeList()) {
+      EXPECT_TRUE(target.HasEdge(e[pe.u], e[pe.v]));
+    }
+    return true;
+  });
+  EXPECT_GT(count, 0u);
+}
+
+TEST(Vf2Test, MatchEdgeLabels) {
+  Graph pattern;
+  pattern.AddVertex(0);
+  pattern.AddVertex(0);
+  pattern.AddEdge(0, 1, 5);
+  Graph target;
+  target.AddVertex(0);
+  target.AddVertex(0);
+  target.AddEdge(0, 1, 6);
+  IsoOptions options;
+  options.match_edge_labels = true;
+  EXPECT_FALSE(ContainsSubgraph(pattern, target, options));
+  EXPECT_TRUE(ContainsSubgraph(pattern, target));  // default ignores them
+}
+
+TEST(Vf2Test, BudgetExhaustionReported) {
+  bool exhausted = false;
+  IsoOptions options;
+  options.node_budget = 2;
+  options.budget_exhausted = &exhausted;
+  EXPECT_FALSE(ContainsSubgraph(Ring(6), Ring(12), options));
+  EXPECT_TRUE(exhausted);
+}
+
+TEST(AreIsomorphicTest, RingsOfEqualSize) {
+  EXPECT_TRUE(AreIsomorphic(Ring(5), Ring(5)));
+  EXPECT_FALSE(AreIsomorphic(Ring(5), Ring(6)));
+}
+
+TEST(AreIsomorphicTest, DetectsRelabelledIsomorphs) {
+  Graph a = LabelledTarget();
+  // Same structure, built in different vertex order.
+  Graph b;
+  VertexId n = b.AddVertex(2);
+  VertexId c3 = b.AddVertex(0);
+  VertexId c1 = b.AddVertex(0);
+  VertexId c2 = b.AddVertex(0);
+  VertexId o = b.AddVertex(1);
+  b.AddEdge(c2, c1);
+  b.AddEdge(o, c2);
+  b.AddEdge(n, c2);
+  b.AddEdge(c3, n);
+  b.AddEdge(c1, c3);
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(AreIsomorphicTest, SameCountsDifferentStructure) {
+  // Star K1,3 vs path P4: both 4 vertices 3 edges.
+  Graph star;
+  VertexId c = star.AddVertex(0);
+  for (int i = 0; i < 3; ++i) star.AddEdge(c, star.AddVertex(0));
+  EXPECT_FALSE(AreIsomorphic(star, Path(4)));
+}
+
+TEST(FingerprintTest, InvariantUnderRelabelling) {
+  Graph a = LabelledTarget();
+  Graph b;
+  VertexId n = b.AddVertex(2);
+  VertexId c3 = b.AddVertex(0);
+  VertexId c1 = b.AddVertex(0);
+  VertexId c2 = b.AddVertex(0);
+  VertexId o = b.AddVertex(1);
+  b.AddEdge(c2, c1);
+  b.AddEdge(o, c2);
+  b.AddEdge(n, c2);
+  b.AddEdge(c3, n);
+  b.AddEdge(c1, c3);
+  EXPECT_EQ(GraphFingerprint(a), GraphFingerprint(b));
+}
+
+TEST(FingerprintTest, DistinguishesStarFromPath) {
+  Graph star;
+  VertexId c = star.AddVertex(0);
+  for (int i = 0; i < 3; ++i) star.AddEdge(c, star.AddVertex(0));
+  EXPECT_NE(GraphFingerprint(star), GraphFingerprint(Path(4)));
+}
+
+TEST(McsTest, IdenticalGraphsFullOverlap) {
+  Graph g = LabelledTarget();
+  McsResult r = MaxCommonSubgraph(g, g);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.common_edges, g.NumEdges());
+}
+
+TEST(McsTest, SimilarityOfIdenticalIsOne) {
+  Graph g = Ring(5);
+  EXPECT_DOUBLE_EQ(McsSimilarity(g, g), 1.0);
+}
+
+TEST(McsTest, DisjointLabelsShareNothing) {
+  EXPECT_DOUBLE_EQ(McsSimilarity(Ring(4, 0), Ring(4, 1)), 0.0);
+}
+
+TEST(McsTest, PathInRingOverlap) {
+  // MCCS of P4 and C6 (all labels equal) is P4 itself: 3 edges.
+  McsResult r = MaxCommonSubgraph(Path(4), Ring(6));
+  EXPECT_EQ(r.common_edges, 3u);
+}
+
+TEST(McsTest, ConnectedVsUnconnected) {
+  // Two triangles joined by nothing vs one triangle + far apart pieces:
+  // a: triangle + disjoint edge is not constructible (we require connected
+  // graphs), so instead compare a "bowtie-ish" shape.
+  // a: two triangles sharing a vertex. b: two triangles joined by a long
+  // path. The unconnected MCS can pick both triangles (6 edges); the
+  // connected MCCS at most one triangle plus path stubs.
+  Graph a;  // bowtie
+  VertexId shared = a.AddVertex(0);
+  VertexId a1 = a.AddVertex(0);
+  VertexId a2 = a.AddVertex(0);
+  VertexId a3 = a.AddVertex(0);
+  VertexId a4 = a.AddVertex(0);
+  a.AddEdge(shared, a1);
+  a.AddEdge(a1, a2);
+  a.AddEdge(a2, shared);
+  a.AddEdge(shared, a3);
+  a.AddEdge(a3, a4);
+  a.AddEdge(a4, shared);
+
+  Graph b;  // two triangles joined by a 3-edge path
+  VertexId b0 = b.AddVertex(0);
+  VertexId b1 = b.AddVertex(0);
+  VertexId b2 = b.AddVertex(0);
+  b.AddEdge(b0, b1);
+  b.AddEdge(b1, b2);
+  b.AddEdge(b2, b0);
+  VertexId p1 = b.AddVertex(0);
+  VertexId p2 = b.AddVertex(0);
+  b.AddEdge(b0, p1);
+  b.AddEdge(p1, p2);
+  VertexId c0 = b.AddVertex(0);
+  VertexId c1 = b.AddVertex(0);
+  VertexId c2 = b.AddVertex(0);
+  b.AddEdge(p2, c0);
+  b.AddEdge(c0, c1);
+  b.AddEdge(c1, c2);
+  b.AddEdge(c2, c0);
+
+  McsOptions unconnected;
+  unconnected.connected = false;
+  McsResult mcs = MaxCommonSubgraph(a, b, unconnected);
+  McsOptions connected;
+  connected.connected = true;
+  McsResult mccs = MaxCommonSubgraph(a, b, connected);
+  EXPECT_GE(mcs.common_edges, mccs.common_edges);
+  EXPECT_GE(mccs.common_edges, 3u);  // at least one triangle
+}
+
+TEST(McsTest, AnytimeUnderTinyBudget) {
+  McsOptions options;
+  options.node_budget = 3;
+  McsResult r = MaxCommonSubgraph(Ring(6), Ring(6), options);
+  EXPECT_FALSE(r.exact);
+  // Still returns something sane.
+  EXPECT_LE(r.common_edges, 6u);
+}
+
+TEST(GedLowerBoundTest, IdenticalGraphsZero) {
+  Graph g = LabelledTarget();
+  EXPECT_DOUBLE_EQ(GedLowerBound(g, g), 0.0);
+}
+
+TEST(GedLowerBoundTest, CountsSizeAndLabelDifferences) {
+  // a: P2 labels {0,0}; b: P3 labels {0,1,2}.
+  Graph a = Path(2, 0);
+  Graph b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  // |V| term: |2-3| + min(2,3) - |{0} multiset ^| = 1 + 2 - 1 = 2.
+  // |E| term: |1-2| = 1. Total 3.
+  EXPECT_DOUBLE_EQ(GedLowerBound(a, b), 3.0);
+}
+
+TEST(GedTest, IdenticalGraphsZero) {
+  Graph g = LabelledTarget();
+  GedResult r = GraphEditDistance(g, g);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(GedTest, SingleVertexRelabel) {
+  Graph a = Path(3, 0);
+  Graph b = Path(3, 0);
+  b.SetVertexLabel(2, 1);
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance, 1.0);
+}
+
+TEST(GedTest, SingleEdgeInsertion) {
+  // C4 vs P4: one edge difference.
+  EXPECT_DOUBLE_EQ(GraphEditDistance(Path(4), Ring(4)).distance, 1.0);
+}
+
+TEST(GedTest, VertexInsertion) {
+  // P3 -> P4: one vertex + one edge.
+  EXPECT_DOUBLE_EQ(GraphEditDistance(Path(3), Path(4)).distance, 2.0);
+}
+
+TEST(GedTest, Symmetry) {
+  Graph a = Ring(5);
+  Graph b = Path(4);
+  EXPECT_DOUBLE_EQ(GraphEditDistance(a, b).distance,
+                   GraphEditDistance(b, a).distance);
+}
+
+TEST(GedTest, AlwaysAtLeastLowerBound) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random small labelled graphs.
+    Graph base = Ring(5, static_cast<Label>(trial % 3));
+    Graph a = RandomConnectedSubgraph(base, 3 + trial % 3, rng);
+    Graph b = RandomConnectedSubgraph(base, 2 + trial % 4, rng);
+    if (a.NumEdges() == 0 || b.NumEdges() == 0) continue;
+    GedResult r = GraphEditDistance(a, b);
+    EXPECT_GE(r.distance + 1e-9, GedLowerBound(a, b));
+  }
+}
+
+TEST(GedTest, TriangleInequalitySpotCheck) {
+  Graph a = Path(3);
+  Graph b = Ring(3);
+  Graph c = Ring(4);
+  double ab = GraphEditDistance(a, b).distance;
+  double bc = GraphEditDistance(b, c).distance;
+  double ac = GraphEditDistance(a, c).distance;
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+}  // namespace
+}  // namespace catapult

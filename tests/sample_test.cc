@@ -1,0 +1,105 @@
+#include "src/sample/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace catapult {
+namespace {
+
+TEST(EagerSamplingTest, PaperExampleSize) {
+  // Section 4.3: rho = 0.01, eps = 0.02 -> |S_eager| = 6623.
+  EagerSamplingOptions options;
+  options.epsilon = 0.02;
+  options.rho = 0.01;
+  EXPECT_EQ(EagerSampleSize(options), 6623u);
+}
+
+TEST(EagerSamplingTest, SizeIndependentOfDatabase) {
+  EagerSamplingOptions options;
+  size_t size = EagerSampleSize(options);
+  Rng rng1(1);
+  Rng rng2(1);
+  EXPECT_EQ(EagerSample(100000, options, rng1).size(), size);
+  EXPECT_EQ(EagerSample(size * 10, options, rng2).size(), size);
+}
+
+TEST(EagerSamplingTest, SmallDatabasePassesThrough) {
+  EagerSamplingOptions options;
+  Rng rng(2);
+  std::vector<GraphId> ids = EagerSample(100, options, rng);
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(EagerSamplingTest, SampledIdsDistinctAndInRange) {
+  EagerSamplingOptions options;
+  options.epsilon = 0.1;  // smaller sample (~150)
+  Rng rng(3);
+  std::vector<GraphId> ids = EagerSample(1000, options, rng);
+  std::set<GraphId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+  for (GraphId id : ids) EXPECT_LT(id, 1000u);
+}
+
+TEST(EagerSamplingTest, LoweredThresholdBelowOriginal) {
+  EagerSamplingOptions options;
+  double lowered = LoweredSupportThreshold(0.1, 6623, options);
+  EXPECT_LT(lowered, 0.1);
+  EXPECT_GT(lowered, 0.0);
+}
+
+TEST(EagerSamplingTest, LoweredThresholdClamped) {
+  EagerSamplingOptions options;
+  options.phi = 0.0001;
+  // Tiny sample would push the slack past the threshold; must stay > 0.
+  double lowered = LoweredSupportThreshold(0.05, 10, options);
+  EXPECT_GT(lowered, 0.0);
+  EXPECT_LE(lowered, 0.05);
+}
+
+TEST(LazySamplingTest, CochranSize) {
+  // z = 1.65, p = q = 0.5, e = 0.03 -> 1.65^2*0.25/0.0009 = 756.25 -> 757.
+  LazySamplingOptions options;
+  EXPECT_EQ(CochranSampleSize(options), 757u);
+}
+
+TEST(LazySamplingTest, PaperExampleScale) {
+  // Section 4.3's example: 50K graphs, cluster of 1000 -> ~15 samples.
+  LazySamplingOptions options;
+  size_t size = LazySampleSize(50000, 1000, options);
+  EXPECT_GE(size, 14u);
+  EXPECT_LE(size, 17u);
+}
+
+TEST(LazySamplingTest, NeverExceedsCluster) {
+  LazySamplingOptions options;
+  EXPECT_LE(LazySampleSize(100, 50, options), 50u);
+  EXPECT_GE(LazySampleSize(1000000, 3, options), 1u);
+}
+
+TEST(LazySamplingTest, SmallClustersPassThrough) {
+  LazySamplingOptions options;
+  options.min_cluster_size_to_sample = 10;
+  std::vector<std::vector<GraphId>> clusters = {{1, 2, 3}, {4, 5}};
+  Rng rng(5);
+  auto sampled = LazySampleClusters(clusters, 100000, options, rng);
+  EXPECT_EQ(sampled, clusters);
+}
+
+TEST(LazySamplingTest, LargeClusterShrinks) {
+  LazySamplingOptions options;
+  options.min_cluster_size_to_sample = 10;
+  std::vector<GraphId> big(5000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<GraphId>(i);
+  Rng rng(6);
+  auto sampled = LazySampleClusters({big}, 100000, options, rng);
+  ASSERT_EQ(sampled.size(), 1u);
+  EXPECT_LT(sampled[0].size(), big.size());
+  EXPECT_GE(sampled[0].size(), 1u);
+  // Sampled ids must come from the cluster.
+  std::set<GraphId> pool(big.begin(), big.end());
+  for (GraphId id : sampled[0]) EXPECT_TRUE(pool.contains(id));
+}
+
+}  // namespace
+}  // namespace catapult

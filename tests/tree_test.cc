@@ -1,0 +1,177 @@
+#include "src/tree/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/util/rng.h"
+
+namespace catapult {
+namespace {
+
+Graph PathGraph(const std::vector<Label>& labels) {
+  Graph g;
+  for (Label l : labels) g.AddVertex(l);
+  for (size_t i = 0; i + 1 < labels.size(); ++i) {
+    g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return g;
+}
+
+TEST(TreeCentersTest, SingleVertex) {
+  Graph g;
+  g.AddVertex(0);
+  EXPECT_EQ(TreeCenters(g), std::vector<VertexId>{0});
+}
+
+TEST(TreeCentersTest, EvenPathHasTwoCenters) {
+  Graph g = PathGraph({0, 0, 0, 0});
+  std::vector<VertexId> centers = TreeCenters(g);
+  ASSERT_EQ(centers.size(), 2u);
+  EXPECT_EQ(centers[0], 1u);
+  EXPECT_EQ(centers[1], 2u);
+}
+
+TEST(TreeCentersTest, OddPathHasOneCenter) {
+  Graph g = PathGraph({0, 0, 0, 0, 0});
+  std::vector<VertexId> centers = TreeCenters(g);
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_EQ(centers[0], 2u);
+}
+
+TEST(TreeCentersTest, StarCenter) {
+  Graph g;
+  VertexId c = g.AddVertex(9);
+  for (int i = 0; i < 5; ++i) g.AddEdge(c, g.AddVertex(0));
+  std::vector<VertexId> centers = TreeCenters(g);
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_EQ(centers[0], c);
+}
+
+TEST(CanonicalStringTest, InvariantUnderVertexOrder) {
+  // Same labelled tree built in two different vertex orders.
+  Graph a;
+  VertexId a0 = a.AddVertex(1);
+  VertexId a1 = a.AddVertex(2);
+  VertexId a2 = a.AddVertex(3);
+  VertexId a3 = a.AddVertex(2);
+  a.AddEdge(a0, a1);
+  a.AddEdge(a0, a2);
+  a.AddEdge(a2, a3);
+
+  Graph b;
+  VertexId b3 = b.AddVertex(2);
+  VertexId b2 = b.AddVertex(3);
+  VertexId b0 = b.AddVertex(1);
+  VertexId b1 = b.AddVertex(2);
+  b.AddEdge(b2, b3);
+  b.AddEdge(b0, b2);
+  b.AddEdge(b1, b0);
+
+  EXPECT_EQ(CanonicalTreeString(a), CanonicalTreeString(b));
+}
+
+TEST(CanonicalStringTest, DistinguishesAttachmentPoint) {
+  // D attached under B vs under C (B, C distinct labels): different trees.
+  Graph a;  // A-B, A-C, B-D
+  VertexId aa = a.AddVertex(0);
+  VertexId ab = a.AddVertex(1);
+  VertexId ac = a.AddVertex(2);
+  VertexId ad = a.AddVertex(3);
+  a.AddEdge(aa, ab);
+  a.AddEdge(aa, ac);
+  a.AddEdge(ab, ad);
+
+  Graph b;  // A-B, A-C, C-D
+  VertexId ba = b.AddVertex(0);
+  VertexId bb = b.AddVertex(1);
+  VertexId bc = b.AddVertex(2);
+  VertexId bd = b.AddVertex(3);
+  b.AddEdge(ba, bb);
+  b.AddEdge(ba, bc);
+  b.AddEdge(bc, bd);
+
+  EXPECT_NE(CanonicalTreeString(a), CanonicalTreeString(b));
+}
+
+TEST(CanonicalStringTest, DistinguishesLabels) {
+  EXPECT_NE(CanonicalTreeString(PathGraph({0, 0, 0})),
+            CanonicalTreeString(PathGraph({0, 0, 1})));
+}
+
+TEST(CanonicalStringTest, PathInvariantUnderReversal) {
+  EXPECT_EQ(CanonicalTreeString(PathGraph({1, 2, 3, 4})),
+            CanonicalTreeString(PathGraph({4, 3, 2, 1})));
+}
+
+TEST(CanonicalStringTest, DistinguishesPathFromStar) {
+  Graph star;
+  VertexId c = star.AddVertex(0);
+  for (int i = 0; i < 3; ++i) star.AddEdge(c, star.AddVertex(0));
+  EXPECT_NE(CanonicalTreeString(star),
+            CanonicalTreeString(PathGraph({0, 0, 0, 0})));
+}
+
+// Property sweep: random trees must produce permutation-invariant strings.
+class CanonicalStringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalStringPropertyTest, PermutationInvariance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  // Build a random labelled tree with 2-12 vertices.
+  size_t n = 2 + rng.UniformInt(11);
+  Graph tree;
+  tree.AddVertex(static_cast<Label>(rng.UniformInt(4)));
+  for (size_t v = 1; v < n; ++v) {
+    VertexId parent = static_cast<VertexId>(rng.UniformInt(v));
+    VertexId child = tree.AddVertex(static_cast<Label>(rng.UniformInt(4)));
+    tree.AddEdge(parent, child);
+  }
+  // Random relabelling of vertex ids.
+  std::vector<VertexId> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<VertexId>(i);
+  rng.Shuffle(perm);
+  Graph shuffled;
+  std::vector<VertexId> new_id(n);
+  for (size_t i = 0; i < n; ++i) {
+    new_id[perm[i]] = shuffled.AddVertex(tree.VertexLabel(perm[i]));
+  }
+  for (const Edge& e : tree.EdgeList()) {
+    shuffled.AddEdge(new_id[e.u], new_id[e.v]);
+  }
+  EXPECT_EQ(CanonicalTreeString(tree), CanonicalTreeString(shuffled));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, CanonicalStringPropertyTest,
+                         ::testing::Range(0, 30));
+
+TEST(LcsTest, Basic) {
+  EXPECT_EQ(LongestCommonSubsequence("abcde", "ace"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "abc"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "xyz"), 0u);
+  EXPECT_EQ(LongestCommonSubsequence("", "abc"), 0u);
+}
+
+TEST(LcsTest, Symmetry) {
+  EXPECT_EQ(LongestCommonSubsequence("banana", "atana"),
+            LongestCommonSubsequence("atana", "banana"));
+}
+
+TEST(SubtreeSimilarityTest, IdenticalIsOne) {
+  std::string c = CanonicalTreeString(PathGraph({0, 1, 2}));
+  EXPECT_DOUBLE_EQ(SubtreeSimilarity(c, c), 1.0);
+}
+
+TEST(SubtreeSimilarityTest, BoundedAndSymmetric) {
+  std::string a = CanonicalTreeString(PathGraph({0, 1, 2, 3}));
+  std::string b = CanonicalTreeString(PathGraph({0, 0, 0}));
+  double s = SubtreeSimilarity(a, b);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_DOUBLE_EQ(s, SubtreeSimilarity(b, a));
+}
+
+TEST(SubtreeSimilarityTest, EmptyStringsAreIdentical) {
+  EXPECT_DOUBLE_EQ(SubtreeSimilarity("", ""), 1.0);
+}
+
+}  // namespace
+}  // namespace catapult

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/bitset.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace catapult {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(7), 7u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsZeros) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 1.0, 0.0, 3.0};
+  for (int i = 0; i < 200; ++i) {
+    size_t idx = rng.WeightedIndex(weights);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(RngTest, WeightedIndexProportional) {
+  Rng rng(10);
+  std::vector<double> weights = {1.0, 9.0};
+  int count1 = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.WeightedIndex(weights) == 1) ++count1;
+  }
+  // Expect roughly 90% +- 3%.
+  EXPECT_NEAR(static_cast<double>(count1) / kTrials, 0.9, 0.03);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(11);
+  std::vector<size_t> sample = rng.SampleIndices(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleIndicesAllWhenKTooLarge) {
+  Rng rng(12);
+  std::vector<size_t> sample = rng.SampleIndices(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  DynamicBitset bits(130);
+  EXPECT_FALSE(bits.Test(129));
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(129));
+  bits.Clear(129);
+  EXPECT_FALSE(bits.Test(129));
+}
+
+TEST(BitsetTest, CountAndNone) {
+  DynamicBitset bits(70);
+  EXPECT_TRUE(bits.None());
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(69);
+  EXPECT_EQ(bits.Count(), 3u);
+  EXPECT_FALSE(bits.None());
+}
+
+TEST(BitsetTest, UnionIntersection) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+  EXPECT_EQ(a.UnionCount(b), 3u);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(2));
+}
+
+TEST(BitsetTest, ToIndicesSorted) {
+  DynamicBitset bits(200);
+  bits.Set(5);
+  bits.Set(190);
+  bits.Set(64);
+  std::vector<size_t> indices = bits.ToIndices();
+  EXPECT_EQ(indices, (std::vector<size_t>{5, 64, 190}));
+}
+
+TEST(BitsetTest, Equality) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(StatsTest, MeanMaxMin) {
+  std::vector<double> v = {1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(Max(v), 3.0);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+}
+
+TEST(StatsTest, EmptyIsZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(Max(v), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 0.0);
+}
+
+TEST(StatsTest, StdDevOfConstantIsZero) {
+  std::vector<double> v = {4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(StdDev(v), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+}
+
+TEST(StatsTest, KendallTauPerfectAgreement) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), 1.0);
+}
+
+TEST(StatsTest, KendallTauPerfectDisagreement) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), -1.0);
+}
+
+TEST(StatsTest, KendallTauMismatchedSizesIsZero) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2}, {1}), 0.0);
+}
+
+}  // namespace
+}  // namespace catapult
