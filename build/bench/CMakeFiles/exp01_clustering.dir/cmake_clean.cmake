@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_clustering.dir/exp01_clustering.cc.o"
+  "CMakeFiles/exp01_clustering.dir/exp01_clustering.cc.o.d"
+  "exp01_clustering"
+  "exp01_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_sampling.dir/exp02_sampling.cc.o"
+  "CMakeFiles/exp02_sampling.dir/exp02_sampling.cc.o.d"
+  "exp02_sampling"
+  "exp02_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

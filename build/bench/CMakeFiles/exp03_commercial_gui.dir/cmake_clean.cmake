@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_commercial_gui.dir/exp03_commercial_gui.cc.o"
+  "CMakeFiles/exp03_commercial_gui.dir/exp03_commercial_gui.cc.o.d"
+  "exp03_commercial_gui"
+  "exp03_commercial_gui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_commercial_gui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

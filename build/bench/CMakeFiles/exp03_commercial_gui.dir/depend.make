@@ -1,0 +1,2 @@
+# Empty dependencies file for exp03_commercial_gui.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_user_study.dir/exp04_user_study.cc.o"
+  "CMakeFiles/exp04_user_study.dir/exp04_user_study.cc.o.d"
+  "exp04_user_study"
+  "exp04_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

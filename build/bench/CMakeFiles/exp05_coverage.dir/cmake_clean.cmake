@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_coverage.dir/exp05_coverage.cc.o"
+  "CMakeFiles/exp05_coverage.dir/exp05_coverage.cc.o.d"
+  "exp05_coverage"
+  "exp05_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

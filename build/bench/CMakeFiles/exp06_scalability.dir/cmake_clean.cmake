@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_scalability.dir/exp06_scalability.cc.o"
+  "CMakeFiles/exp06_scalability.dir/exp06_scalability.cc.o.d"
+  "exp06_scalability"
+  "exp06_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

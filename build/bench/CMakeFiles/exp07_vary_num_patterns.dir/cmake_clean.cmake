@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_vary_num_patterns.dir/exp07_vary_num_patterns.cc.o"
+  "CMakeFiles/exp07_vary_num_patterns.dir/exp07_vary_num_patterns.cc.o.d"
+  "exp07_vary_num_patterns"
+  "exp07_vary_num_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_vary_num_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_vary_pattern_size.dir/exp08_vary_pattern_size.cc.o"
+  "CMakeFiles/exp08_vary_pattern_size.dir/exp08_vary_pattern_size.cc.o.d"
+  "exp08_vary_pattern_size"
+  "exp08_vary_pattern_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_vary_pattern_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

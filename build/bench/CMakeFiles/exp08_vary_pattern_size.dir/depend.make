@@ -1,0 +1,2 @@
+# Empty dependencies file for exp08_vary_pattern_size.
+# This may be replaced when dependencies are built.

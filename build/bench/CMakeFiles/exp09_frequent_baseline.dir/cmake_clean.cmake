@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_frequent_baseline.dir/exp09_frequent_baseline.cc.o"
+  "CMakeFiles/exp09_frequent_baseline.dir/exp09_frequent_baseline.cc.o.d"
+  "exp09_frequent_baseline"
+  "exp09_frequent_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_frequent_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

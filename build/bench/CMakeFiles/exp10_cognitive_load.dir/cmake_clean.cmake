@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_cognitive_load.dir/exp10_cognitive_load.cc.o"
+  "CMakeFiles/exp10_cognitive_load.dir/exp10_cognitive_load.cc.o.d"
+  "exp10_cognitive_load"
+  "exp10_cognitive_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_cognitive_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp10_cognitive_load.
+# This may be replaced when dependencies are built.

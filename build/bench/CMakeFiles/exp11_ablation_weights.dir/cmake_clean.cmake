@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_ablation_weights.dir/exp11_ablation_weights.cc.o"
+  "CMakeFiles/exp11_ablation_weights.dir/exp11_ablation_weights.cc.o.d"
+  "exp11_ablation_weights"
+  "exp11_ablation_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_ablation_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

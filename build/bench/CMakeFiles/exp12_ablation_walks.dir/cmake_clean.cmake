@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_ablation_walks.dir/exp12_ablation_walks.cc.o"
+  "CMakeFiles/exp12_ablation_walks.dir/exp12_ablation_walks.cc.o.d"
+  "exp12_ablation_walks"
+  "exp12_ablation_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_ablation_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

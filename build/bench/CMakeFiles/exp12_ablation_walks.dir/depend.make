@@ -1,0 +1,2 @@
+# Empty dependencies file for exp12_ablation_walks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_incremental.dir/exp13_incremental.cc.o"
+  "CMakeFiles/exp13_incremental.dir/exp13_incremental.cc.o.d"
+  "exp13_incremental"
+  "exp13_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_ablation_ged.dir/exp14_ablation_ged.cc.o"
+  "CMakeFiles/exp14_ablation_ged.dir/exp14_ablation_ged.cc.o.d"
+  "exp14_ablation_ged"
+  "exp14_ablation_ged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_ablation_ged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catapult_cli.dir/catapult_cli.cpp.o"
+  "CMakeFiles/catapult_cli.dir/catapult_cli.cpp.o.d"
+  "catapult_cli"
+  "catapult_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catapult_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_discovery.dir/drug_discovery.cpp.o"
+  "CMakeFiles/drug_discovery.dir/drug_discovery.cpp.o.d"
+  "drug_discovery"
+  "drug_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

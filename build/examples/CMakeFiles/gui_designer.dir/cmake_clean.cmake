@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gui_designer.dir/gui_designer.cpp.o"
+  "CMakeFiles/gui_designer.dir/gui_designer.cpp.o.d"
+  "gui_designer"
+  "gui_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gui_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

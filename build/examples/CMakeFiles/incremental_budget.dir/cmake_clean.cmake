@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_budget.dir/incremental_budget.cpp.o"
+  "CMakeFiles/incremental_budget.dir/incremental_budget.cpp.o.d"
+  "incremental_budget"
+  "incremental_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substructure_search.dir/substructure_search.cpp.o"
+  "CMakeFiles/substructure_search.dir/substructure_search.cpp.o.d"
+  "substructure_search"
+  "substructure_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substructure_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerative.cc" "src/CMakeFiles/catapult.dir/cluster/agglomerative.cc.o" "gcc" "src/CMakeFiles/catapult.dir/cluster/agglomerative.cc.o.d"
+  "/root/repo/src/cluster/facility_location.cc" "src/CMakeFiles/catapult.dir/cluster/facility_location.cc.o" "gcc" "src/CMakeFiles/catapult.dir/cluster/facility_location.cc.o.d"
+  "/root/repo/src/cluster/feature_vectors.cc" "src/CMakeFiles/catapult.dir/cluster/feature_vectors.cc.o" "gcc" "src/CMakeFiles/catapult.dir/cluster/feature_vectors.cc.o.d"
+  "/root/repo/src/cluster/fine_clustering.cc" "src/CMakeFiles/catapult.dir/cluster/fine_clustering.cc.o" "gcc" "src/CMakeFiles/catapult.dir/cluster/fine_clustering.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/catapult.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/catapult.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/pipeline.cc" "src/CMakeFiles/catapult.dir/cluster/pipeline.cc.o" "gcc" "src/CMakeFiles/catapult.dir/cluster/pipeline.cc.o.d"
+  "/root/repo/src/core/budget.cc" "src/CMakeFiles/catapult.dir/core/budget.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/budget.cc.o.d"
+  "/root/repo/src/core/catapult.cc" "src/CMakeFiles/catapult.dir/core/catapult.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/catapult.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/CMakeFiles/catapult.dir/core/maintenance.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/maintenance.cc.o.d"
+  "/root/repo/src/core/pattern_score.cc" "src/CMakeFiles/catapult.dir/core/pattern_score.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/pattern_score.cc.o.d"
+  "/root/repo/src/core/random_walk.cc" "src/CMakeFiles/catapult.dir/core/random_walk.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/random_walk.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/catapult.dir/core/report.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/report.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/catapult.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/selector.cc.o.d"
+  "/root/repo/src/core/weights.cc" "src/CMakeFiles/catapult.dir/core/weights.cc.o" "gcc" "src/CMakeFiles/catapult.dir/core/weights.cc.o.d"
+  "/root/repo/src/csg/csg.cc" "src/CMakeFiles/catapult.dir/csg/csg.cc.o" "gcc" "src/CMakeFiles/catapult.dir/csg/csg.cc.o.d"
+  "/root/repo/src/data/molecule_generator.cc" "src/CMakeFiles/catapult.dir/data/molecule_generator.cc.o" "gcc" "src/CMakeFiles/catapult.dir/data/molecule_generator.cc.o.d"
+  "/root/repo/src/data/query_generator.cc" "src/CMakeFiles/catapult.dir/data/query_generator.cc.o" "gcc" "src/CMakeFiles/catapult.dir/data/query_generator.cc.o.d"
+  "/root/repo/src/formulate/cover.cc" "src/CMakeFiles/catapult.dir/formulate/cover.cc.o" "gcc" "src/CMakeFiles/catapult.dir/formulate/cover.cc.o.d"
+  "/root/repo/src/formulate/evaluate.cc" "src/CMakeFiles/catapult.dir/formulate/evaluate.cc.o" "gcc" "src/CMakeFiles/catapult.dir/formulate/evaluate.cc.o.d"
+  "/root/repo/src/formulate/gui.cc" "src/CMakeFiles/catapult.dir/formulate/gui.cc.o" "gcc" "src/CMakeFiles/catapult.dir/formulate/gui.cc.o.d"
+  "/root/repo/src/formulate/qft.cc" "src/CMakeFiles/catapult.dir/formulate/qft.cc.o" "gcc" "src/CMakeFiles/catapult.dir/formulate/qft.cc.o.d"
+  "/root/repo/src/formulate/session.cc" "src/CMakeFiles/catapult.dir/formulate/session.cc.o" "gcc" "src/CMakeFiles/catapult.dir/formulate/session.cc.o.d"
+  "/root/repo/src/formulate/steps.cc" "src/CMakeFiles/catapult.dir/formulate/steps.cc.o" "gcc" "src/CMakeFiles/catapult.dir/formulate/steps.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/catapult.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/catapult.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/catapult.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/catapult.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_database.cc" "src/CMakeFiles/catapult.dir/graph/graph_database.cc.o" "gcc" "src/CMakeFiles/catapult.dir/graph/graph_database.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/catapult.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/catapult.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/label_map.cc" "src/CMakeFiles/catapult.dir/graph/label_map.cc.o" "gcc" "src/CMakeFiles/catapult.dir/graph/label_map.cc.o.d"
+  "/root/repo/src/iso/ged.cc" "src/CMakeFiles/catapult.dir/iso/ged.cc.o" "gcc" "src/CMakeFiles/catapult.dir/iso/ged.cc.o.d"
+  "/root/repo/src/iso/ged_bipartite.cc" "src/CMakeFiles/catapult.dir/iso/ged_bipartite.cc.o" "gcc" "src/CMakeFiles/catapult.dir/iso/ged_bipartite.cc.o.d"
+  "/root/repo/src/iso/mcs.cc" "src/CMakeFiles/catapult.dir/iso/mcs.cc.o" "gcc" "src/CMakeFiles/catapult.dir/iso/mcs.cc.o.d"
+  "/root/repo/src/iso/vf2.cc" "src/CMakeFiles/catapult.dir/iso/vf2.cc.o" "gcc" "src/CMakeFiles/catapult.dir/iso/vf2.cc.o.d"
+  "/root/repo/src/mining/frequent_edges.cc" "src/CMakeFiles/catapult.dir/mining/frequent_edges.cc.o" "gcc" "src/CMakeFiles/catapult.dir/mining/frequent_edges.cc.o.d"
+  "/root/repo/src/mining/subgraph_miner.cc" "src/CMakeFiles/catapult.dir/mining/subgraph_miner.cc.o" "gcc" "src/CMakeFiles/catapult.dir/mining/subgraph_miner.cc.o.d"
+  "/root/repo/src/mining/subtree_miner.cc" "src/CMakeFiles/catapult.dir/mining/subtree_miner.cc.o" "gcc" "src/CMakeFiles/catapult.dir/mining/subtree_miner.cc.o.d"
+  "/root/repo/src/sample/sampling.cc" "src/CMakeFiles/catapult.dir/sample/sampling.cc.o" "gcc" "src/CMakeFiles/catapult.dir/sample/sampling.cc.o.d"
+  "/root/repo/src/search/search_engine.cc" "src/CMakeFiles/catapult.dir/search/search_engine.cc.o" "gcc" "src/CMakeFiles/catapult.dir/search/search_engine.cc.o.d"
+  "/root/repo/src/tree/canonical.cc" "src/CMakeFiles/catapult.dir/tree/canonical.cc.o" "gcc" "src/CMakeFiles/catapult.dir/tree/canonical.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/catapult.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/catapult.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/catapult.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/catapult.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/catapult.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/catapult.dir/util/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/budget_dist_test.cc" "tests/CMakeFiles/catapult_tests.dir/budget_dist_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/budget_dist_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/catapult_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/catapult_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/csg_test.cc" "tests/CMakeFiles/catapult_tests.dir/csg_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/csg_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/catapult_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/catapult_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/formulate_test.cc" "tests/CMakeFiles/catapult_tests.dir/formulate_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/formulate_test.cc.o.d"
+  "/root/repo/tests/ged_bipartite_test.cc" "tests/CMakeFiles/catapult_tests.dir/ged_bipartite_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/ged_bipartite_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/catapult_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/catapult_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/invariants_test.cc" "tests/CMakeFiles/catapult_tests.dir/invariants_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/invariants_test.cc.o.d"
+  "/root/repo/tests/iso_test.cc" "tests/CMakeFiles/catapult_tests.dir/iso_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/iso_test.cc.o.d"
+  "/root/repo/tests/maintenance_test.cc" "tests/CMakeFiles/catapult_tests.dir/maintenance_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/maintenance_test.cc.o.d"
+  "/root/repo/tests/mining_test.cc" "tests/CMakeFiles/catapult_tests.dir/mining_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/mining_test.cc.o.d"
+  "/root/repo/tests/plan_execution_test.cc" "tests/CMakeFiles/catapult_tests.dir/plan_execution_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/plan_execution_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/catapult_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sample_test.cc" "tests/CMakeFiles/catapult_tests.dir/sample_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/sample_test.cc.o.d"
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/catapult_tests.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/search_test.cc.o.d"
+  "/root/repo/tests/selector_test.cc" "tests/CMakeFiles/catapult_tests.dir/selector_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/selector_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/catapult_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/tree_test.cc" "tests/CMakeFiles/catapult_tests.dir/tree_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/tree_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/catapult_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/catapult_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/catapult.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
