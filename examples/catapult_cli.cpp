@@ -4,9 +4,11 @@
 //   generate --out FILE [--graphs N] [--families K] [--seed S]
 //       Write a synthetic molecule-like database in gSpan text format.
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
-//        [--seed S] [--sampling]
+//        [--seed S] [--sampling] [--deadline-ms MS]
 //       Run the full Catapult pipeline and write the selected canned
 //       patterns (as a pattern database in the same text format).
+//       --deadline-ms bounds the wall-clock time: on expiry each phase
+//       returns its best partial result and the degradation is reported.
 //   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
 //       Evaluate a pattern panel on a random query workload (MP, mu).
 //   search --db FILE --query-id I [--edges K] [--seed S]
@@ -76,6 +78,24 @@ int Usage() {
   return 1;
 }
 
+// Reads a database, printing the parse diagnostics (file, line, reason) on
+// failure.
+std::optional<GraphDatabase> ReadDatabaseOrComplain(const std::string& path) {
+  ParseError error;
+  auto db = ReadDatabaseFromFile(path, &error);
+  if (!db) {
+    if (error.line > 0) {
+      std::fprintf(stderr, "%s:%zu: parse error: %s\n", path.c_str(),
+                   error.line, error.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   error.message.empty() ? "cannot read"
+                                         : error.message.c_str());
+    }
+  }
+  return db;
+}
+
 int CmdGenerate(const Flags& flags) {
   auto out = flags.Get("out");
   if (!out) return Usage();
@@ -100,11 +120,8 @@ int CmdMine(const Flags& flags) {
   auto db_path = flags.Get("db");
   auto out = flags.Get("out");
   if (!db_path || !out) return Usage();
-  auto db = ReadDatabaseFromFile(*db_path);
-  if (!db) {
-    std::fprintf(stderr, "cannot read %s\n", db_path->c_str());
-    return 1;
-  }
+  auto db = ReadDatabaseOrComplain(*db_path);
+  if (!db) return 1;
   CatapultOptions options;
   options.selector.budget.gamma =
       static_cast<size_t>(flags.GetInt("gamma", 12));
@@ -115,6 +132,7 @@ int CmdMine(const Flags& flags) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.clustering.fine_mcs.node_budget = 5000;
   options.use_sampling = flags.GetBool("sampling");
+  options.deadline_ms = static_cast<double>(flags.GetInt("deadline-ms", 0));
   CatapultResult result = RunCatapult(*db, options);
 
   GraphDatabase panel;
@@ -132,8 +150,22 @@ int CmdMine(const Flags& flags) {
       result.selection.patterns.size(), db->size(), result.clusters.size(),
       result.clustering_seconds, result.selection_seconds, out->c_str());
   for (const SelectedPattern& p : result.selection.patterns) {
-    std::printf("  |E|=%zu score=%.4f ccov=%.3f div=%.1f cog=%.2f\n",
-                p.graph.NumEdges(), p.score, p.ccov, p.div, p.cog);
+    std::printf("  |E|=%zu score=%.4f ccov=%.3f div=%.1f cog=%.2f%s\n",
+                p.graph.NumEdges(), p.score, p.ccov, p.div, p.cog,
+                p.fallback ? " [fallback]" : "");
+  }
+  const ExecutionReport& exec = result.execution;
+  if (exec.deadline_set && exec.Degraded()) {
+    std::printf(
+        "deadline degradation: clustering=%s csg=%s selection=%s "
+        "coarse-only=%d degraded-csgs=%zu fallback-patterns=%zu "
+        "iso-budget-exhausted=%llu\n",
+        exec.clustering_complete ? "complete" : "partial",
+        exec.csg_complete ? "complete" : "partial",
+        exec.selection_complete ? "complete" : "partial",
+        exec.clustering_coarse_only ? 1 : 0, exec.degraded_csgs,
+        exec.fallback_patterns,
+        static_cast<unsigned long long>(exec.iso_budget_exhausted));
   }
   return 0;
 }
@@ -142,12 +174,10 @@ int CmdEvaluate(const Flags& flags) {
   auto db_path = flags.Get("db");
   auto patterns_path = flags.Get("patterns");
   if (!db_path || !patterns_path) return Usage();
-  auto db = ReadDatabaseFromFile(*db_path);
-  auto patterns = ReadDatabaseFromFile(*patterns_path);
-  if (!db || !patterns) {
-    std::fprintf(stderr, "cannot read inputs\n");
-    return 1;
-  }
+  auto db = ReadDatabaseOrComplain(*db_path);
+  if (!db) return 1;
+  auto patterns = ReadDatabaseOrComplain(*patterns_path);
+  if (!patterns) return 1;
   QueryWorkloadOptions wl;
   wl.count = static_cast<size_t>(flags.GetInt("queries", 100));
   wl.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
@@ -169,11 +199,8 @@ int CmdEvaluate(const Flags& flags) {
 int CmdSearch(const Flags& flags) {
   auto db_path = flags.Get("db");
   if (!db_path) return Usage();
-  auto db = ReadDatabaseFromFile(*db_path);
-  if (!db) {
-    std::fprintf(stderr, "cannot read %s\n", db_path->c_str());
-    return 1;
-  }
+  auto db = ReadDatabaseOrComplain(*db_path);
+  if (!db) return 1;
   GraphId source = static_cast<GraphId>(flags.GetInt("query-id", 0));
   if (source >= db->size()) {
     std::fprintf(stderr, "query-id out of range\n");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Second ctest configuration: build and run the test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   scripts/sanitize_tests.sh [build-dir] [extra ctest args...]
+#
+# Uses build-sanitize/ by default so the instrumented tree never collides
+# with the regular build/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo/build-sanitize}"
+shift || true
+
+cmake -B "$build_dir" -S "$repo" \
+  -DCATAPULT_SANITIZE="address;undefined" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure "$@"

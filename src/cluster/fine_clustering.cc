@@ -10,7 +10,16 @@ namespace catapult {
 std::vector<std::vector<GraphId>> FineCluster(
     const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
     const FineClusteringOptions& options, Rng& rng) {
+  return FineCluster(db, std::move(clusters), options, rng,
+                     RunContext::NoLimit());
+}
+
+std::vector<std::vector<GraphId>> FineCluster(
+    const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
+    const FineClusteringOptions& options, Rng& rng, const RunContext& ctx,
+    bool* complete) {
   CATAPULT_CHECK(options.max_cluster_size >= 2);
+  if (complete != nullptr) *complete = true;
   std::vector<std::vector<GraphId>> done;
   std::deque<std::vector<GraphId>> large;
   for (auto& cluster : clusters) {
@@ -22,8 +31,23 @@ std::vector<std::vector<GraphId>> FineCluster(
   }
 
   while (!large.empty()) {
+    // On expiry, hand the still-oversized clusters back unsplit: the result
+    // remains a partition, just coarser than requested (the degradation
+    // ladder's "coarse-only" rung).
+    if (ctx.StopRequested("cluster.fine.split")) {
+      if (complete != nullptr) *complete = false;
+      for (auto& cluster : large) done.push_back(std::move(cluster));
+      large.clear();
+      break;
+    }
     std::vector<GraphId> cluster = std::move(large.front());
     large.pop_front();
+
+    // One split costs ~2 MCS calls per member; keep each call affordable
+    // within the remaining time (unlimited contexts leave budgets as
+    // configured).
+    McsOptions mcs = options.mcs;
+    mcs.node_budget = ctx.TightenNodeBudget(mcs.node_budget);
 
     // Seed1: random member. Seed2: member least similar to Seed1.
     size_t seed1_pos = rng.UniformInt(cluster.size());
@@ -34,7 +58,7 @@ std::vector<std::vector<GraphId>> FineCluster(
     for (size_t i = 0; i < cluster.size(); ++i) {
       if (i == seed1_pos) continue;
       similarity[i] =
-          McsSimilarity(db.graph(cluster[i]), db.graph(seed1), options.mcs);
+          McsSimilarity(db.graph(cluster[i]), db.graph(seed1), mcs);
       if (similarity[i] < min_sim) {
         min_sim = similarity[i];
         seed2_pos = i;
@@ -47,7 +71,7 @@ std::vector<std::vector<GraphId>> FineCluster(
     for (size_t i = 0; i < cluster.size(); ++i) {
       if (i == seed1_pos || i == seed2_pos) continue;
       double to_seed2 =
-          McsSimilarity(db.graph(cluster[i]), db.graph(seed2), options.mcs);
+          McsSimilarity(db.graph(cluster[i]), db.graph(seed2), mcs);
       if (similarity[i] > to_seed2) {
         first.push_back(cluster[i]);
       } else {

@@ -5,6 +5,7 @@
 
 #include "src/graph/graph_database.h"
 #include "src/iso/mcs.h"
+#include "src/util/deadline.h"
 #include "src/util/rng.h"
 
 namespace catapult {
@@ -30,6 +31,17 @@ struct FineClusteringOptions {
 std::vector<std::vector<GraphId>> FineCluster(
     const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
     const FineClusteringOptions& options, Rng& rng);
+
+// Deadline-aware variant: polls `ctx` before each split (failpoint site
+// "cluster.fine.split") and tightens the per-pair MCS node budget to the
+// remaining time. On expiry the still-oversized clusters are returned
+// unsplit (graceful degradation to the coarse partition) and `complete`
+// (optional) is set to false. The result is always a partition of the input
+// ids.
+std::vector<std::vector<GraphId>> FineCluster(
+    const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
+    const FineClusteringOptions& options, Rng& rng, const RunContext& ctx,
+    bool* complete = nullptr);
 
 }  // namespace catapult
 

@@ -12,6 +12,14 @@ namespace catapult {
 ClusteringResult SmallGraphClustering(
     const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
     const SmallGraphClusteringOptions& options, Rng& rng) {
+  return SmallGraphClustering(db, graph_ids, options, rng,
+                              RunContext::NoLimit());
+}
+
+ClusteringResult SmallGraphClustering(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SmallGraphClusteringOptions& options, Rng& rng,
+    const RunContext& ctx) {
   ClusteringResult result;
   if (graph_ids.empty()) return result;
 
@@ -23,9 +31,12 @@ ClusteringResult SmallGraphClustering(
     coarse_clusters.push_back(graph_ids);
   } else {
     // --- Coarse clustering (Algorithm 2) ---
+    // Mining gets at most half of the remaining time so it cannot starve
+    // the clustering stages proper.
     WallTimer mining_timer;
-    std::vector<FrequentSubtree> all_subtrees =
-        MineFrequentSubtrees(db, graph_ids, options.miner);
+    std::vector<FrequentSubtree> all_subtrees = MineFrequentSubtrees(
+        db, graph_ids, options.miner, ctx.Slice(0.5),
+        &result.mining_complete);
     // Refine the feature set by facility-location greedy selection.
     std::vector<size_t> selected =
         SelectRepresentativeSubtrees(all_subtrees, options.facility);
@@ -35,7 +46,12 @@ ClusteringResult SmallGraphClustering(
     result.mining_seconds = mining_timer.ElapsedSeconds();
 
     WallTimer coarse_timer;
-    if (result.features.empty()) {
+    if (ctx.StopRequested("cluster.coarse")) {
+      // Expired before the coarse stage: everything lands in one cluster
+      // (fine clustering, if it still gets time, can split it further).
+      result.coarse_complete = false;
+      coarse_clusters.push_back(graph_ids);
+    } else if (result.features.empty()) {
       // No frequent subtrees (tiny/degenerate input): one cluster.
       coarse_clusters.push_back(graph_ids);
     } else {
@@ -81,7 +97,8 @@ ClusteringResult SmallGraphClustering(
   FineClusteringOptions fine;
   fine.max_cluster_size = options.max_cluster_size;
   fine.mcs = options.fine_mcs;
-  result.clusters = FineCluster(db, std::move(coarse_clusters), fine, rng);
+  result.clusters = FineCluster(db, std::move(coarse_clusters), fine, rng,
+                                ctx, &result.fine_complete);
   result.fine_seconds = fine_timer.ElapsedSeconds();
   return result;
 }
@@ -89,9 +106,15 @@ ClusteringResult SmallGraphClustering(
 ClusteringResult SmallGraphClustering(
     const GraphDatabase& db, const SmallGraphClusteringOptions& options,
     Rng& rng) {
+  return SmallGraphClustering(db, options, rng, RunContext::NoLimit());
+}
+
+ClusteringResult SmallGraphClustering(
+    const GraphDatabase& db, const SmallGraphClusteringOptions& options,
+    Rng& rng, const RunContext& ctx) {
   std::vector<GraphId> all(db.size());
   for (GraphId i = 0; i < db.size(); ++i) all[i] = i;
-  return SmallGraphClustering(db, all, options, rng);
+  return SmallGraphClustering(db, all, options, rng, ctx);
 }
 
 }  // namespace catapult

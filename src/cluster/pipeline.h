@@ -56,6 +56,16 @@ struct ClusteringResult {
   double mining_seconds = 0.0;
   double coarse_seconds = 0.0;
   double fine_seconds = 0.0;
+
+  // Anytime diagnostics: false when the deadline/cancellation cut the stage
+  // short and its output is a best-effort partial result. `clusters` is a
+  // partition of the input ids in every case.
+  bool mining_complete = true;
+  bool coarse_complete = true;
+  bool fine_complete = true;
+  bool Complete() const {
+    return mining_complete && coarse_complete && fine_complete;
+  }
 };
 
 // Runs the small graph clustering phase over the graphs in `graph_ids`
@@ -66,10 +76,27 @@ ClusteringResult SmallGraphClustering(const GraphDatabase& db,
                                       const SmallGraphClusteringOptions& options,
                                       Rng& rng);
 
+// Deadline-aware variant. Mining receives half of the remaining time so a
+// pathological miner cannot starve the clustering stages; the coarse and
+// fine stages then run against the full context. On expiry each stage
+// degrades gracefully: mining keeps completed levels, coarse falls back to
+// a single cluster, fine leaves oversized clusters unsplit (coarse-only
+// clusters). With an unlimited context the result is identical to the
+// overload above.
+ClusteringResult SmallGraphClustering(const GraphDatabase& db,
+                                      const std::vector<GraphId>& graph_ids,
+                                      const SmallGraphClusteringOptions& options,
+                                      Rng& rng, const RunContext& ctx);
+
 // Convenience overload over the whole database.
 ClusteringResult SmallGraphClustering(const GraphDatabase& db,
                                       const SmallGraphClusteringOptions& options,
                                       Rng& rng);
+
+// Deadline-aware convenience overload over the whole database.
+ClusteringResult SmallGraphClustering(const GraphDatabase& db,
+                                      const SmallGraphClusteringOptions& options,
+                                      Rng& rng, const RunContext& ctx);
 
 }  // namespace catapult
 

@@ -16,25 +16,31 @@ namespace {
 // lazily down-sampled before fine clustering.
 ClusteringResult ClusterWithSampling(const GraphDatabase& db,
                                      const CatapultOptions& options,
-                                     Rng& rng) {
+                                     Rng& rng, const RunContext& ctx) {
   ClusteringResult result;
   WallTimer mining_timer;
 
-  // Eager sample + lowered-threshold mining.
+  // Eager sample + lowered-threshold mining (at most half of the remaining
+  // time, the same split as the unsampled path).
   std::vector<GraphId> sample = EagerSample(db.size(), options.eager, rng);
   SubtreeMinerOptions lowered = options.clustering.miner;
   lowered.min_support = LoweredSupportThreshold(
       options.clustering.miner.min_support, sample.size(), options.eager);
-  std::vector<FrequentSubtree> candidates =
-      MineFrequentSubtrees(db, sample, lowered);
+  std::vector<FrequentSubtree> candidates = MineFrequentSubtrees(
+      db, sample, lowered, ctx.Slice(0.5), &result.mining_complete);
 
   // Re-count candidate supports on the full database at the original
-  // threshold (Lemma 4.4's verification step).
+  // threshold (Lemma 4.4's verification step). One full-database support
+  // count per candidate is the expensive part; poll between candidates.
   const size_t min_count = static_cast<size_t>(std::max(
       1.0, options.clustering.miner.min_support *
                static_cast<double>(db.size())));
   std::vector<FrequentSubtree> verified;
   for (FrequentSubtree& fs : candidates) {
+    if (ctx.StopRequested("miner.count_support")) {
+      result.mining_complete = false;
+      break;
+    }
     DynamicBitset support = CountSupport(fs.tree, db);
     if (support.Count() < min_count) continue;
     fs.frequency = static_cast<double>(support.Count()) /
@@ -53,7 +59,10 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
   std::vector<GraphId> all(db.size());
   for (GraphId i = 0; i < db.size(); ++i) all[i] = i;
   std::vector<std::vector<GraphId>> coarse;
-  if (result.features.empty()) {
+  if (ctx.StopRequested("cluster.coarse")) {
+    result.coarse_complete = false;
+    coarse.push_back(all);
+  } else if (result.features.empty()) {
     coarse.push_back(all);
   } else {
     std::vector<DynamicBitset> features(db.size(),
@@ -91,7 +100,8 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
   FineClusteringOptions fine;
   fine.max_cluster_size = options.clustering.max_cluster_size;
   fine.mcs = options.clustering.fine_mcs;
-  result.clusters = FineCluster(db, std::move(sampled), fine, rng);
+  result.clusters = FineCluster(db, std::move(sampled), fine, rng, ctx,
+                                &result.fine_complete);
   result.fine_seconds = fine_timer.ElapsedSeconds();
   return result;
 }
@@ -100,27 +110,57 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
 
 CatapultResult RunCatapult(const GraphDatabase& db,
                            const CatapultOptions& options) {
+  return RunCatapult(db, options, RunContext::NoLimit());
+}
+
+CatapultResult RunCatapult(const GraphDatabase& db,
+                           const CatapultOptions& options,
+                           const RunContext& ctx) {
   CatapultResult result;
   if (db.empty()) return result;
+
+  // The effective deadline is the earlier of the caller's context and
+  // options.deadline_ms; the cancellation token is shared either way.
+  RunContext run_ctx = ctx;
+  if (options.deadline_ms > 0.0) {
+    run_ctx = RunContext(
+        Deadline::Earliest(ctx.deadline(),
+                           Deadline::AfterMillis(options.deadline_ms)),
+        ctx.cancel_token());
+  }
+  result.execution.deadline_set = !run_ctx.Unlimited();
   Rng rng(options.seed);
 
+  // Per-phase time allocation: clustering gets its share of the total, CSG
+  // its share of the remainder, selection the rest. Each phase still honours
+  // the overall deadline (a slice can never exceed it).
   WallTimer clustering_timer;
+  RunContext clustering_ctx = run_ctx.Slice(options.clustering_time_share);
   ClusteringResult clustering =
       options.use_sampling
-          ? ClusterWithSampling(db, options, rng)
-          : SmallGraphClustering(db, options.clustering, rng);
+          ? ClusterWithSampling(db, options, rng, clustering_ctx)
+          : SmallGraphClustering(db, options.clustering, rng, clustering_ctx);
   result.clusters = std::move(clustering.clusters);
   result.features = std::move(clustering.features);
   result.clustering_seconds = clustering_timer.ElapsedSeconds();
+  result.execution.clustering_complete = clustering.Complete();
+  result.execution.clustering_coarse_only = !clustering.fine_complete;
 
   WallTimer csg_timer;
-  result.csgs = BuildCsgs(db, result.clusters);
+  RunContext csg_ctx = run_ctx.Slice(options.csg_time_share);
+  result.csgs = BuildCsgs(db, result.clusters, csg_ctx,
+                          &result.execution.degraded_csgs);
   result.csg_seconds = csg_timer.ElapsedSeconds();
+  result.execution.csg_complete = result.execution.degraded_csgs == 0;
 
   WallTimer selection_timer;
   result.selection = FindCannedPatternSet(db, result.clusters, result.csgs,
-                                          options.selector, rng);
+                                          options.selector, rng, run_ctx);
   result.selection_seconds = selection_timer.ElapsedSeconds();
+  result.execution.selection_complete = result.selection.complete;
+  result.execution.fallback_patterns = result.selection.fallback_patterns;
+  result.execution.iso_budget_exhausted =
+      result.selection.iso_budget_exhausted;
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "src/csg/csg.h"
 #include "src/graph/graph_database.h"
 #include "src/sample/sampling.h"
+#include "src/util/deadline.h"
 
 namespace catapult {
 
@@ -25,6 +26,43 @@ struct CatapultOptions {
 
   // Deterministic seed for the whole pipeline.
   uint64_t seed = 42;
+
+  // Wall-clock deadline for the whole run in milliseconds (0 = unlimited).
+  // On expiry every phase returns its best partial result and the
+  // degradation is reported in CatapultResult::execution; with no deadline
+  // the output is bit-identical to a build without the deadline machinery.
+  double deadline_ms = 0.0;
+
+  // Fraction of the remaining time allotted to clustering, and of the
+  // then-remaining time allotted to CSG generation; selection runs against
+  // the full overall deadline. Phases finishing early automatically donate
+  // their unused allowance to later phases.
+  double clustering_time_share = 0.45;
+  double csg_time_share = 0.3;
+};
+
+// Robustness diagnostics of one RunCatapult execution (DESIGN.md,
+// "Robustness & anytime semantics").
+struct ExecutionReport {
+  bool deadline_set = false;
+
+  // Phase completeness: false when the deadline or a cancellation cut the
+  // phase short and its output is a best-effort partial result.
+  bool clustering_complete = true;
+  bool csg_complete = true;
+  bool selection_complete = true;
+
+  // Degradation-ladder rungs actually taken.
+  bool clustering_coarse_only = false;  // fine splitting left clusters unsplit
+  size_t degraded_csgs = 0;             // summaries folded from fewer members
+  size_t fallback_patterns = 0;         // frequent-edge fallback selections
+  uint64_t iso_budget_exhausted = 0;    // truncated VF2 coverage checks
+
+  bool Degraded() const {
+    return !clustering_complete || !csg_complete || !selection_complete ||
+           clustering_coarse_only || degraded_csgs > 0 ||
+           fallback_patterns > 0;
+  }
 };
 
 // Everything Algorithm 1 produces, plus phase timings for the benchmark
@@ -39,15 +77,26 @@ struct CatapultResult {
   double csg_seconds = 0.0;
   double selection_seconds = 0.0;   // the paper's PGT
 
+  ExecutionReport execution;
+
   // Convenience view of the selected canned patterns.
   std::vector<Graph> Patterns() const { return selection.PatternGraphs(); }
 };
 
 // Runs the full Catapult pipeline on `db` (Algorithm 1): (optionally eager-
 // sampled) small graph clustering, (optionally lazy-sampled) CSG
-// generation, and canned-pattern selection.
+// generation, and canned-pattern selection. A deadline is taken from
+// `options.deadline_ms`.
 CatapultResult RunCatapult(const GraphDatabase& db,
                            const CatapultOptions& options);
+
+// As above, but runs under a caller-provided context (e.g. a serving thread
+// that wants to share a cancellation token across requests). When
+// `options.deadline_ms` is also set, the effective deadline is the earlier
+// of the two.
+CatapultResult RunCatapult(const GraphDatabase& db,
+                           const CatapultOptions& options,
+                           const RunContext& ctx);
 
 }  // namespace catapult
 

@@ -80,13 +80,18 @@ double PatternSetDiversityApprox(const Graph& pattern,
 
 std::vector<bool> CoveredCsgs(const Graph& pattern,
                               const std::vector<Graph>& csg_summaries,
-                              uint64_t iso_node_budget) {
+                              uint64_t iso_node_budget,
+                              uint64_t* budget_exhausted) {
   std::vector<bool> covered(csg_summaries.size(), false);
   IsoOptions options;
-  options.node_budget = iso_node_budget;
+  options.node_budget =
+      iso_node_budget == 0 ? kDefaultCoverageIsoBudget : iso_node_budget;
   for (size_t i = 0; i < csg_summaries.size(); ++i) {
     if (csg_summaries[i].NumVertices() == 0) continue;
+    bool exhausted = false;
+    options.budget_exhausted = &exhausted;
     covered[i] = ContainsSubgraph(pattern, csg_summaries[i], options);
+    if (exhausted && budget_exhausted != nullptr) ++*budget_exhausted;
   }
   return covered;
 }
@@ -94,10 +99,11 @@ std::vector<bool> CoveredCsgs(const Graph& pattern,
 double ClusterCoverage(const Graph& pattern,
                        const std::vector<Graph>& csg_summaries,
                        const ClusterWeights& weights,
-                       uint64_t iso_node_budget) {
+                       uint64_t iso_node_budget,
+                       uint64_t* budget_exhausted) {
   CATAPULT_CHECK(weights.size() == csg_summaries.size());
-  std::vector<bool> covered =
-      CoveredCsgs(pattern, csg_summaries, iso_node_budget);
+  std::vector<bool> covered = CoveredCsgs(pattern, csg_summaries,
+                                          iso_node_budget, budget_exhausted);
   double total = 0.0;
   for (size_t i = 0; i < csg_summaries.size(); ++i) {
     if (covered[i]) total += weights.Get(i);

@@ -36,14 +36,23 @@ double PatternSetDiversityApprox(const Graph& pattern,
                                  const std::vector<Graph>& selected,
                                  double empty_set_value = 1.0);
 
+// Default backtracking budget for one coverage subgraph-isomorphism test.
+// Coverage tests must always be finite: an unlimited VF2 call on an
+// adversarial CSG could stall selection forever, and an unlimited call can
+// never report the truncation it silently avoids. Passing 0 to the coverage
+// helpers below selects this value rather than "unlimited".
+inline constexpr uint64_t kDefaultCoverageIsoBudget = 2000000;
+
 // Cluster coverage ccov(p, cw, C) ~= scov(p, D) (Section 5): the sum of
 // current cluster weights over clusters whose CSG contains p. `budget`
 // bounds each subgraph-isomorphism test; budget-exhausted tests count as
-// "not contained" (conservative).
+// "not contained" (conservative) and are tallied into `budget_exhausted`
+// (optional, accumulated) so truncation is observable instead of silent.
 double ClusterCoverage(const Graph& pattern,
                        const std::vector<Graph>& csg_summaries,
                        const ClusterWeights& weights,
-                       uint64_t iso_node_budget = 2000000);
+                       uint64_t iso_node_budget = kDefaultCoverageIsoBudget,
+                       uint64_t* budget_exhausted = nullptr);
 
 // Marks which CSGs contain `pattern` (used both for scoring and for the
 // weight update after selection).
@@ -51,7 +60,8 @@ double ClusterCoverage(const Graph& pattern,
 // precomputed once by the caller.
 std::vector<bool> CoveredCsgs(const Graph& pattern,
                               const std::vector<Graph>& csg_summaries,
-                              uint64_t iso_node_budget = 2000000);
+                              uint64_t iso_node_budget = kDefaultCoverageIsoBudget,
+                              uint64_t* budget_exhausted = nullptr);
 
 // The full pattern score of Equation 2:
 //   s_p = ccov(p, cw, C) * lcov(p, D) * div(p, P \ p) / cog(p).

@@ -63,6 +63,19 @@ Pcp GeneratePcp(const WeightedCsg& wcsg, size_t target_edges, Rng& rng) {
   return pcp;
 }
 
+std::vector<Pcp> GeneratePcpLibrary(const WeightedCsg& wcsg,
+                                    size_t target_edges, size_t count,
+                                    Rng& rng, const RunContext& ctx) {
+  std::vector<Pcp> library;
+  library.reserve(count);
+  for (size_t walk = 0; walk < count; ++walk) {
+    if (ctx.StopRequested("selector.pcp_walk")) break;
+    Pcp pcp = GeneratePcp(wcsg, target_edges, rng);
+    if (!pcp.empty()) library.push_back(std::move(pcp));
+  }
+  return library;
+}
+
 Pcp GenerateGreedyPcp(const WeightedCsg& wcsg, size_t target_edges) {
   Pcp pcp;
   const ClusterSummaryGraph& csg = *wcsg.csg;

@@ -5,6 +5,7 @@
 
 #include "src/core/weights.h"
 #include "src/csg/csg.h"
+#include "src/util/deadline.h"
 #include "src/util/rng.h"
 
 namespace catapult {
@@ -38,6 +39,15 @@ Pcp GeneratePcp(const WeightedCsg& wcsg, size_t target_edges, Rng& rng);
 // Deterministic greedy variant (DaVinci-style ablation): grows from the
 // seed edge always taking the heaviest candidate adjacent edge.
 Pcp GenerateGreedyPcp(const WeightedCsg& wcsg, size_t target_edges);
+
+// Generates up to `count` PCP walks (empty walks dropped), polling `ctx`
+// before each walk (failpoint site "selector.pcp_walk"); on expiry the
+// library generated so far is returned — FCP assembly degrades smoothly
+// with fewer walks. With an unlimited context this draws exactly the same
+// rng stream as `count` sequential GeneratePcp calls.
+std::vector<Pcp> GeneratePcpLibrary(const WeightedCsg& wcsg,
+                                    size_t target_edges, size_t count,
+                                    Rng& rng, const RunContext& ctx);
 
 // Assembles the final candidate pattern (FCP) from a PCP library: the most
 // frequent edge across the library seeds the pattern, which then greedily

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/mining/frequent_edges.h"
 #include "src/iso/vf2.h"
 
 namespace catapult {
@@ -14,11 +15,76 @@ std::vector<Graph> SelectionResult::PatternGraphs() const {
   return graphs;
 }
 
+namespace {
+
+// Fills still-open size slots with frequent-edge path patterns after the
+// deadline cut the greedy loop short (the last rung of the degradation
+// ladder: the interface still shows a full, size-conforming panel).
+void FillWithFallbackPatterns(const GraphDatabase& db,
+                              const SelectorOptions& options,
+                              std::vector<size_t>& selected_per_size,
+                              std::vector<Graph>& selected_graphs,
+                              SelectionResult& result) {
+  // Per-size pools are built lazily and walked once; every pool entry is
+  // distinct, so a full pass that adds nothing means the pools are dry.
+  std::unordered_map<size_t, std::vector<Graph>> pool;
+  std::unordered_map<size_t, size_t> next_in_pool;
+  while (result.patterns.size() < options.budget.gamma) {
+    std::vector<size_t> open_sizes =
+        OpenPatternSizes(options.budget, selected_per_size);
+    if (open_sizes.empty()) break;
+    bool progress = false;
+    for (size_t size : open_sizes) {
+      if (result.patterns.size() >= options.budget.gamma) break;
+      auto [it, inserted] = pool.try_emplace(size);
+      if (inserted) {
+        it->second =
+            FrequentEdgePathPatterns(db, size, options.budget.gamma);
+      }
+      std::vector<Graph>& candidates = it->second;
+      size_t& next = next_in_pool[size];
+      while (next < candidates.size()) {
+        Graph candidate = candidates[next++];
+        bool duplicate = false;
+        for (const Graph& s : selected_graphs) {
+          if (AreIsomorphic(candidate, s)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        SelectedPattern fallback;
+        fallback.graph = candidate;
+        fallback.fallback = true;
+        size_t slot = size - options.budget.eta_min;
+        if (slot < selected_per_size.size()) ++selected_per_size[slot];
+        selected_graphs.push_back(std::move(candidate));
+        result.patterns.push_back(std::move(fallback));
+        ++result.fallback_patterns;
+        progress = true;
+        break;
+      }
+    }
+    if (!progress) break;
+  }
+}
+
+}  // namespace
+
 SelectionResult FindCannedPatternSet(
     const GraphDatabase& db,
     const std::vector<std::vector<GraphId>>& clusters,
     const std::vector<ClusterSummaryGraph>& csgs,
     const SelectorOptions& options, Rng& rng) {
+  return FindCannedPatternSet(db, clusters, csgs, options, rng,
+                              RunContext::NoLimit());
+}
+
+SelectionResult FindCannedPatternSet(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters,
+    const std::vector<ClusterSummaryGraph>& csgs,
+    const SelectorOptions& options, Rng& rng, const RunContext& ctx) {
   options.budget.Validate();
   CATAPULT_CHECK(clusters.size() == csgs.size());
 
@@ -55,11 +121,19 @@ SelectionResult FindCannedPatternSet(
     for (const CoverageEntry& entry : bucket) {
       if (AreIsomorphic(entry.graph, g)) return entry.covered;
     }
-    bucket.push_back({g, CoveredCsgs(g, summaries, options.iso_node_budget)});
+    // Near the deadline each iso test gets only the nodes still affordable,
+    // so one adversarial summary cannot eat the whole selection slice.
+    uint64_t iso_budget = ctx.TightenNodeBudget(options.iso_node_budget);
+    bucket.push_back({g, CoveredCsgs(g, summaries, iso_budget,
+                                     &result.iso_budget_exhausted)});
     return bucket.back().covered;
   };
 
   while (selected_graphs.size() < options.budget.gamma) {
+    if (ctx.StopRequested("selector.iteration")) {
+      result.complete = false;
+      break;
+    }
     std::vector<size_t> open_sizes =
         OpenPatternSizes(options.budget, selected_per_size);
     if (open_sizes.empty()) break;
@@ -71,6 +145,10 @@ SelectionResult FindCannedPatternSet(
     };
     std::vector<Candidate> candidates;
     for (size_t csg_index = 0; csg_index < csgs.size(); ++csg_index) {
+      if (ctx.StopRequested("selector.candidates")) {
+        result.complete = false;
+        break;
+      }
       const ClusterSummaryGraph& csg = csgs[csg_index];
       if (csg.NumEdges() == 0) continue;
       WeightedCsg wcsg = MakeWeightedCsg(csg, elw);
@@ -83,12 +161,8 @@ SelectionResult FindCannedPatternSet(
         if (options.strategy == CandidateStrategy::kGreedyBfs) {
           fcp = GenerateGreedyPcp(wcsg, size);
         } else {
-          std::vector<Pcp> library;
-          library.reserve(options.walks_per_candidate);
-          for (size_t walk = 0; walk < options.walks_per_candidate; ++walk) {
-            Pcp pcp = GeneratePcp(wcsg, size, rng);
-            if (!pcp.empty()) library.push_back(std::move(pcp));
-          }
+          std::vector<Pcp> library = GeneratePcpLibrary(
+              wcsg, size, options.walks_per_candidate, rng, ctx);
           fcp = GenerateFcp(csg, library, size);
         }
         if (fcp.size() < options.budget.eta_min) continue;
@@ -124,10 +198,21 @@ SelectionResult FindCannedPatternSet(
       candidates = std::move(unique);
     }
 
+    // Diversity GED also tightens toward the deadline (still an admissible
+    // upper bound when truncated).
+    GedOptions ged = options.ged;
+    ged.node_budget = ctx.TightenNodeBudget(ged.node_budget);
+
     // Score candidates; keep the best.
     int best_index = -1;
     SelectedPattern best;
+    bool stopped_scoring = false;
     for (size_t i = 0; i < candidates.size(); ++i) {
+      if (ctx.StopRequested("selector.score")) {
+        result.complete = false;
+        stopped_scoring = true;
+        break;
+      }
       const Graph& g = candidates[i].graph;
       // FCP assembly can fall short of the requested size; keep only
       // candidates whose actual size is still open, preserving the uniform
@@ -161,7 +246,7 @@ SelectionResult FindCannedPatternSet(
       scored.div =
           options.approximate_diversity
               ? PatternSetDiversityApprox(g, selected_graphs)
-              : PatternSetDiversity(g, selected_graphs, options.ged);
+              : PatternSetDiversity(g, selected_graphs, ged);
       scored.score = scored.cog > 0.0
                          ? scored.ccov * scored.lcov * scored.div / scored.cog
                          : 0.0;
@@ -183,6 +268,14 @@ SelectionResult FindCannedPatternSet(
     elw.DecayForPattern(best.graph, options.weight_decay);
     selected_graphs.push_back(best.graph);
     result.patterns.push_back(std::move(best));
+    if (!result.complete || stopped_scoring) break;
+  }
+
+  // Deadline degradation: top the panel up from frequent edges. Skipped on
+  // natural termination (candidates ran dry), which is not a deadline event.
+  if (!result.complete) {
+    FillWithFallbackPatterns(db, options, selected_per_size, selected_graphs,
+                             result);
   }
   return result;
 }

@@ -59,11 +59,25 @@ struct SelectedPattern {
   double div = 0.0;
   double cog = 0.0;
   size_t source_csg = 0;  // index of the CSG that proposed it
+  // True when the pattern came from the frequent-edge fallback after the
+  // deadline cut random-walk generation short (source_csg is then
+  // meaningless and the score fields are zero).
+  bool fallback = false;
 };
 
 // Result of Algorithm 4.
 struct SelectionResult {
   std::vector<SelectedPattern> patterns;
+
+  // Anytime diagnostics: `complete` is false when the deadline or a
+  // cancellation stopped the greedy loop before it ran out of candidates or
+  // budget; `fallback_patterns` counts patterns filled in from frequent
+  // edges afterwards; `iso_budget_exhausted` counts coverage subgraph-
+  // isomorphism tests truncated by their node budget (each counted test
+  // conservatively reported "not contained").
+  bool complete = true;
+  size_t fallback_patterns = 0;
+  uint64_t iso_budget_exhausted = 0;
 
   // Convenience view of just the pattern graphs.
   std::vector<Graph> PatternGraphs() const;
@@ -79,6 +93,20 @@ SelectionResult FindCannedPatternSet(
     const GraphDatabase& db, const std::vector<std::vector<GraphId>>& clusters,
     const std::vector<ClusterSummaryGraph>& csgs,
     const SelectorOptions& options, Rng& rng);
+
+// Deadline-aware variant. The greedy loop polls `ctx` per iteration, per
+// proposing CSG, and per scored candidate (failpoint sites
+// "selector.iteration", "selector.candidates", "selector.score"), and the
+// GED / subgraph-isomorphism node budgets tighten as the deadline nears.
+// When the loop is cut short, open size slots are filled with frequent-edge
+// fallback patterns (FrequentEdgePathPatterns) so the interface still shows
+// a full, size-conforming panel; those entries are flagged `fallback` and
+// counted in the result. With an unlimited context the result is identical
+// to the overload above.
+SelectionResult FindCannedPatternSet(
+    const GraphDatabase& db, const std::vector<std::vector<GraphId>>& clusters,
+    const std::vector<ClusterSummaryGraph>& csgs,
+    const SelectorOptions& options, Rng& rng, const RunContext& ctx);
 
 }  // namespace catapult
 

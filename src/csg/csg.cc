@@ -138,8 +138,22 @@ double MappedEdgeFraction(const ClusterSummaryGraph& csg, const Graph& g) {
 
 ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
                              const std::vector<GraphId>& member_ids) {
+  return BuildCsg(db, member_ids, RunContext::NoLimit());
+}
+
+ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
+                             const std::vector<GraphId>& member_ids,
+                             const RunContext& ctx, bool* complete) {
+  if (complete != nullptr) *complete = true;
   ClusterSummaryGraph csg(member_ids.size());
   for (size_t member = 0; member < member_ids.size(); ++member) {
+    // Fold member 0 unconditionally (a non-empty cluster must yield a
+    // non-empty summary); later members are skipped once the deadline
+    // passes, leaving a valid partial closure.
+    if (member > 0 && ctx.StopRequested("csg.fold_member")) {
+      if (complete != nullptr) *complete = false;
+      break;
+    }
     const Graph& g = db.graph(member_ids[member]);
     if (g.NumVertices() == 0) continue;
 
@@ -210,10 +224,20 @@ ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
 std::vector<ClusterSummaryGraph> BuildCsgs(
     const GraphDatabase& db,
     const std::vector<std::vector<GraphId>>& clusters) {
+  return BuildCsgs(db, clusters, RunContext::NoLimit());
+}
+
+std::vector<ClusterSummaryGraph> BuildCsgs(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters, const RunContext& ctx,
+    size_t* degraded) {
+  if (degraded != nullptr) *degraded = 0;
   std::vector<ClusterSummaryGraph> csgs;
   csgs.reserve(clusters.size());
   for (const auto& cluster : clusters) {
-    csgs.push_back(BuildCsg(db, cluster));
+    bool complete = true;
+    csgs.push_back(BuildCsg(db, cluster, ctx, &complete));
+    if (!complete && degraded != nullptr) ++*degraded;
   }
   return csgs;
 }

@@ -5,6 +5,7 @@
 
 #include "src/graph/graph_database.h"
 #include "src/util/bitset.h"
+#include "src/util/deadline.h"
 
 namespace catapult {
 
@@ -81,6 +82,16 @@ class ClusterSummaryGraph {
 ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
                              const std::vector<GraphId>& member_ids);
 
+// Deadline-aware variant: folding polls `ctx` between members (failpoint
+// site "csg.fold_member"). The first member is always folded, so the
+// summary is never empty for a non-empty cluster; on expiry the remaining
+// members are simply not folded (their support bits stay unset), which is a
+// valid — just less complete — closure. `complete` (optional) reports
+// whether every member was folded.
+ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
+                             const std::vector<GraphId>& member_ids,
+                             const RunContext& ctx, bool* complete = nullptr);
+
 // Dry-run of the closure step: greedily maps `g` onto `csg` exactly the way
 // BuildCsg would, without mutating the summary, and returns the fraction of
 // g's edges that land on existing summary edges (1.0 = g folds in with no
@@ -91,6 +102,15 @@ double MappedEdgeFraction(const ClusterSummaryGraph& csg, const Graph& g);
 std::vector<ClusterSummaryGraph> BuildCsgs(
     const GraphDatabase& db,
     const std::vector<std::vector<GraphId>>& clusters);
+
+// Deadline-aware variant: always returns one CSG per cluster (selection
+// relies on the 1:1 correspondence), but clusters whose turn comes after
+// expiry get a summary folded from fewer members. `degraded` (optional)
+// receives the number of partially folded summaries.
+std::vector<ClusterSummaryGraph> BuildCsgs(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters, const RunContext& ctx,
+    size_t* degraded = nullptr);
 
 }  // namespace catapult
 

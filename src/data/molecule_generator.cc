@@ -60,10 +60,15 @@ std::vector<VertexId> AddPath(Graph& g, const std::vector<Label>& path) {
 
 // Builds one of the eight primitive scaffolds into a fresh graph.
 Graph BuildPrimitiveScaffold(size_t family, const AtomDistribution& atoms) {
-  const Label C = atoms.labels[0];
-  const Label O = atoms.labels[1];
-  const Label N = atoms.labels[2];
-  const Label S = atoms.labels[3];
+  // The alphabet can be clamped as low as two labels; reuse the last label
+  // for the missing hetero-atoms instead of reading past the vector.
+  auto at = [&](size_t i) {
+    return atoms.labels[std::min(i, atoms.labels.size() - 1)];
+  };
+  const Label C = at(0);
+  const Label O = at(1);
+  const Label N = at(2);
+  const Label S = at(3);
   Graph g;
   switch (family % 8) {
     case 0: {  // Benzene-like six-ring.

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/failpoint.h"
+
 namespace catapult {
 
 void WriteDatabase(const GraphDatabase& db, std::ostream& out) {
@@ -25,10 +27,20 @@ bool WriteDatabaseToFile(const GraphDatabase& db, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<GraphDatabase> ReadDatabase(std::istream& in) {
+std::optional<GraphDatabase> ReadDatabase(std::istream& in,
+                                          ParseError* error) {
   GraphDatabase db;
   Graph current;
   bool has_current = false;
+  size_t line_number = 0;
+
+  auto Fail = [&](std::string message) -> std::optional<GraphDatabase> {
+    if (error != nullptr) {
+      error->line = line_number;
+      error->message = std::move(message);
+    }
+    return std::nullopt;
+  };
 
   auto FlushCurrent = [&]() {
     if (has_current) db.Add(std::move(current));
@@ -37,7 +49,11 @@ std::optional<GraphDatabase> ReadDatabase(std::istream& in) {
 
   std::string line;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
+    if (CATAPULT_FAILPOINT("io.parse")) {
+      return Fail("injected parse failure (failpoint io.parse)");
+    }
     std::istringstream tokens(line);
     char kind = 0;
     tokens >> kind;
@@ -45,44 +61,62 @@ std::optional<GraphDatabase> ReadDatabase(std::istream& in) {
       FlushCurrent();
       has_current = true;
     } else if (kind == 'v') {
-      if (!has_current) return std::nullopt;
+      if (!has_current) {
+        return Fail("vertex record before any 't' graph header");
+      }
       long long id = -1;
       std::string label;
       tokens >> id >> label;
-      if (!tokens || id != static_cast<long long>(current.NumVertices())) {
-        return std::nullopt;  // Vertices must be dense and in order.
+      if (!tokens) return Fail("expected 'v <id> <label>'");
+      if (id != static_cast<long long>(current.NumVertices())) {
+        return Fail("vertex ids must be dense and in order (expected " +
+                    std::to_string(current.NumVertices()) + ", got " +
+                    std::to_string(id) + ")");
       }
       current.AddVertex(db.labels().Intern(label));
     } else if (kind == 'e') {
-      if (!has_current) return std::nullopt;
+      if (!has_current) {
+        return Fail("edge record before any 't' graph header");
+      }
       long long u = -1;
       long long v = -1;
       tokens >> u >> v;
-      if (!tokens || u < 0 || v < 0 || u == v ||
-          u >= static_cast<long long>(current.NumVertices()) ||
+      if (!tokens) return Fail("expected 'e <u> <v> [<label>]'");
+      if (u < 0 || v < 0) return Fail("negative edge endpoint");
+      if (u == v) return Fail("self-loop edge " + std::to_string(u));
+      if (u >= static_cast<long long>(current.NumVertices()) ||
           v >= static_cast<long long>(current.NumVertices())) {
-        return std::nullopt;
+        return Fail("edge endpoint out of range (graph has " +
+                    std::to_string(current.NumVertices()) + " vertices)");
       }
       long long edge_label = 0;
       tokens >> edge_label;  // Optional; leaves 0 on failure.
       if (current.HasEdge(static_cast<VertexId>(u),
                           static_cast<VertexId>(v))) {
-        return std::nullopt;
+        return Fail("duplicate edge " + std::to_string(u) + "-" +
+                    std::to_string(v));
       }
       current.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
                       static_cast<Label>(edge_label));
     } else {
-      return std::nullopt;
+      return Fail(std::string("unknown record type '") + kind + "'");
     }
   }
   FlushCurrent();
   return db;
 }
 
-std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path) {
+std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path,
+                                                  ParseError* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadDatabase(in);
+  if (!in) {
+    if (error != nullptr) {
+      error->line = 0;
+      error->message = "cannot open file";
+    }
+    return std::nullopt;
+  }
+  return ReadDatabase(in, error);
 }
 
 }  // namespace catapult

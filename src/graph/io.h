@@ -25,12 +25,23 @@ void WriteDatabase(const GraphDatabase& db, std::ostream& out);
 // Convenience wrapper that writes to `path`. Returns false on I/O failure.
 bool WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
 
+// Where and why parsing failed. `line` is the 1-based number of the
+// offending input line (0 when the failure is not tied to a line, e.g. an
+// unreadable file).
+struct ParseError {
+  size_t line = 0;
+  std::string message;
+};
+
 // Parses a database from `in`. Returns std::nullopt on malformed input
-// (negative ids, dangling edge endpoints, duplicate edges).
-std::optional<GraphDatabase> ReadDatabase(std::istream& in);
+// (negative ids, dangling edge endpoints, duplicate edges); when `error` is
+// non-null it receives the line number and reason of the first failure.
+std::optional<GraphDatabase> ReadDatabase(std::istream& in,
+                                          ParseError* error = nullptr);
 
 // Convenience wrapper that reads from `path`.
-std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path);
+std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path,
+                                                  ParseError* error = nullptr);
 
 }  // namespace catapult
 

@@ -97,4 +97,50 @@ std::vector<Graph> TopBasicPatterns(const GraphDatabase& db, size_t m) {
   return result;
 }
 
+std::vector<Graph> FrequentEdgePathPatterns(const GraphDatabase& db,
+                                            size_t num_edges, size_t count) {
+  std::vector<Graph> patterns;
+  if (num_edges == 0 || count == 0) return patterns;
+  std::vector<RankedEdge> ranked = RankEdgesBySupport(db);
+  if (ranked.empty()) return patterns;
+
+  auto LabelA = [](EdgeLabelKey key) {
+    return static_cast<Label>(key >> 32);
+  };
+  auto LabelB = [](EdgeLabelKey key) {
+    return static_cast<Label>(key & 0xFFFFFFFFULL);
+  };
+  // The most frequent key containing `label`, if any.
+  auto BestExtension = [&](Label label) -> const RankedEdge* {
+    for (const RankedEdge& e : ranked) {
+      if (LabelA(e.key) == label || LabelB(e.key) == label) return &e;
+    }
+    return nullptr;
+  };
+
+  std::unordered_set<uint64_t> seen;
+  for (size_t i = 0; i < ranked.size() && patterns.size() < count; ++i) {
+    Graph path;
+    VertexId front = path.AddVertex(LabelA(ranked[i].key));
+    VertexId back = path.AddVertex(LabelB(ranked[i].key));
+    path.AddEdge(front, back);
+    while (path.NumEdges() < num_edges) {
+      // Extend at the back endpoint with its most frequent compatible key;
+      // the seed key itself always qualifies, so growth cannot stall.
+      const RankedEdge* ext = BestExtension(path.VertexLabel(back));
+      if (ext == nullptr) break;
+      Label next_label = LabelA(ext->key) == path.VertexLabel(back)
+                             ? LabelB(ext->key)
+                             : LabelA(ext->key);
+      VertexId added = path.AddVertex(next_label);
+      path.AddEdge(back, added);
+      back = added;
+    }
+    if (path.NumEdges() != num_edges) continue;
+    if (!seen.insert(GraphFingerprint(path)).second) continue;
+    patterns.push_back(std::move(path));
+  }
+  return patterns;
+}
+
 }  // namespace catapult

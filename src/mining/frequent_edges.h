@@ -26,6 +26,18 @@ std::vector<Graph> TopFrequentEdgePatterns(const GraphDatabase& db, size_t k);
 // and are exposed separately from canned patterns.
 std::vector<Graph> TopBasicPatterns(const GraphDatabase& db, size_t m);
 
+// Degradation fallback for deadline-cut selection: up to `count` distinct
+// path patterns of exactly `num_edges` edges assembled from frequent
+// labelled edges. Pattern i is seeded with the i-th ranked edge and grown
+// one edge at a time from an endpoint, always picking the most frequent
+// edge key compatible with that endpoint's label. No isomorphism or
+// coverage tests: O(ranking * num_edges) per pattern, deterministic, and
+// every returned pattern has exactly `num_edges` edges (so it fits any
+// [eta_min, eta_max] window that contains that size). Duplicate paths from
+// different seeds are removed.
+std::vector<Graph> FrequentEdgePathPatterns(const GraphDatabase& db,
+                                            size_t num_edges, size_t count);
+
 }  // namespace catapult
 
 #endif  // CATAPULT_MINING_FREQUENT_EDGES_H_

@@ -36,6 +36,14 @@ DynamicBitset CountSupportWithin(const Graph& tree, const GraphDatabase& db,
 std::vector<FrequentSubtree> MineFrequentSubtrees(
     const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
     const SubtreeMinerOptions& options) {
+  return MineFrequentSubtrees(db, graph_ids, options, RunContext::NoLimit());
+}
+
+std::vector<FrequentSubtree> MineFrequentSubtrees(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SubtreeMinerOptions& options, const RunContext& ctx,
+    bool* complete) {
+  if (complete != nullptr) *complete = true;
   std::vector<FrequentSubtree> results;
   if (graph_ids.empty()) return results;
   const size_t universe = graph_ids.size();
@@ -125,8 +133,16 @@ std::vector<FrequentSubtree> MineFrequentSubtrees(
     }
 
     // Count support (restricted to the parent's support set).
+    bool stopped = false;
     std::vector<FrequentSubtree> next;
     for (Candidate& c : candidates) {
+      // Support counting is the expensive inner loop (one subgraph-
+      // isomorphism test per graph); poll the deadline per candidate and
+      // keep the levels already completed as the anytime result.
+      if (ctx.StopRequested("miner.count_support")) {
+        stopped = true;
+        break;
+      }
       DynamicBitset support =
           CountSupportWithin(c.tree, db, graph_ids, c.parent_support);
       if (support.Count() < min_count) continue;
@@ -137,6 +153,10 @@ std::vector<FrequentSubtree> MineFrequentSubtrees(
       fs.canonical = std::move(c.canonical);
       fs.support = std::move(support);
       next.push_back(std::move(fs));
+    }
+    if (stopped) {
+      if (complete != nullptr) *complete = false;
+      break;
     }
     frontier = std::move(next);
   }

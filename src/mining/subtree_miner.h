@@ -6,6 +6,7 @@
 
 #include "src/graph/graph_database.h"
 #include "src/util/bitset.h"
+#include "src/util/deadline.h"
 
 namespace catapult {
 
@@ -46,6 +47,16 @@ struct FrequentSubtree {
 std::vector<FrequentSubtree> MineFrequentSubtrees(
     const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
     const SubtreeMinerOptions& options);
+
+// Deadline-aware variant: support counting polls `ctx` (failpoint site
+// "miner.count_support") and, on expiry/cancellation, mining stops after the
+// current candidate and returns the levels completed so far — an anytime
+// result, since every returned subtree carries its exact support. `complete`
+// (optional) reports whether mining ran to natural completion.
+std::vector<FrequentSubtree> MineFrequentSubtrees(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SubtreeMinerOptions& options, const RunContext& ctx,
+    bool* complete = nullptr);
 
 // Convenience overload over the whole database.
 std::vector<FrequentSubtree> MineFrequentSubtrees(

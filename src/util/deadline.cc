@@ -1,0 +1,59 @@
+#include "src/util/deadline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace catapult {
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  Deadline d;
+  d.infinite_ = false;
+  d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 std::max(0.0, seconds)));
+  return d;
+}
+
+Deadline Deadline::At(Clock::time_point when) {
+  Deadline d;
+  d.infinite_ = false;
+  d.at_ = when;
+  return d;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (infinite_) return std::numeric_limits<double>::infinity();
+  double remaining =
+      std::chrono::duration<double>(at_ - Clock::now()).count();
+  return std::max(0.0, remaining);
+}
+
+Deadline Deadline::Fraction(double fraction) const {
+  if (infinite_) return *this;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  Clock::time_point now = Clock::now();
+  if (now >= at_) return *this;  // Already expired; slicing cannot extend.
+  auto remaining = at_ - now;
+  return At(now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          std::chrono::duration<double>(remaining).count() *
+                          fraction)));
+}
+
+Deadline Deadline::Earliest(const Deadline& a, const Deadline& b) {
+  if (a.infinite_) return b;
+  if (b.infinite_) return a;
+  return a.at_ <= b.at_ ? a : b;
+}
+
+uint64_t RunContext::TightenNodeBudget(uint64_t configured,
+                                       double nodes_per_second) const {
+  if (deadline_.infinite()) return configured;
+  double allowance = deadline_.RemainingSeconds() * nodes_per_second;
+  uint64_t adaptive =
+      allowance >= 1.0 ? static_cast<uint64_t>(allowance) : uint64_t{1};
+  if (configured == 0) return adaptive;
+  return std::min(configured, adaptive);
+}
+
+}  // namespace catapult

@@ -1,0 +1,84 @@
+#include "src/util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace catapult::failpoint {
+
+namespace {
+
+struct Site {
+  long remaining = 0;  // firings left; < 0 = unlimited
+  bool armed = false;
+  size_t hits = 0;
+};
+
+// Number of currently armed sites; the lock-free gate consulted by every
+// CATAPULT_FAILPOINT before touching the registry.
+std::atomic<int> g_armed_count{0};
+
+std::mutex& Mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, Site>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, Site>();
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, long count) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Site& s = Registry()[site];
+  if (!s.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.remaining = count;
+  s.hits = 0;
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  for (auto& [name, site] : Registry()) {
+    if (site.armed) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Registry().clear();
+}
+
+size_t HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool AnyArmed() { return g_armed_count.load(std::memory_order_relaxed) > 0; }
+
+bool Evaluate(const char* site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end() || !it->second.armed) return false;
+  Site& s = it->second;
+  if (s.remaining == 0) return false;
+  if (s.remaining > 0) --s.remaining;
+  ++s.hits;
+  return true;
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string site, long count)
+    : site_(std::move(site)) {
+  Arm(site_, count);
+}
+
+ScopedFailpoint::~ScopedFailpoint() { Disarm(site_); }
+
+}  // namespace catapult::failpoint
