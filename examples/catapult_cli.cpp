@@ -5,10 +5,16 @@
 //       Write a synthetic molecule-like database in gSpan text format.
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
 //        [--seed S] [--sampling] [--deadline-ms MS]
+//        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
 //       Run the full Catapult pipeline and write the selected canned
 //       patterns (as a pattern database in the same text format).
 //       --deadline-ms bounds the wall-clock time: on expiry each phase
 //       returns its best partial result and the degradation is reported.
+//       --checkpoint-dir persists every completed phase as a checksummed
+//       checkpoint; --resume restarts from the furthest intact phase in
+//       that directory (corrupt checkpoints fall down the recovery ladder,
+//       never crash). --checkpoint-every-phase 0 uses the directory for
+//       resume only.
 //   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
 //       Evaluate a pattern panel on a random query workload (MP, mu).
 //   search --db FILE --query-id I [--edges K] [--seed S]
@@ -105,8 +111,9 @@ int CmdGenerate(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("families", 12));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   GraphDatabase db = GenerateMoleculeDatabase(options);
-  if (!WriteDatabaseToFile(db, *out)) {
-    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+  if (IoStatus status = WriteDatabaseToFile(db, *out); !status) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out->c_str(),
+                 status.message().c_str());
     return 1;
   }
   DatabaseStats stats = db.Stats();
@@ -133,15 +140,27 @@ int CmdMine(const Flags& flags) {
   options.clustering.fine_mcs.node_budget = 5000;
   options.use_sampling = flags.GetBool("sampling");
   options.deadline_ms = static_cast<double>(flags.GetInt("deadline-ms", 0));
+  if (auto dir = flags.Get("checkpoint-dir")) options.checkpoint_dir = *dir;
+  options.resume = flags.GetBool("resume");
+  options.checkpoint_every_phase =
+      flags.GetInt("checkpoint-every-phase", 1) != 0;
   CatapultResult result = RunCatapult(*db, options);
+  if (!result.ok()) {
+    for (const OptionsError& e : result.option_errors) {
+      std::fprintf(stderr, "invalid option %s: %s\n", e.field.c_str(),
+                   e.message.c_str());
+    }
+    return 1;
+  }
 
   GraphDatabase panel;
   panel.labels() = db->labels();
   for (const SelectedPattern& p : result.selection.patterns) {
     panel.Add(p.graph);
   }
-  if (!WriteDatabaseToFile(panel, *out)) {
-    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+  if (IoStatus status = WriteDatabaseToFile(panel, *out); !status) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out->c_str(),
+                 status.message().c_str());
     return 1;
   }
   std::printf(
@@ -166,6 +185,13 @@ int CmdMine(const Flags& flags) {
         exec.clustering_coarse_only ? 1 : 0, exec.degraded_csgs,
         exec.fallback_patterns,
         static_cast<unsigned long long>(exec.iso_budget_exhausted));
+  }
+  if (exec.Resumed()) {
+    std::printf("resumed from checkpoint phase: %s\n",
+                exec.resumed_from.c_str());
+  }
+  for (const CheckpointEvent& event : exec.checkpoint_events) {
+    std::printf("  %s\n", ToString(event).c_str());
   }
   return 0;
 }

@@ -40,8 +40,8 @@ int main() {
   panel_db.labels() = db.labels();
   for (const Graph& p : patterns) panel_db.Add(p);
   const char* path = "/tmp/catapult_panel.txt";
-  if (!WriteDatabaseToFile(panel_db, path)) {
-    std::printf("failed to write %s\n", path);
+  if (IoStatus status = WriteDatabaseToFile(panel_db, path); !status) {
+    std::printf("failed to write %s: %s\n", path, status.message().c_str());
     return 1;
   }
   auto reloaded = ReadDatabaseFromFile(path);

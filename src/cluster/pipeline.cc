@@ -117,4 +117,21 @@ ClusteringResult SmallGraphClustering(
   return SmallGraphClustering(db, all, options, rng, ctx);
 }
 
+bool ValidateClusterAssignment(
+    const std::vector<std::vector<GraphId>>& clusters, size_t universe,
+    bool* is_partition) {
+  std::vector<bool> seen(universe, false);
+  size_t assigned = 0;
+  for (const std::vector<GraphId>& cluster : clusters) {
+    if (cluster.empty()) return false;
+    for (GraphId id : cluster) {
+      if (id >= universe || seen[id]) return false;
+      seen[id] = true;
+      ++assigned;
+    }
+  }
+  if (is_partition != nullptr) *is_partition = assigned == universe;
+  return true;
+}
+
 }  // namespace catapult

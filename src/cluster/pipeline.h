@@ -98,6 +98,16 @@ ClusteringResult SmallGraphClustering(const GraphDatabase& db,
                                       const SmallGraphClusteringOptions& options,
                                       Rng& rng, const RunContext& ctx);
 
+// Structural validation of a cluster assignment over the id universe
+// [0, universe): every cluster non-empty, every id in range, and no id in
+// more than one cluster. Lazy sampling may drop ids, so a valid assignment
+// need not cover the universe; `is_partition` (optional) reports whether it
+// does. Used by the checkpoint store to reject decoded-but-nonsensical
+// cluster checkpoints instead of feeding them to the pipeline.
+bool ValidateClusterAssignment(
+    const std::vector<std::vector<GraphId>>& clusters, size_t universe,
+    bool* is_partition = nullptr);
+
 }  // namespace catapult
 
 #endif  // CATAPULT_CLUSTER_PIPELINE_H_

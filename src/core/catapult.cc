@@ -1,14 +1,41 @@
 #include "src/core/catapult.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
 
 #include "src/cluster/feature_vectors.h"
 #include "src/cluster/kmeans.h"
+#include "src/util/failpoint.h"
 #include "src/util/timer.h"
 
 namespace catapult {
 
 namespace {
+
+// FNV-1a 64-bit accumulator for the config fingerprint.
+class Fingerprinter {
+ public:
+  void Mix(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void MixDouble(double value) { Mix(std::bit_cast<uint64_t>(value)); }
+  void MixString(const std::string& value) {
+    Mix(value.size());
+    for (char c : value) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
 
 // Sampling-mode clustering (Section 4.3): features are mined on the eager
 // sample at a lowered threshold and re-verified on the full database;
@@ -108,6 +135,169 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
 
 }  // namespace
 
+std::vector<OptionsError> ValidateCatapultOptions(
+    const CatapultOptions& options) {
+  std::vector<OptionsError> errors;
+  auto Err = [&errors](std::string field, std::string message) {
+    errors.push_back({std::move(field), std::move(message)});
+  };
+
+  const PatternBudget& budget = options.selector.budget;
+  if (budget.eta_min <= 2) {
+    Err("selector.budget.eta_min", "must exceed 2 (Definition 3.1)");
+  }
+  if (budget.eta_max < budget.eta_min) {
+    Err("selector.budget.eta_max", "must be at least eta_min");
+  }
+  if (budget.gamma == 0) {
+    Err("selector.budget.gamma", "must be positive");
+  }
+  if (!budget.size_distribution.empty()) {
+    if (budget.eta_max >= budget.eta_min &&
+        budget.size_distribution.size() != budget.NumSizes()) {
+      Err("selector.budget.size_distribution",
+          "needs one weight per size in [eta_min, eta_max]");
+    }
+    double total = 0.0;
+    bool malformed = false;
+    for (double w : budget.size_distribution) {
+      if (!(w >= 0.0) || !std::isfinite(w)) malformed = true;
+      total += w;
+    }
+    if (malformed) {
+      Err("selector.budget.size_distribution",
+          "weights must be finite and non-negative");
+    } else if (!(total > 0.0)) {
+      Err("selector.budget.size_distribution",
+          "needs at least one positive weight");
+    }
+  }
+  if (options.selector.strategy == CandidateStrategy::kRandomWalk &&
+      options.selector.walks_per_candidate == 0) {
+    Err("selector.walks_per_candidate",
+        "must be positive for the random-walk strategy");
+  }
+  if (!(options.selector.weight_decay > 0.0 &&
+        options.selector.weight_decay <= 1.0)) {
+    Err("selector.weight_decay", "must be in (0, 1]");
+  }
+  if (options.clustering.max_cluster_size == 0) {
+    Err("clustering.max_cluster_size", "must be positive");
+  }
+  if (options.clustering.kmeans_max_iterations == 0) {
+    Err("clustering.kmeans_max_iterations", "must be positive");
+  }
+  if (!(options.clustering.miner.min_support > 0.0 &&
+        options.clustering.miner.min_support <= 1.0)) {
+    Err("clustering.miner.min_support", "must be in (0, 1]");
+  }
+  if (options.clustering.miner.max_edges == 0) {
+    Err("clustering.miner.max_edges", "must be positive");
+  }
+  if (!(options.deadline_ms >= 0.0) || !std::isfinite(options.deadline_ms)) {
+    Err("deadline_ms", "must be finite and non-negative");
+  }
+  if (!(options.clustering_time_share > 0.0 &&
+        options.clustering_time_share < 1.0)) {
+    Err("clustering_time_share", "must be in (0, 1)");
+  }
+  if (!(options.csg_time_share > 0.0 && options.csg_time_share < 1.0)) {
+    Err("csg_time_share", "must be in (0, 1)");
+  }
+  if (options.use_sampling) {
+    if (!(options.eager.epsilon > 0.0) ||
+        !std::isfinite(options.eager.epsilon)) {
+      Err("eager.epsilon", "must be positive and finite");
+    }
+    if (!(options.eager.rho > 0.0 && options.eager.rho < 1.0)) {
+      Err("eager.rho", "must be in (0, 1)");
+    }
+    if (!(options.eager.phi > 0.0 && options.eager.phi < 1.0)) {
+      Err("eager.phi", "must be in (0, 1)");
+    }
+    if (!(options.lazy.p > 0.0 && options.lazy.p < 1.0)) {
+      Err("lazy.p", "must be in (0, 1)");
+    }
+    if (!(options.lazy.z > 0.0) || !std::isfinite(options.lazy.z)) {
+      Err("lazy.z", "must be positive and finite");
+    }
+    if (!(options.lazy.e > 0.0) || !std::isfinite(options.lazy.e)) {
+      Err("lazy.e", "must be positive and finite");
+    }
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    Err("resume", "requires checkpoint_dir to be set");
+  }
+  return errors;
+}
+
+uint64_t ConfigFingerprint(const CatapultOptions& options,
+                           const GraphDatabase& db) {
+  Fingerprinter fp;
+  fp.Mix(options.seed);
+
+  const PatternBudget& budget = options.selector.budget;
+  fp.Mix(budget.eta_min);
+  fp.Mix(budget.eta_max);
+  fp.Mix(budget.gamma);
+  fp.Mix(budget.size_distribution.size());
+  for (double w : budget.size_distribution) fp.MixDouble(w);
+
+  const SelectorOptions& sel = options.selector;
+  fp.Mix(sel.walks_per_candidate);
+  fp.Mix(static_cast<uint64_t>(sel.strategy));
+  fp.MixDouble(sel.weight_decay);
+  fp.Mix(sel.iso_node_budget);
+  fp.Mix(sel.ged.node_budget);
+  fp.Mix(sel.approximate_diversity ? 1 : 0);
+  fp.Mix(sel.skip_duplicates ? 1 : 0);
+
+  const SmallGraphClusteringOptions& cl = options.clustering;
+  fp.Mix(static_cast<uint64_t>(cl.mode));
+  fp.Mix(static_cast<uint64_t>(cl.coarse_algorithm));
+  fp.Mix(cl.max_cluster_size);
+  fp.Mix(cl.explicit_k);
+  fp.MixDouble(cl.miner.min_support);
+  fp.Mix(cl.miner.max_edges);
+  fp.Mix(cl.miner.max_results);
+  fp.Mix(cl.miner.max_candidates_per_level);
+  fp.Mix(cl.facility.max_selected);
+  fp.MixDouble(cl.facility.min_relative_gain);
+  fp.Mix(cl.fine_mcs.connected ? 1 : 0);
+  fp.Mix(cl.fine_mcs.match_edge_labels ? 1 : 0);
+  fp.Mix(cl.fine_mcs.node_budget);
+  fp.Mix(cl.kmeans_max_iterations);
+
+  fp.Mix(options.use_sampling ? 1 : 0);
+  fp.MixDouble(options.eager.epsilon);
+  fp.MixDouble(options.eager.rho);
+  fp.MixDouble(options.eager.phi);
+  fp.MixDouble(options.lazy.p);
+  fp.MixDouble(options.lazy.z);
+  fp.MixDouble(options.lazy.e);
+  fp.Mix(options.lazy.min_cluster_size_to_sample);
+
+  // Structural hash of D: a checkpoint is only compatible with the exact
+  // database it was computed from. Deadline options are deliberately
+  // excluded — resuming a killed run under a new time budget is the point.
+  fp.Mix(db.size());
+  for (Label l = 0; l < db.labels().size(); ++l) {
+    fp.MixString(db.labels().Name(l));
+  }
+  for (GraphId id = 0; id < db.size(); ++id) {
+    const Graph& g = db.graph(id);
+    fp.Mix(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) fp.Mix(g.VertexLabel(v));
+    fp.Mix(g.NumEdges());
+    for (const Edge& e : g.EdgeList()) {
+      fp.Mix(e.u);
+      fp.Mix(e.v);
+      fp.Mix(e.label);
+    }
+  }
+  return fp.hash();
+}
+
 CatapultResult RunCatapult(const GraphDatabase& db,
                            const CatapultOptions& options) {
   return RunCatapult(db, options, RunContext::NoLimit());
@@ -117,6 +307,8 @@ CatapultResult RunCatapult(const GraphDatabase& db,
                            const CatapultOptions& options,
                            const RunContext& ctx) {
   CatapultResult result;
+  result.option_errors = ValidateCatapultOptions(options);
+  if (!result.ok()) return result;
   if (db.empty()) return result;
 
   // The effective deadline is the earlier of the caller's context and
@@ -128,39 +320,171 @@ CatapultResult RunCatapult(const GraphDatabase& db,
                            Deadline::AfterMillis(options.deadline_ms)),
         ctx.cancel_token());
   }
-  result.execution.deadline_set = !run_ctx.Unlimited();
+  ExecutionReport& exec = result.execution;
+  exec.deadline_set = !run_ctx.Unlimited();
   Rng rng(options.seed);
 
-  // Per-phase time allocation: clustering gets its share of the total, CSG
-  // its share of the remainder, selection the rest. Each phase still honours
-  // the overall deadline (a slice can never exceed it).
+  // Durability: open the checkpoint store and, when resuming, restore the
+  // longest valid phase chain (recovery ladder; DESIGN.md Section 8). Every
+  // decision lands in exec.checkpoint_events.
+  std::unique_ptr<CheckpointStore> store;
+  CheckpointStore::Recovery recovery;
+  if (!options.checkpoint_dir.empty()) {
+    store = std::make_unique<CheckpointStore>(options.checkpoint_dir,
+                                              ConfigFingerprint(options, db));
+    if (options.resume) {
+      recovery = store->Recover(db, options.selector.budget);
+      for (CheckpointEvent& event : recovery.events) {
+        exec.checkpoint_events.push_back(std::move(event));
+      }
+    }
+  }
+  const bool write_checkpoints =
+      store != nullptr && options.checkpoint_every_phase;
+  auto RecordPhaseSave = [&exec](const char* phase,
+                                 const std::string& error) {
+    if (error.empty()) {
+      ++exec.checkpoints_written;
+      exec.checkpoint_events.push_back(
+          {CheckpointEvent::Kind::kPhaseCheckpointed, phase, ""});
+    } else {
+      exec.checkpoint_events.push_back(
+          {CheckpointEvent::Kind::kCheckpointWriteFailed, phase, error});
+    }
+  };
+
+  // --- Clustering ---
   WallTimer clustering_timer;
-  RunContext clustering_ctx = run_ctx.Slice(options.clustering_time_share);
-  ClusteringResult clustering =
-      options.use_sampling
-          ? ClusterWithSampling(db, options, rng, clustering_ctx)
-          : SmallGraphClustering(db, options.clustering, rng, clustering_ctx);
-  result.clusters = std::move(clustering.clusters);
-  result.features = std::move(clustering.features);
+  if (recovery.clustering.has_value()) {
+    result.clusters = std::move(recovery.clustering->clusters);
+    result.features = std::move(recovery.clustering->features);
+    // Continue the pseudo-random stream exactly where the checkpointed
+    // clustering phase left it, so later phases draw the same values the
+    // uninterrupted run would have drawn.
+    rng.RestoreState(recovery.clustering->rng_after);
+    exec.resumed_from = "clustering";
+    exec.checkpoint_events.push_back(
+        {CheckpointEvent::Kind::kResumedFromPhase, "clustering",
+         std::to_string(result.clusters.size()) + " clusters"});
+  } else {
+    // Per-phase time allocation: clustering gets its share of the total,
+    // CSG its share of the remainder, selection the rest. Each phase still
+    // honours the overall deadline (a slice can never exceed it).
+    RunContext clustering_ctx = run_ctx.Slice(options.clustering_time_share);
+    ClusteringResult clustering =
+        options.use_sampling
+            ? ClusterWithSampling(db, options, rng, clustering_ctx)
+            : SmallGraphClustering(db, options.clustering, rng,
+                                   clustering_ctx);
+    result.clusters = std::move(clustering.clusters);
+    result.features = std::move(clustering.features);
+    exec.clustering_complete = clustering.Complete();
+    exec.clustering_coarse_only = !clustering.fine_complete;
+    if (write_checkpoints) {
+      // Only fully completed phases become durable: a deadline-degraded
+      // phase is re-run on resume rather than frozen below its potential.
+      if (clustering.Complete()) {
+        ClusteringArtifact artifact;
+        artifact.clusters = result.clusters;
+        artifact.features = result.features;
+        artifact.rng_after = rng.SaveState();
+        RecordPhaseSave("clustering", store->SaveClustering(artifact));
+        // Test-only simulated kill: the site models a crash immediately
+        // after the checkpoint became durable.
+        if (CATAPULT_FAILPOINT("catapult.crash_after_clustering_checkpoint")) {
+          run_ctx.Cancel();
+        }
+      } else {
+        exec.checkpoint_events.push_back(
+            {CheckpointEvent::Kind::kCheckpointSkipped, "clustering",
+             "phase incomplete under deadline"});
+      }
+    }
+  }
   result.clustering_seconds = clustering_timer.ElapsedSeconds();
-  result.execution.clustering_complete = clustering.Complete();
-  result.execution.clustering_coarse_only = !clustering.fine_complete;
 
+  // --- CSG generation ---
   WallTimer csg_timer;
-  RunContext csg_ctx = run_ctx.Slice(options.csg_time_share);
-  result.csgs = BuildCsgs(db, result.clusters, csg_ctx,
-                          &result.execution.degraded_csgs);
+  if (recovery.csgs.has_value()) {
+    result.csgs = std::move(recovery.csgs->csgs);
+    rng.RestoreState(recovery.csgs->rng_after);
+    exec.resumed_from = "csgs";
+    exec.checkpoint_events.push_back(
+        {CheckpointEvent::Kind::kResumedFromPhase, "csgs",
+         std::to_string(result.csgs.size()) + " summaries"});
+  } else {
+    RunContext csg_ctx = run_ctx.Slice(options.csg_time_share);
+    result.csgs =
+        BuildCsgs(db, result.clusters, csg_ctx, &exec.degraded_csgs);
+    exec.csg_complete = exec.degraded_csgs == 0;
+    if (write_checkpoints) {
+      if (exec.csg_complete) {
+        CsgArtifact artifact;
+        artifact.csgs = result.csgs;
+        artifact.rng_after = rng.SaveState();
+        RecordPhaseSave("csgs", store->SaveCsgs(artifact));
+        if (CATAPULT_FAILPOINT("catapult.crash_after_csg_checkpoint")) {
+          run_ctx.Cancel();
+        }
+      } else {
+        exec.checkpoint_events.push_back(
+            {CheckpointEvent::Kind::kCheckpointSkipped, "csgs",
+             "phase incomplete under deadline"});
+      }
+    }
+  }
   result.csg_seconds = csg_timer.ElapsedSeconds();
-  result.execution.csg_complete = result.execution.degraded_csgs == 0;
 
+  // --- Selection ---
   WallTimer selection_timer;
+  SelectorCheckpointHooks hooks;
+  if (recovery.selection.has_value()) {
+    hooks.resume = &*recovery.selection;
+    exec.resumed_from = "selection";
+    exec.checkpoint_events.push_back(
+        {CheckpointEvent::Kind::kResumedFromPhase, "selection",
+         std::to_string(recovery.selection->patterns.size()) +
+             " patterns already selected"});
+  }
+  size_t progress_saves = 0;
+  size_t progress_failures = 0;
+  std::string last_save_error;
+  if (write_checkpoints) {
+    // Selection progress is checkpointed after every accepted pattern: each
+    // state is an exact loop invariant, so a kill mid-selection loses at
+    // most one greedy iteration.
+    hooks.on_pattern_selected = [&](const SelectorCheckpointState& state) {
+      std::string error = store->SaveSelection(state);
+      if (error.empty()) {
+        ++progress_saves;
+        ++exec.checkpoints_written;
+      } else {
+        ++progress_failures;
+        last_save_error = error;
+      }
+      if (CATAPULT_FAILPOINT("catapult.crash_after_selection_checkpoint")) {
+        run_ctx.Cancel();
+      }
+    };
+  }
   result.selection = FindCannedPatternSet(db, result.clusters, result.csgs,
-                                          options.selector, rng, run_ctx);
+                                          options.selector, rng, run_ctx,
+                                          hooks);
+  if (progress_saves > 0) {
+    exec.checkpoint_events.push_back(
+        {CheckpointEvent::Kind::kPhaseCheckpointed, "selection",
+         std::to_string(progress_saves) + " incremental checkpoints"});
+  }
+  if (progress_failures > 0) {
+    exec.checkpoint_events.push_back(
+        {CheckpointEvent::Kind::kCheckpointWriteFailed, "selection",
+         std::to_string(progress_failures) + " failed writes, last: " +
+             last_save_error});
+  }
   result.selection_seconds = selection_timer.ElapsedSeconds();
-  result.execution.selection_complete = result.selection.complete;
-  result.execution.fallback_patterns = result.selection.fallback_patterns;
-  result.execution.iso_budget_exhausted =
-      result.selection.iso_budget_exhausted;
+  exec.selection_complete = result.selection.complete;
+  exec.fallback_patterns = result.selection.fallback_patterns;
+  exec.iso_budget_exhausted = result.selection.iso_budget_exhausted;
   return result;
 }
 

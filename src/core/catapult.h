@@ -1,12 +1,14 @@
 #ifndef CATAPULT_CORE_CATAPULT_H_
 #define CATAPULT_CORE_CATAPULT_H_
 
+#include <string>
 #include <vector>
 
 #include "src/cluster/pipeline.h"
 #include "src/core/selector.h"
 #include "src/csg/csg.h"
 #include "src/graph/graph_database.h"
+#include "src/persist/checkpoint.h"
 #include "src/sample/sampling.h"
 #include "src/util/deadline.h"
 
@@ -39,7 +41,45 @@ struct CatapultOptions {
   // their unused allowance to later phases.
   double clustering_time_share = 0.45;
   double csg_time_share = 0.3;
+
+  // Crash-safe checkpointing (DESIGN.md Section 8). When `checkpoint_dir`
+  // is non-empty and `checkpoint_every_phase` is true, every fully
+  // completed phase — and every accepted pattern during selection — is
+  // persisted as a checksummed, atomically written checkpoint; with
+  // `resume` also true, the run first validates the directory's checkpoints
+  // and restarts from the furthest intact phase (falling down the recovery
+  // ladder on corruption) instead of from scratch. Setting
+  // `checkpoint_every_phase` to false uses the directory for resume only.
+  // The deadline options above are deliberately excluded from the
+  // checkpoint compatibility fingerprint: resuming a killed run under a
+  // new deadline is the expected use.
+  std::string checkpoint_dir;
+  bool resume = false;
+  bool checkpoint_every_phase = true;
 };
+
+// One rejected CatapultOptions field: which option and why. Returned by
+// ValidateCatapultOptions / RunCatapult so invalid configurations surface
+// as data instead of tripping a CHECK abort deep inside the pipeline.
+struct OptionsError {
+  std::string field;    // e.g. "selector.budget.eta_min"
+  std::string message;  // e.g. "must exceed 2 (Definition 3.1)"
+};
+
+// Validates every pipeline-facing invariant of `options` (pattern budget
+// ordering, positive gamma, sane walk counts, decay/time-share ranges,
+// sampling parameters, checkpoint flags). Returns one entry per violated
+// field; empty means the options are safe to run.
+std::vector<OptionsError> ValidateCatapultOptions(
+    const CatapultOptions& options);
+
+// Compatibility fingerprint of (options, db): every option that influences
+// the pipeline's output plus a structural hash of the database. Checkpoints
+// carry it so a stale checkpoint from a different database, budget, or seed
+// is rejected on resume instead of silently reused. Deadline settings are
+// excluded (see CatapultOptions::checkpoint_dir).
+uint64_t ConfigFingerprint(const CatapultOptions& options,
+                           const GraphDatabase& db);
 
 // Robustness diagnostics of one RunCatapult execution (DESIGN.md,
 // "Robustness & anytime semantics").
@@ -58,6 +98,19 @@ struct ExecutionReport {
   size_t fallback_patterns = 0;         // frequent-edge fallback selections
   uint64_t iso_budget_exhausted = 0;    // truncated VF2 coverage checks
 
+  // Checkpoint/recovery diagnostics (empty without a checkpoint_dir).
+  // `resumed_from` is the furthest phase restored from a checkpoint
+  // ("clustering", "csgs", or "selection"; empty = cold start), and
+  // `checkpoint_events` logs every durability decision: phases
+  // checkpointed, checkpoints rejected with their reason, resumes, write
+  // failures. Rejections and recovery-ladder falls are always a logged
+  // decision here, never an abort.
+  std::string resumed_from;
+  size_t checkpoints_written = 0;
+  std::vector<CheckpointEvent> checkpoint_events;
+
+  bool Resumed() const { return !resumed_from.empty(); }
+
   bool Degraded() const {
     return !clustering_complete || !csg_complete || !selection_complete ||
            clustering_coarse_only || degraded_csgs > 0 ||
@@ -72,6 +125,12 @@ struct CatapultResult {
   std::vector<std::vector<GraphId>> clusters;
   std::vector<ClusterSummaryGraph> csgs;
   std::vector<FrequentSubtree> features;
+
+  // Non-empty when RunCatapult refused to run because the options violate
+  // their invariants (see ValidateCatapultOptions); every other field is
+  // then default-constructed.
+  std::vector<OptionsError> option_errors;
+  bool ok() const { return option_errors.empty(); }
 
   double clustering_seconds = 0.0;  // mining + coarse + fine
   double csg_seconds = 0.0;

@@ -85,6 +85,16 @@ SelectionResult FindCannedPatternSet(
     const std::vector<std::vector<GraphId>>& clusters,
     const std::vector<ClusterSummaryGraph>& csgs,
     const SelectorOptions& options, Rng& rng, const RunContext& ctx) {
+  return FindCannedPatternSet(db, clusters, csgs, options, rng, ctx,
+                              SelectorCheckpointHooks());
+}
+
+SelectionResult FindCannedPatternSet(
+    const GraphDatabase& db,
+    const std::vector<std::vector<GraphId>>& clusters,
+    const std::vector<ClusterSummaryGraph>& csgs,
+    const SelectorOptions& options, Rng& rng, const RunContext& ctx,
+    const SelectorCheckpointHooks& hooks) {
   options.budget.Validate();
   CATAPULT_CHECK(clusters.size() == csgs.size());
 
@@ -104,6 +114,36 @@ SelectionResult FindCannedPatternSet(
 
   std::vector<Graph> selected_graphs;
   std::vector<size_t> selected_per_size(options.budget.NumSizes(), 0);
+
+  // Resume: replay the checkpointed loop invariant — panel, tallies, decayed
+  // weights, and the rng stream position — exactly as the interrupted run
+  // left them, so the remaining iterations are bit-identical to what the
+  // uninterrupted run would have produced.
+  if (hooks.resume != nullptr) {
+    const SelectorCheckpointState& state = *hooks.resume;
+    CATAPULT_CHECK(state.cluster_weights.size() == clusters.size());
+    CATAPULT_CHECK(state.selected_per_size.size() == selected_per_size.size());
+    CATAPULT_CHECK(state.rng.Valid());
+    result.patterns = state.patterns;
+    selected_per_size = state.selected_per_size;
+    for (const SelectedPattern& p : state.patterns) {
+      selected_graphs.push_back(p.graph);
+    }
+    cw.Restore(state.cluster_weights);
+    elw.Restore(state.edge_label_weights);
+    rng.RestoreState(state.rng);
+  }
+
+  // Captures the current loop invariant for hooks.on_pattern_selected.
+  auto CaptureState = [&]() {
+    SelectorCheckpointState state;
+    state.patterns = result.patterns;
+    state.selected_per_size = selected_per_size;
+    state.cluster_weights = cw.Snapshot();
+    state.edge_label_weights = elw.Snapshot();
+    state.rng = rng.SaveState();
+    return state;
+  };
 
   // Which CSGs contain a given pattern is independent of the decaying
   // weights, and candidates recur heavily across iterations (the same FCPs
@@ -268,6 +308,7 @@ SelectionResult FindCannedPatternSet(
     elw.DecayForPattern(best.graph, options.weight_decay);
     selected_graphs.push_back(best.graph);
     result.patterns.push_back(std::move(best));
+    if (hooks.on_pattern_selected) hooks.on_pattern_selected(CaptureState());
     if (!result.complete || stopped_scoring) break;
   }
 

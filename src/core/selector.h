@@ -1,6 +1,7 @@
 #ifndef CATAPULT_CORE_SELECTOR_H_
 #define CATAPULT_CORE_SELECTOR_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/core/budget.h"
@@ -83,6 +84,31 @@ struct SelectionResult {
   std::vector<Graph> PatternGraphs() const;
 };
 
+// Exact resumable state of the greedy selection loop, captured after a
+// pattern is accepted (Algorithm 4's loop invariant): the panel so far, the
+// per-size tallies, the decayed cluster/edge-label weights, and the rng
+// stream position for the *next* iteration. The checkpoint store persists
+// it so a killed run restarted from this state selects the remaining
+// patterns bit-identically to the uninterrupted run.
+struct SelectorCheckpointState {
+  std::vector<SelectedPattern> patterns;
+  std::vector<size_t> selected_per_size;
+  std::vector<double> cluster_weights;
+  std::vector<std::pair<EdgeLabelKey, double>> edge_label_weights;
+  RngState rng;
+};
+
+// Checkpoint integration for FindCannedPatternSet. `resume` (optional)
+// seeds the greedy loop from a prior SelectorCheckpointState instead of
+// from scratch; `on_pattern_selected` (optional) is invoked with the
+// freshly captured state after every accepted pattern (never for the
+// frequent-edge fallback fill, whose entries are not resumable greedy
+// state). Both default to disabled, leaving the plain overloads unchanged.
+struct SelectorCheckpointHooks {
+  const SelectorCheckpointState* resume = nullptr;
+  std::function<void(const SelectorCheckpointState&)> on_pattern_selected;
+};
+
 // FindCannedPatternSet (Algorithm 4): greedy iterations; in each iteration
 // every CSG proposes one final candidate pattern per open size (via weighted
 // random walks and the PCP->FCP statistics), the candidate with the highest
@@ -107,6 +133,18 @@ SelectionResult FindCannedPatternSet(
     const GraphDatabase& db, const std::vector<std::vector<GraphId>>& clusters,
     const std::vector<ClusterSummaryGraph>& csgs,
     const SelectorOptions& options, Rng& rng, const RunContext& ctx);
+
+// Checkpoint-aware variant: as above, plus resume-from-state and a
+// per-selected-pattern state capture (see SelectorCheckpointHooks). With
+// empty hooks the behaviour and output are identical to the overloads
+// above. A resume state must structurally match (clusters count, budget
+// size range) — the checkpoint store validates this before handing one in;
+// mismatches are programmer errors (CHECK).
+SelectionResult FindCannedPatternSet(
+    const GraphDatabase& db, const std::vector<std::vector<GraphId>>& clusters,
+    const std::vector<ClusterSummaryGraph>& csgs,
+    const SelectorOptions& options, Rng& rng, const RunContext& ctx,
+    const SelectorCheckpointHooks& hooks);
 
 }  // namespace catapult
 

@@ -1,5 +1,6 @@
 #include "src/core/weights.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace catapult {
@@ -25,6 +26,20 @@ void EdgeLabelWeights::DecayForPattern(const Graph& pattern, double factor) {
     auto it = weights_.find(key);
     if (it != weights_.end()) it->second *= factor;
   }
+}
+
+std::vector<std::pair<EdgeLabelKey, double>> EdgeLabelWeights::Snapshot()
+    const {
+  std::vector<std::pair<EdgeLabelKey, double>> entries(weights_.begin(),
+                                                       weights_.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+void EdgeLabelWeights::Restore(
+    const std::vector<std::pair<EdgeLabelKey, double>>& entries) {
+  weights_.clear();
+  for (const auto& [key, weight] : entries) weights_[key] = weight;
 }
 
 ClusterWeights::ClusterWeights(

@@ -29,6 +29,14 @@ class EdgeLabelWeights {
   // `factor` (kWeightDecay by default).
   void DecayForPattern(const Graph& pattern, double factor = kWeightDecay);
 
+  // Current weights as (key, weight) pairs sorted by key — a deterministic
+  // snapshot for checkpointing mid-selection state.
+  std::vector<std::pair<EdgeLabelKey, double>> Snapshot() const;
+
+  // Replaces all weights with `entries` (a prior Snapshot of the same
+  // database's weights).
+  void Restore(const std::vector<std::pair<EdgeLabelKey, double>>& entries);
+
  private:
   std::unordered_map<EdgeLabelKey, double> weights_;
 };
@@ -57,6 +65,16 @@ class ClusterWeights {
   double Initial(size_t cluster) const {
     CATAPULT_CHECK(cluster < initial_.size());
     return initial_[cluster];
+  }
+
+  // Current (decayed) weights, for checkpointing mid-selection state.
+  const std::vector<double>& Snapshot() const { return weights_; }
+
+  // Replaces the current weights with `weights` (a prior Snapshot over the
+  // same clusters; CHECK on size mismatch). Initial weights are untouched.
+  void Restore(const std::vector<double>& weights) {
+    CATAPULT_CHECK(weights.size() == weights_.size());
+    weights_ = weights;
   }
 
  private:

@@ -65,6 +65,32 @@ void ClusterSummaryGraph::MarkEdge(VertexId u, VertexId v, size_t member) {
   edges_[static_cast<size_t>(idx)].support.Set(member);
 }
 
+std::optional<ClusterSummaryGraph> ClusterSummaryGraph::FromParts(
+    size_t cluster_size, std::vector<Label> vertex_labels,
+    std::vector<DynamicBitset> vertex_support, std::vector<CsgEdge> edges) {
+  if (cluster_size == 0) return std::nullopt;
+  if (vertex_support.size() != vertex_labels.size()) return std::nullopt;
+  for (const DynamicBitset& support : vertex_support) {
+    if (support.size() != cluster_size) return std::nullopt;
+  }
+  ClusterSummaryGraph csg(cluster_size);
+  csg.vertex_labels_ = std::move(vertex_labels);
+  csg.vertex_support_ = std::move(vertex_support);
+  csg.incident_.assign(csg.vertex_labels_.size(), {});
+  for (size_t i = 0; i < edges.size(); ++i) {
+    CsgEdge& e = edges[i];
+    if (e.u >= csg.vertex_labels_.size() || e.v >= csg.vertex_labels_.size() ||
+        e.u == e.v || e.support.size() != cluster_size) {
+      return std::nullopt;
+    }
+    if (csg.FindEdge(e.u, e.v) >= 0) return std::nullopt;  // duplicate edge
+    csg.incident_[e.u].push_back(i);
+    csg.incident_[e.v].push_back(i);
+    csg.edges_.push_back(std::move(e));
+  }
+  return csg;
+}
+
 namespace {
 
 // Greedy label/adjacency-guided mapping of `g` into `csg` (the closure-tree

@@ -1,6 +1,7 @@
 #ifndef CATAPULT_CSG_CSG_H_
 #define CATAPULT_CSG_CSG_H_
 
+#include <optional>
 #include <vector>
 
 #include "src/graph/graph_database.h"
@@ -63,6 +64,16 @@ class ClusterSummaryGraph {
   void MarkVertex(VertexId v, size_t member);
   // Adds support of `member` to edge {u, v}, creating the edge if needed.
   void MarkEdge(VertexId u, VertexId v, size_t member);
+
+  // Reconstructs a summary from serialized parts (the checkpoint decode
+  // path), validating every invariant the mutation API normally guarantees:
+  // support universes equal cluster_size, edge endpoints in range, no
+  // self-loops, no duplicate edges. Returns std::nullopt instead of
+  // aborting when the parts are inconsistent, so a corrupt checkpoint is a
+  // recoverable condition.
+  static std::optional<ClusterSummaryGraph> FromParts(
+      size_t cluster_size, std::vector<Label> vertex_labels,
+      std::vector<DynamicBitset> vertex_support, std::vector<CsgEdge> edges);
 
  private:
   size_t cluster_size_;

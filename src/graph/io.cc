@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/atomic_file.h"
 #include "src/util/failpoint.h"
 
 namespace catapult {
@@ -20,11 +21,13 @@ void WriteDatabase(const GraphDatabase& db, std::ostream& out) {
   }
 }
 
-bool WriteDatabaseToFile(const GraphDatabase& db, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+IoStatus WriteDatabaseToFile(const GraphDatabase& db,
+                             const std::string& path) {
+  std::ostringstream out;
   WriteDatabase(db, out);
-  return static_cast<bool>(out);
+  std::string error = AtomicWriteFile(path, out.str());
+  if (!error.empty()) return IoStatus::Error(std::move(error));
+  return IoStatus::Ok();
 }
 
 std::optional<GraphDatabase> ReadDatabase(std::istream& in,

@@ -22,8 +22,30 @@ namespace catapult {
 // Writes `db` to `out` in the format above.
 void WriteDatabase(const GraphDatabase& db, std::ostream& out);
 
-// Convenience wrapper that writes to `path`. Returns false on I/O failure.
-bool WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
+// Success-or-message result of a file write. Truthy on success (so
+// `if (!WriteDatabaseToFile(...))` keeps working at existing call sites);
+// on failure `message()` says what went wrong and where.
+class IoStatus {
+ public:
+  static IoStatus Ok() { return IoStatus(std::string()); }
+  static IoStatus Error(std::string message) {
+    return IoStatus(std::move(message));
+  }
+
+  explicit operator bool() const { return message_.empty(); }
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit IoStatus(std::string message) : message_(std::move(message)) {}
+  std::string message_;
+};
+
+// Convenience wrapper that writes to `path` atomically: the database is
+// serialised to a sibling temp file, fsynced, and renamed over `path`, so a
+// crash mid-write can never leave a truncated database behind — readers see
+// either the old file or the complete new one.
+IoStatus WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
 
 // Where and why parsing failed. `line` is the 1-based number of the
 // offending input line (0 when the failure is not tied to a line, e.g. an

@@ -1,0 +1,225 @@
+#include "src/persist/record_io.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/util/atomic_file.h"
+
+namespace catapult::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'T', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderSize = 40;
+// Record payloads are deliberately small (checkpoints of clusters, CSGs and
+// panels, not raw databases); a size field beyond this bound is treated as
+// corruption instead of being handed to an allocator.
+constexpr uint64_t kMaxPayloadSize = uint64_t{1} << 34;  // 16 GiB
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendLittleEndian(std::string& out, uint64_t value, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t LoadLittleEndian(const char* data, size_t bytes) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kManifest:
+      return "manifest";
+    case RecordType::kClustering:
+      return "clustering";
+    case RecordType::kCsgs:
+      return "csgs";
+    case RecordType::kSelection:
+      return "selection";
+  }
+  return "unknown";
+}
+
+void BinaryWriter::PutU32(uint32_t value) {
+  AppendLittleEndian(buffer_, value, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t value) {
+  AppendLittleEndian(buffer_, value, 8);
+}
+
+void BinaryWriter::PutDouble(double value) {
+  PutU64(std::bit_cast<uint64_t>(value));
+}
+
+void BinaryWriter::PutString(const std::string& value) {
+  PutU64(value.size());
+  buffer_.append(value);
+}
+
+void BinaryWriter::PutBitset(const DynamicBitset& bits) {
+  PutU64(bits.size());
+  std::vector<size_t> indices = bits.ToIndices();
+  PutU64(indices.size());
+  for (size_t i : indices) PutU64(i);
+}
+
+bool BinaryReader::Ensure(size_t bytes) {
+  if (!ok_ || buffer_.size() - position_ < bytes) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t BinaryReader::GetU8() {
+  if (!Ensure(1)) return 0;
+  return static_cast<uint8_t>(buffer_[position_++]);
+}
+
+uint32_t BinaryReader::GetU32() {
+  if (!Ensure(4)) return 0;
+  uint32_t value =
+      static_cast<uint32_t>(LoadLittleEndian(buffer_.data() + position_, 4));
+  position_ += 4;
+  return value;
+}
+
+uint64_t BinaryReader::GetU64() {
+  if (!Ensure(8)) return 0;
+  uint64_t value = LoadLittleEndian(buffer_.data() + position_, 8);
+  position_ += 8;
+  return value;
+}
+
+double BinaryReader::GetDouble() {
+  return std::bit_cast<double>(GetU64());
+}
+
+std::string BinaryReader::GetString() {
+  uint64_t size = GetU64();
+  if (!Ensure(size)) return std::string();
+  std::string value = buffer_.substr(position_, size);
+  position_ += size;
+  return value;
+}
+
+DynamicBitset BinaryReader::GetBitset() {
+  uint64_t universe = GetU64();
+  uint64_t count = GetU64();
+  // Each index costs 8 payload bytes; an implausible count is corruption.
+  if (!ok_ || universe > kMaxPayloadSize || count > universe ||
+      !Ensure(count * 8)) {
+    ok_ = false;
+    return DynamicBitset();
+  }
+  DynamicBitset bits(universe);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t index = GetU64();
+    if (index >= universe) {
+      ok_ = false;
+      return DynamicBitset();
+    }
+    bits.Set(index);
+  }
+  return bits;
+}
+
+std::string WriteRecordFile(const std::string& path, RecordType type,
+                            uint64_t config_fingerprint,
+                            const std::string& payload,
+                            uint32_t* payload_crc) {
+  std::string file;
+  file.reserve(kHeaderSize + payload.size());
+  file.append(kMagic, sizeof(kMagic));
+  AppendLittleEndian(file, kFormatVersion, 4);
+  AppendLittleEndian(file, static_cast<uint32_t>(type), 4);
+  AppendLittleEndian(file, config_fingerprint, 8);
+  AppendLittleEndian(file, payload.size(), 8);
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  AppendLittleEndian(file, crc, 4);
+  AppendLittleEndian(file, Crc32(file.data(), file.size()), 4);
+  file.append(payload);
+  if (payload_crc != nullptr) *payload_crc = crc;
+  return AtomicWriteFile(path, file);
+}
+
+std::string ReadRecordFile(const std::string& path, RecordType expected_type,
+                           uint64_t expected_fingerprint, std::string* payload,
+                           uint32_t* payload_crc) {
+  payload->clear();
+  std::string file;
+  std::string io_error = ReadWholeFile(path, &file);
+  if (!io_error.empty()) return io_error;
+  if (file.size() < kHeaderSize) return "truncated header";
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return "bad magic";
+  }
+  uint32_t header_crc = static_cast<uint32_t>(
+      LoadLittleEndian(file.data() + kHeaderSize - 4, 4));
+  if (Crc32(file.data(), kHeaderSize - 4) != header_crc) {
+    return "header checksum mismatch";
+  }
+  uint32_t version =
+      static_cast<uint32_t>(LoadLittleEndian(file.data() + 8, 4));
+  if (version != kFormatVersion) {
+    return "unsupported format version " + std::to_string(version);
+  }
+  uint32_t type = static_cast<uint32_t>(LoadLittleEndian(file.data() + 12, 4));
+  if (type != static_cast<uint32_t>(expected_type)) {
+    return std::string("record type mismatch (expected ") +
+           RecordTypeName(expected_type) + ")";
+  }
+  uint64_t fingerprint = LoadLittleEndian(file.data() + 16, 8);
+  if (fingerprint != expected_fingerprint) {
+    return "config fingerprint mismatch (checkpoint from a different "
+           "database/configuration)";
+  }
+  uint64_t payload_size = LoadLittleEndian(file.data() + 24, 8);
+  if (payload_size > kMaxPayloadSize ||
+      payload_size != file.size() - kHeaderSize) {
+    return "truncated payload";
+  }
+  uint32_t crc = static_cast<uint32_t>(LoadLittleEndian(file.data() + 32, 4));
+  if (Crc32(file.data() + kHeaderSize, payload_size) != crc) {
+    return "payload checksum mismatch";
+  }
+  *payload = file.substr(kHeaderSize);
+  if (payload_crc != nullptr) *payload_crc = crc;
+  return std::string();
+}
+
+}  // namespace catapult::persist

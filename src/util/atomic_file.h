@@ -1,0 +1,40 @@
+#ifndef CATAPULT_UTIL_ATOMIC_FILE_H_
+#define CATAPULT_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+// Crash-safe whole-file I/O primitives shared by the checkpoint store
+// (src/persist/) and the database writer (src/graph/io.cc).
+//
+// The write protocol is the classic temp + fsync + rename sequence: the
+// bytes are written to a sibling temporary file, flushed to stable storage,
+// and renamed over the destination, so a reader never observes a partially
+// written file under the final name — after a crash the destination holds
+// either the complete old content or the complete new content. The parent
+// directory is fsynced after the rename so the rename itself is durable.
+//
+// Every failure mode is covered by a deterministic failpoint
+// (src/util/failpoint.h) so recovery code can be tested without real disk
+// faults:
+//   "persist.torn_write"  - only a prefix of the bytes reaches the file
+//                           (simulates a crash mid-write that still renamed,
+//                           i.e. a corrupted-but-present artifact)
+//   "persist.fsync"       - fsync reports an I/O error
+//   "persist.rename"      - the final rename fails
+//   "persist.short_read"  - a read returns fewer bytes than the file holds
+//   "persist.bit_flip"    - one bit of the bytes read is inverted
+
+namespace catapult {
+
+// Atomically replaces `path` with `bytes`. Returns an empty string on
+// success, otherwise a descriptive error ("cannot open ...: <errno>"); on
+// failure the destination file is untouched and the temporary is removed.
+std::string AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+// Reads the entire file into `out`. Returns an empty string on success,
+// otherwise a descriptive error. `out` is cleared first.
+std::string ReadWholeFile(const std::string& path, std::string* out);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_UTIL_ATOMIC_FILE_H_

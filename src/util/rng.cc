@@ -23,6 +23,17 @@ Rng::Rng(uint64_t seed) {
   for (auto& word : state_) word = SplitMix64(s);
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (size_t i = 0; i < 4; ++i) state.words[i] = state_[i];
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  CATAPULT_CHECK_MSG(state.Valid(), "all-zero RngState");
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.words[i];
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -1,12 +1,29 @@
 #ifndef CATAPULT_UTIL_RNG_H_
 #define CATAPULT_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "src/util/check.h"
 
 namespace catapult {
+
+// An Rng stream position, captured with Rng::SaveState and replayed with
+// Rng::RestoreState. Checkpoints persist it so a resumed pipeline continues
+// the exact pseudo-random stream of the interrupted run (bit-identical
+// output). The all-zero state is invalid (xoshiro's absorbing fixed point);
+// decoders must reject it.
+struct RngState {
+  std::array<uint64_t, 4> words = {0, 0, 0, 0};
+
+  bool Valid() const {
+    return (words[0] | words[1] | words[2] | words[3]) != 0;
+  }
+  friend bool operator==(const RngState& a, const RngState& b) {
+    return a.words == b.words;
+  }
+};
 
 // Deterministic pseudo-random number generator (xoshiro256** seeded via
 // SplitMix64). Every randomised component in the library takes an explicit
@@ -18,6 +35,14 @@ class Rng {
   // Seeds the generator. Two Rng instances built from the same seed produce
   // identical streams.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Captures the current stream position.
+  RngState SaveState() const;
+
+  // Resumes from a previously saved position: after RestoreState(s) the
+  // generator produces exactly the values it produced after SaveState()
+  // returned s. `state` must be Valid() (CHECK).
+  void RestoreState(const RngState& state);
 
   // Returns the next raw 64-bit value.
   uint64_t Next();
