@@ -6,6 +6,8 @@
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
 //        [--seed S] [--sampling] [--deadline-ms MS]
 //        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
+//        [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
+//        [--mem-budget-mb MB] [--strict-parse]
 //       Run the full Catapult pipeline and write the selected canned
 //       patterns (as a pattern database in the same text format).
 //       --deadline-ms bounds the wall-clock time: on expiry each phase
@@ -15,6 +17,14 @@
 //       that directory (corrupt checkpoints fall down the recovery ladder,
 //       never crash). --checkpoint-every-phase 0 uses the directory for
 //       resume only.
+//       Input is treated as untrusted: graphs violating the structural
+//       limits (--max-graph-vertices/--max-graph-edges, plus built-in line/
+//       label limits) are quarantined — skipped, counted per reason, and
+//       reported — while ingestion continues; --strict-parse fails the read
+//       on the first violation instead. --max-graphs stops ingestion after
+//       N graphs. --mem-budget-mb bounds the tracked memory of both
+//       ingestion and the pipeline: soft pressure sheds work, a hard breach
+//       yields a degraded-but-valid pattern set, never an OOM kill.
 //   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
 //       Evaluate a pattern panel on a random query workload (MP, mu).
 //   search --db FILE --query-id I [--edges K] [--seed S]
@@ -84,22 +94,58 @@ int Usage() {
   return 1;
 }
 
-// Reads a database, printing the parse diagnostics (file, line, reason) on
-// failure.
-std::optional<GraphDatabase> ReadDatabaseOrComplain(const std::string& path) {
+// Reads a database under `options`, printing the parse diagnostics (file,
+// line, graph index, reason) on failure and the quarantine/memory summary
+// when anything was skipped or ingestion stopped early.
+std::optional<GraphDatabase> ReadDatabaseOrComplain(
+    const std::string& path, const IngestOptions& options,
+    IngestReport* report = nullptr) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
   ParseError error;
-  auto db = ReadDatabaseFromFile(path, &error);
+  auto db = ReadDatabaseFromFile(path, options, &rep, &error);
   if (!db) {
     if (error.line > 0) {
-      std::fprintf(stderr, "%s:%zu: parse error: %s\n", path.c_str(),
-                   error.line, error.message.c_str());
+      std::fprintf(stderr, "%s:%zu: parse error in graph %zu: %s\n",
+                   path.c_str(), error.line, error.graph_index,
+                   error.message.c_str());
     } else {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    error.message.empty() ? "cannot read"
                                          : error.message.c_str());
     }
+    return db;
+  }
+  if (rep.graphs_quarantined > 0 || !rep.quarantine_reasons.empty() ||
+      rep.stopped_early) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), rep.Summary().c_str());
+  }
+  // Quarantine mode never fails the read, but a database with nothing in it
+  // is useless to every subcommand — treat it as the error it is.
+  if (db->size() == 0) {
+    std::fprintf(stderr, "%s: no graphs ingested\n", path.c_str());
+    return std::nullopt;
   }
   return db;
+}
+
+// Shared ingestion flags of the database-reading subcommands.
+IngestOptions IngestOptionsFromFlags(const Flags& flags) {
+  IngestOptions options;
+  options.limits.max_vertices_per_graph = static_cast<size_t>(flags.GetInt(
+      "max-graph-vertices",
+      static_cast<long>(options.limits.max_vertices_per_graph)));
+  options.limits.max_edges_per_graph = static_cast<size_t>(flags.GetInt(
+      "max-graph-edges",
+      static_cast<long>(options.limits.max_edges_per_graph)));
+  options.limits.max_graphs =
+      static_cast<size_t>(flags.GetInt("max-graphs", 0));
+  options.strict = flags.GetBool("strict-parse");
+  long mb = flags.GetInt("mem-budget-mb", 0);
+  if (mb > 0) {
+    options.memory = MemoryBudget::Limited(0, static_cast<size_t>(mb) << 20);
+  }
+  return options;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -127,9 +173,16 @@ int CmdMine(const Flags& flags) {
   auto db_path = flags.Get("db");
   auto out = flags.Get("out");
   if (!db_path || !out) return Usage();
-  auto db = ReadDatabaseOrComplain(*db_path);
+  IngestOptions ingest = IngestOptionsFromFlags(flags);
+  IngestReport ingest_report;
+  auto db = ReadDatabaseOrComplain(*db_path, ingest, &ingest_report);
   if (!db) return 1;
   CatapultOptions options;
+  options.ingest_digest = ingest_report.quarantine_digest;
+  long mem_budget_mb = flags.GetInt("mem-budget-mb", 0);
+  if (mem_budget_mb > 0) {
+    options.mem_hard_limit_bytes = static_cast<size_t>(mem_budget_mb) << 20;
+  }
   options.selector.budget.gamma =
       static_cast<size_t>(flags.GetInt("gamma", 12));
   options.selector.budget.eta_min =
@@ -168,15 +221,27 @@ int CmdMine(const Flags& flags) {
       "selection %.1fs) -> %s\n",
       result.selection.patterns.size(), db->size(), result.clusters.size(),
       result.clustering_seconds, result.selection_seconds, out->c_str());
+  std::printf("ingest: %s\n", ingest_report.Summary().c_str());
+  if (ingest_report.mem_peak_bytes > 0 ||
+      result.execution.mem_budget_set) {
+    std::printf(
+        "memory: ingest peak %.1f MB, pipeline peak %.1f MB%s\n",
+        static_cast<double>(ingest_report.mem_peak_bytes) / (1 << 20),
+        static_cast<double>(result.execution.mem_peak_bytes) / (1 << 20),
+        result.execution.mem_hard_breached ? " [hard limit breached]" : "");
+  }
+  if (result.execution.mem_hard_breached) {
+    std::printf("  %s\n", result.execution.resource_error.ToString().c_str());
+  }
   for (const SelectedPattern& p : result.selection.patterns) {
     std::printf("  |E|=%zu score=%.4f ccov=%.3f div=%.1f cog=%.2f%s\n",
                 p.graph.NumEdges(), p.score, p.ccov, p.div, p.cog,
                 p.fallback ? " [fallback]" : "");
   }
   const ExecutionReport& exec = result.execution;
-  if (exec.deadline_set && exec.Degraded()) {
+  if ((exec.deadline_set || exec.mem_budget_set) && exec.Degraded()) {
     std::printf(
-        "deadline degradation: clustering=%s csg=%s selection=%s "
+        "degradation: clustering=%s csg=%s selection=%s "
         "coarse-only=%d degraded-csgs=%zu fallback-patterns=%zu "
         "iso-budget-exhausted=%llu\n",
         exec.clustering_complete ? "complete" : "partial",
@@ -200,9 +265,10 @@ int CmdEvaluate(const Flags& flags) {
   auto db_path = flags.Get("db");
   auto patterns_path = flags.Get("patterns");
   if (!db_path || !patterns_path) return Usage();
-  auto db = ReadDatabaseOrComplain(*db_path);
+  auto db = ReadDatabaseOrComplain(*db_path, IngestOptionsFromFlags(flags));
   if (!db) return 1;
-  auto patterns = ReadDatabaseOrComplain(*patterns_path);
+  auto patterns =
+      ReadDatabaseOrComplain(*patterns_path, IngestOptionsFromFlags(flags));
   if (!patterns) return 1;
   QueryWorkloadOptions wl;
   wl.count = static_cast<size_t>(flags.GetInt("queries", 100));
@@ -225,7 +291,7 @@ int CmdEvaluate(const Flags& flags) {
 int CmdSearch(const Flags& flags) {
   auto db_path = flags.Get("db");
   if (!db_path) return Usage();
-  auto db = ReadDatabaseOrComplain(*db_path);
+  auto db = ReadDatabaseOrComplain(*db_path, IngestOptionsFromFlags(flags));
   if (!db) return 1;
   GraphId source = static_cast<GraphId>(flags.GetInt("query-id", 0));
   if (source >= db->size()) {

@@ -1,0 +1,64 @@
+// libFuzzer target for the hardened gSpan-text parser (src/graph/io.h).
+//
+// The parser's contract under fuzzing: for ANY byte string, ReadDatabase in
+// quarantine mode returns a database (possibly empty) and a consistent
+// IngestReport — no crash, no CATAPULT_CHECK, no sanitizer finding, and no
+// unbounded allocation (the structural limits below keep the largest
+// accepted graph small). Strict mode is exercised on the same input; it may
+// reject but must do so through ParseError.
+//
+// Build: -DCATAPULT_FUZZ=ON with clang (links -fsanitize=fuzzer,address).
+// Under gcc the same file builds as a standalone regression driver that
+// replays corpus files passed on the command line (see standalone_main.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/graph/io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string input(reinterpret_cast<const char*>(data), size);
+
+  catapult::IngestOptions options;
+  // Small limits keep fuzz throughput high and make limit-violation paths
+  // easy for the fuzzer to reach.
+  options.limits.max_line_bytes = 512;
+  options.limits.max_vertices_per_graph = 64;
+  options.limits.max_edges_per_graph = 128;
+  options.limits.max_label_bytes = 32;
+  options.limits.max_labels = 256;
+  options.limits.max_graphs = 64;
+  options.memory = catapult::MemoryBudget::Limited(0, 1 << 20);
+
+  {
+    std::istringstream stream(input);
+    catapult::IngestReport report;
+    catapult::ParseError error;
+    auto db = catapult::ReadDatabase(stream, options, &report, &error);
+    if (db.has_value()) {
+      // Internal consistency: the report must account for every graph.
+      if (report.graphs_ingested != db->size()) __builtin_trap();
+      // Quarantine digest is zero exactly when no record was quarantined
+      // (pre-header junk is digested too, without claiming a graph).
+      if ((report.quarantine_digest != 0) !=
+          !report.quarantine_reasons.empty()) {
+        __builtin_trap();
+      }
+      (void)report.Summary();
+    }
+  }
+
+  {
+    std::istringstream stream(input);
+    catapult::IngestOptions strict = options;
+    strict.strict = true;
+    catapult::ParseError error;
+    auto db = catapult::ReadDatabase(stream, strict, nullptr, &error);
+    if (!db.has_value() && error.message.empty()) __builtin_trap();
+  }
+  return 0;
+}
+
+#include "fuzz/standalone_main.h"

@@ -1,0 +1,46 @@
+// Standalone replay driver for fuzz targets built without libFuzzer.
+//
+// When the toolchain is not clang (no -fsanitize=fuzzer), fuzz/CMakeLists.txt
+// defines CATAPULT_FUZZ_STANDALONE and each target gets this main() instead:
+// it replays every file named on the command line through
+// LLVMFuzzerTestOneInput. That keeps the fuzz entry points compiled and
+// regression-testable on every toolchain; actual coverage-guided fuzzing
+// needs the clang build (see .github/workflows/ci.yml, job fuzz-smoke).
+//
+// Included at the END of each fuzz target translation unit.
+
+#ifndef CATAPULT_FUZZ_STANDALONE_MAIN_H_
+#define CATAPULT_FUZZ_STANDALONE_MAIN_H_
+
+#ifdef CATAPULT_FUZZ_STANDALONE
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d input(s) without incident\n", replayed);
+  return 0;
+}
+
+#endif  // CATAPULT_FUZZ_STANDALONE
+
+#endif  // CATAPULT_FUZZ_STANDALONE_MAIN_H_

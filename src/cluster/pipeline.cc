@@ -5,6 +5,7 @@
 #include "src/cluster/agglomerative.h"
 #include "src/cluster/feature_vectors.h"
 #include "src/cluster/kmeans.h"
+#include "src/util/mem_budget.h"
 #include "src/util/timer.h"
 
 namespace catapult {
@@ -46,9 +47,18 @@ ClusteringResult SmallGraphClustering(
     result.mining_seconds = mining_timer.ElapsedSeconds();
 
     WallTimer coarse_timer;
-    if (ctx.StopRequested("cluster.coarse")) {
-      // Expired before the coarse stage: everything lands in one cluster
-      // (fine clustering, if it still gets time, can split it further).
+    // The feature matrix (|graph_ids| x |features| bitsets) is the coarse
+    // stage's dominant allocation; charge it before materialising. A refused
+    // charge sheds the stage — one cluster, best-effort — instead of
+    // allocating past the hard limit.
+    ScopedMemoryCharge feature_charge(
+        ctx.memory(),
+        graph_ids.size() * ApproxBitsetBytes(result.features.size()),
+        "mem.features");
+    if (ctx.StopRequested("cluster.coarse") || !feature_charge.ok()) {
+      // Expired (or out of memory) before the coarse stage: everything lands
+      // in one cluster (fine clustering, if it still gets time, can split it
+      // further).
       result.coarse_complete = false;
       coarse_clusters.push_back(graph_ids);
     } else if (result.features.empty()) {
@@ -94,6 +104,15 @@ ClusteringResult SmallGraphClustering(
 
   // --- Fine clustering (Algorithm 3) ---
   WallTimer fine_timer;
+  if (ctx.memory().SoftExceeded()) {
+    // Soft-limit pressure: fine splitting is optional refinement (its MCS
+    // working sets grow quadratically in cluster size), so shed it and keep
+    // the coarse partition — the degradation ladder's coarse-only rung.
+    result.fine_complete = false;
+    result.clusters = std::move(coarse_clusters);
+    result.fine_seconds = fine_timer.ElapsedSeconds();
+    return result;
+  }
   FineClusteringOptions fine;
   fine.max_cluster_size = options.max_cluster_size;
   fine.mcs = options.fine_mcs;

@@ -86,7 +86,14 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
   std::vector<GraphId> all(db.size());
   for (GraphId i = 0; i < db.size(); ++i) all[i] = i;
   std::vector<std::vector<GraphId>> coarse;
-  if (ctx.StopRequested("cluster.coarse")) {
+  // The feature matrix is the phase's dominant allocation; charge it before
+  // materialising. A refused charge sheds coarse clustering entirely (one
+  // cluster; fine clustering can still split it).
+  ScopedMemoryCharge feature_charge(
+      ctx.memory(),
+      db.size() * ApproxBitsetBytes(result.features.size()),
+      "mem.features");
+  if (ctx.StopRequested("cluster.coarse") || !feature_charge.ok()) {
     result.coarse_complete = false;
     coarse.push_back(all);
   } else if (result.features.empty()) {
@@ -228,6 +235,10 @@ std::vector<OptionsError> ValidateCatapultOptions(
   if (options.resume && options.checkpoint_dir.empty()) {
     Err("resume", "requires checkpoint_dir to be set");
   }
+  if (options.mem_soft_limit_bytes != 0 && options.mem_hard_limit_bytes != 0 &&
+      options.mem_soft_limit_bytes > options.mem_hard_limit_bytes) {
+    Err("mem_soft_limit_bytes", "must not exceed mem_hard_limit_bytes");
+  }
   return errors;
 }
 
@@ -277,9 +288,16 @@ uint64_t ConfigFingerprint(const CatapultOptions& options,
   fp.MixDouble(options.lazy.e);
   fp.Mix(options.lazy.min_cluster_size_to_sample);
 
+  // The ingestion quarantine digest: database ids are dense over the
+  // *kept* graphs, so two ingestions of the same file that quarantined
+  // different graphs produce incompatible id spaces even if they hash
+  // alike otherwise — a resume across them must be rejected.
+  fp.Mix(options.ingest_digest);
+
   // Structural hash of D: a checkpoint is only compatible with the exact
-  // database it was computed from. Deadline options are deliberately
-  // excluded — resuming a killed run under a new time budget is the point.
+  // database it was computed from. Deadline and memory-budget options are
+  // deliberately excluded — resuming a killed run under a new time or
+  // memory budget is the point.
   fp.Mix(db.size());
   for (Label l = 0; l < db.labels().size(); ++l) {
     fp.MixString(db.labels().Name(l));
@@ -318,10 +336,20 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     run_ctx = RunContext(
         Deadline::Earliest(ctx.deadline(),
                            Deadline::AfterMillis(options.deadline_ms)),
-        ctx.cancel_token());
+        ctx.cancel_token(), ctx.memory());
   }
+  // Memory governance: a budget configured in the options supersedes the
+  // (by default unlimited) ledger of the caller's context.
+  if (options.mem_hard_limit_bytes != 0 || options.mem_soft_limit_bytes != 0) {
+    run_ctx = run_ctx.WithMemory(MemoryBudget::Limited(
+        options.mem_soft_limit_bytes, options.mem_hard_limit_bytes));
+  }
+  const MemoryBudget& memory = run_ctx.memory();
   ExecutionReport& exec = result.execution;
   exec.deadline_set = !run_ctx.Unlimited();
+  exec.mem_budget_set = memory.limited();
+  exec.mem_soft_limit = memory.soft_limit();
+  exec.mem_hard_limit = memory.hard_limit();
   Rng rng(options.seed);
 
   // Durability: open the checkpoint store and, when resuming, restore the
@@ -485,6 +513,12 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   exec.selection_complete = result.selection.complete;
   exec.fallback_patterns = result.selection.fallback_patterns;
   exec.iso_budget_exhausted = result.selection.iso_budget_exhausted;
+
+  exec.mem_peak_bytes = memory.peak();
+  exec.mem_soft_exceeded =
+      memory.soft_limit() != 0 && memory.peak() >= memory.soft_limit();
+  exec.mem_hard_breached = memory.HardBreached();
+  if (exec.mem_hard_breached) exec.resource_error = memory.error();
   return result;
 }
 

@@ -56,6 +56,27 @@ struct CatapultOptions {
   std::string checkpoint_dir;
   bool resume = false;
   bool checkpoint_every_phase = true;
+
+  // Resource governance (DESIGN.md Section 9). When `mem_hard_limit_bytes`
+  // is non-zero every phase charges its input-proportional structures
+  // against one shared MemoryBudget: crossing the soft limit sheds optional
+  // work (coarse-only clustering, partial CSG folds, cache eviction), and a
+  // charge past the hard limit winds the whole pipeline down exactly like a
+  // deadline expiry — best-effort partial results plus a structured
+  // ResourceError in ExecutionReport, never an OOM kill. A soft limit of 0
+  // defaults to 3/4 of the hard limit. Like the deadline, the limits are
+  // excluded from the checkpoint fingerprint: resuming under a different
+  // memory budget is expected.
+  size_t mem_soft_limit_bytes = 0;
+  size_t mem_hard_limit_bytes = 0;
+
+  // Quarantine digest of the ingestion that produced the database
+  // (IngestReport::quarantine_digest; 0 = nothing quarantined). Folded into
+  // ConfigFingerprint so a checkpoint taken against a database with a
+  // different quarantine set — whose dense graph ids index *different*
+  // graphs — is rejected on resume instead of silently mis-assigning
+  // clusters.
+  uint64_t ingest_digest = 0;
 };
 
 // One rejected CatapultOptions field: which option and why. Returned by
@@ -109,12 +130,26 @@ struct ExecutionReport {
   size_t checkpoints_written = 0;
   std::vector<CheckpointEvent> checkpoint_events;
 
+  // Memory-governance diagnostics (DESIGN.md Section 9). `mem_peak_bytes`
+  // is the high-water mark of tracked bytes; `mem_soft_exceeded` means at
+  // least one phase observed soft-limit pressure and shed work;
+  // `mem_hard_breached` means a charge was refused and the pipeline wound
+  // down with partial results — `resource_error` then names the charge site
+  // and sizes.
+  bool mem_budget_set = false;
+  size_t mem_peak_bytes = 0;
+  size_t mem_soft_limit = 0;
+  size_t mem_hard_limit = 0;
+  bool mem_soft_exceeded = false;
+  bool mem_hard_breached = false;
+  ResourceError resource_error;
+
   bool Resumed() const { return !resumed_from.empty(); }
 
   bool Degraded() const {
     return !clustering_complete || !csg_complete || !selection_complete ||
            clustering_coarse_only || degraded_csgs > 0 ||
-           fallback_patterns > 0;
+           fallback_patterns > 0 || mem_hard_breached;
   }
 };
 

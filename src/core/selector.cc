@@ -155,6 +155,12 @@ SelectionResult FindCannedPatternSet(
     std::vector<bool> covered;
   };
   std::unordered_map<uint64_t, std::vector<CoverageEntry>> coverage_cache;
+  // The cache is the selector's only input-proportional allocation, so its
+  // entries are charged against the memory budget; when a charge is refused
+  // the freshly computed covered set is still used (via `uncached`), just
+  // not retained.
+  size_t cache_charged_bytes = 0;
+  CoverageEntry uncached;
   auto CoveredCached = [&](const Graph& g) -> const std::vector<bool>& {
     uint64_t fp = GraphFingerprint(g);
     std::vector<CoverageEntry>& bucket = coverage_cache[fp];
@@ -164,15 +170,31 @@ SelectionResult FindCannedPatternSet(
     // Near the deadline each iso test gets only the nodes still affordable,
     // so one adversarial summary cannot eat the whole selection slice.
     uint64_t iso_budget = ctx.TightenNodeBudget(options.iso_node_budget);
-    bucket.push_back({g, CoveredCsgs(g, summaries, iso_budget,
-                                     &result.iso_budget_exhausted)});
-    return bucket.back().covered;
+    std::vector<bool> covered =
+        CoveredCsgs(g, summaries, iso_budget, &result.iso_budget_exhausted);
+    size_t bytes = ApproxGraphBytes(g.NumVertices(), g.NumEdges()) +
+                   covered.size() + 64;
+    if (ctx.memory().TryCharge(bytes, "selector.cache")) {
+      cache_charged_bytes += bytes;
+      bucket.push_back({g, std::move(covered)});
+      return bucket.back().covered;
+    }
+    uncached.covered = std::move(covered);
+    return uncached.covered;
   };
 
   while (selected_graphs.size() < options.budget.gamma) {
     if (ctx.StopRequested("selector.iteration")) {
       result.complete = false;
       break;
+    }
+    // Soft-limit pressure: the coverage cache is pure memoisation, so it is
+    // the first thing to go — recomputing covered sets trades time for
+    // bounded memory.
+    if (!coverage_cache.empty() && ctx.memory().SoftExceeded()) {
+      coverage_cache.clear();
+      ctx.memory().Release(cache_charged_bytes);
+      cache_charged_bytes = 0;
     }
     std::vector<size_t> open_sizes =
         OpenPatternSizes(options.budget, selected_per_size);

@@ -172,13 +172,39 @@ ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
                              const RunContext& ctx, bool* complete) {
   if (complete != nullptr) *complete = true;
   ClusterSummaryGraph csg(member_ids.size());
+  // Memory governance: every member folded grows the summary (vertices,
+  // edges, and their member-support bitsets); the growth is charged after
+  // each fold and a refused charge stops folding — a valid, just less
+  // complete, closure. Under soft-limit pressure only the first half of the
+  // members are folded (partial CSGs, the ladder's cheaper summary rung).
+  const size_t per_vertex_bytes =
+      ApproxBitsetBytes(member_ids.size()) + 56;
+  const size_t per_edge_bytes = ApproxBitsetBytes(member_ids.size()) + 32;
+  const size_t soft_member_cap =
+      ctx.memory().SoftExceeded()
+          ? std::max<size_t>(1, member_ids.size() / 2)
+          : member_ids.size();
+  size_t charged_vertices = 0;
+  size_t charged_edges = 0;
   for (size_t member = 0; member < member_ids.size(); ++member) {
     // Fold member 0 unconditionally (a non-empty cluster must yield a
     // non-empty summary); later members are skipped once the deadline
-    // passes, leaving a valid partial closure.
-    if (member > 0 && ctx.StopRequested("csg.fold_member")) {
+    // passes or the memory budget refuses the summary's growth, leaving a
+    // valid partial closure.
+    if (member > 0 && (member >= soft_member_cap ||
+                       ctx.StopRequested("csg.fold_member"))) {
       if (complete != nullptr) *complete = false;
       break;
+    }
+    if (member > 0) {
+      size_t delta = (csg.NumVertices() - charged_vertices) * per_vertex_bytes +
+                     (csg.NumEdges() - charged_edges) * per_edge_bytes;
+      if (delta > 0 && !ctx.memory().TryCharge(delta, "csg.fold")) {
+        if (complete != nullptr) *complete = false;
+        break;
+      }
+      charged_vertices = csg.NumVertices();
+      charged_edges = csg.NumEdges();
     }
     const Graph& g = db.graph(member_ids[member]);
     if (g.NumVertices() == 0) continue;

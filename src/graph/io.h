@@ -1,11 +1,15 @@
 #ifndef CATAPULT_GRAPH_IO_H_
 #define CATAPULT_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/graph/graph_database.h"
+#include "src/util/mem_budget.h"
 
 namespace catapult {
 
@@ -18,6 +22,14 @@ namespace catapult {
 //
 // Vertex labels are strings ("C", "N", ...) interned through the database's
 // LabelMap; '#' lines and blank lines are ignored.
+//
+// Reading treats the input as untrusted (DESIGN.md Section 9): the parser
+// streams line-by-line under explicit structural limits (ParseLimits) and a
+// memory budget, never buffering more than one bounded line and one graph at
+// a time. In quarantine mode (the default for IngestOptions) a malformed or
+// limit-violating graph is skipped, counted per reason in the IngestReport,
+// and ingestion continues; in strict mode the first violation fails the
+// whole read with a ParseError naming the line and the offending graph.
 
 // Writes `db` to `out` in the format above.
 void WriteDatabase(const GraphDatabase& db, std::ostream& out);
@@ -49,19 +61,94 @@ IoStatus WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
 
 // Where and why parsing failed. `line` is the 1-based number of the
 // offending input line (0 when the failure is not tied to a line, e.g. an
-// unreadable file).
+// unreadable file); `graph_index` is the 0-based input-order index of the
+// graph the line belongs to (the count of 't' headers seen minus one; 0 when
+// the failure precedes any header).
 struct ParseError {
   size_t line = 0;
+  size_t graph_index = 0;
   std::string message;
 };
 
-// Parses a database from `in`. Returns std::nullopt on malformed input
-// (negative ids, dangling edge endpoints, duplicate edges); when `error` is
-// non-null it receives the line number and reason of the first failure.
+// Structural limits enforced on every parsed graph. The defaults comfortably
+// admit AIDS/PubChem-scale molecule data while bounding what a single
+// adversarial record can make the parser materialise.
+struct ParseLimits {
+  size_t max_line_bytes = size_t{1} << 20;          // longest accepted line
+  size_t max_vertices_per_graph = size_t{1} << 16;  // degree/vertex bombs
+  size_t max_edges_per_graph = size_t{1} << 20;
+  size_t max_label_bytes = 256;          // longest accepted label token
+  size_t max_labels = size_t{1} << 20;   // distinct vertex labels, db-wide
+  size_t max_graphs = 0;                 // stop after this many (0 = all)
+};
+
+// How ReadDatabase treats the input. `strict` fails the whole read on the
+// first malformed or limit-violating graph (the legacy behaviour); otherwise
+// such graphs are quarantined and ingestion continues. `memory` is charged
+// per committed graph: a refused charge stops ingestion with the graphs
+// read so far (see IngestReport::stopped_early).
+struct IngestOptions {
+  ParseLimits limits;
+  bool strict = false;
+  MemoryBudget memory;
+};
+
+// What ingestion did: graphs kept, graphs quarantined (per reason, with
+// their input-order indices), and how it ended. `quarantine_digest` is a
+// stable hash of the quarantined (index, reason) set — 0 when nothing was
+// quarantined — which callers fold into the checkpoint config fingerprint so
+// a resume against a differently-quarantined database is rejected instead of
+// silently mis-indexing cluster assignments.
+struct IngestReport {
+  size_t graphs_ingested = 0;
+  size_t graphs_quarantined = 0;
+  size_t lines_read = 0;
+
+  // reason -> number of quarantined records with that reason.
+  std::vector<std::pair<std::string, size_t>> quarantine_reasons;
+  // Input-order indices of quarantined graphs (capped at kMaxRecordedIndices
+  // entries; the digest always covers all of them).
+  std::vector<size_t> quarantined_indices;
+  uint64_t quarantine_digest = 0;
+
+  // Ingestion ended before the input did: max_graphs reached or the memory
+  // budget refused a charge. The graphs read so far are still returned.
+  bool stopped_early = false;
+  std::string stop_reason;
+
+  // Memory accounting of the parse (tracked through IngestOptions::memory).
+  size_t mem_peak_bytes = 0;
+  bool mem_breached = false;
+  ResourceError resource_error;  // meaningful when mem_breached
+
+  static constexpr size_t kMaxRecordedIndices = 1024;
+
+  // One-line human summary ("ingested 480 graphs, quarantined 3 (edge limit
+  // exceeded: 2, NUL byte in record: 1)").
+  std::string Summary() const;
+};
+
+// Parses a database from `in` under `options`. Returns std::nullopt only on
+// a strict-mode violation or an unreadable stream (when `error` is non-null
+// it receives the line, graph index, and reason); in quarantine mode the
+// read always yields a database — possibly empty — and `report` (optional)
+// receives the full ingestion accounting.
 std::optional<GraphDatabase> ReadDatabase(std::istream& in,
+                                          const IngestOptions& options,
+                                          IngestReport* report = nullptr,
                                           ParseError* error = nullptr);
 
-// Convenience wrapper that reads from `path`.
+// Convenience wrapper that reads from `path` under `options`.
+std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path,
+                                                  const IngestOptions& options,
+                                                  IngestReport* report = nullptr,
+                                                  ParseError* error = nullptr);
+
+// Legacy strict readers (default limits, no quarantine): malformed input
+// (negative ids, dangling edge endpoints, duplicate edges) fails the read;
+// when `error` is non-null it receives the first failure.
+std::optional<GraphDatabase> ReadDatabase(std::istream& in,
+                                          ParseError* error = nullptr);
 std::optional<GraphDatabase> ReadDatabaseFromFile(const std::string& path,
                                                   ParseError* error = nullptr);
 

@@ -206,12 +206,15 @@ std::string EncodeSelectionPayload(const SelectorCheckpointState& state) {
   return out.TakeBuffer();
 }
 
+}  // namespace
+
 // --- payload decoding with semantic validation ----------------------------
 //
 // Each returns an empty string on success, else the rejection reason. The
 // structural decode (bounds, ranges) and the semantic cross-checks against
 // the live database/budget are both just "reasons" to recovery: either way
-// the checkpoint is rejected and the ladder steps down.
+// the checkpoint is rejected and the ladder steps down. Public (declared in
+// checkpoint.h) so the fuzz targets can drive them with arbitrary payloads.
 
 std::string DecodeClusteringPayload(const std::string& payload,
                                     const GraphDatabase& db,
@@ -322,8 +325,6 @@ std::string DecodeSelectionPayload(
   }
   return std::string();
 }
-
-}  // namespace
 
 std::string ToString(const CheckpointEvent& event) {
   const char* kind = "";

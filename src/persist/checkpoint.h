@@ -66,6 +66,24 @@ struct CsgArtifact {
   RngState rng_after;
 };
 
+// Payload decoders behind the recovery ladder. Each parses one phase's raw
+// record payload (already stripped of the record framing by record_io) and
+// cross-checks it against the live run; the return value is empty on success
+// and the rejection reason otherwise. They must be total: any byte string —
+// including adversarial ones — yields a clean reject, never a crash or a
+// CATAPULT_CHECK. The fuzz targets under fuzz/ drive them directly, which is
+// why they are exposed here rather than kept file-local.
+std::string DecodeClusteringPayload(const std::string& payload,
+                                    const GraphDatabase& db,
+                                    ClusteringArtifact* artifact);
+std::string DecodeCsgPayload(const std::string& payload,
+                             const std::vector<std::vector<GraphId>>& clusters,
+                             CsgArtifact* artifact);
+std::string DecodeSelectionPayload(
+    const std::string& payload,
+    const std::vector<std::vector<GraphId>>& clusters,
+    const PatternBudget& budget, SelectorCheckpointState* state);
+
 // Reads and writes the checkpoint files of one pipeline run in one
 // directory. All writes are atomic and fsynced; all reads are validated
 // (magic, version, checksum, config fingerprint) before use. A store is

@@ -177,13 +177,11 @@ std::string WriteRecordFile(const std::string& path, RecordType type,
   return AtomicWriteFile(path, file);
 }
 
-std::string ReadRecordFile(const std::string& path, RecordType expected_type,
-                           uint64_t expected_fingerprint, std::string* payload,
-                           uint32_t* payload_crc) {
+std::string DecodeRecordBytes(const std::string& file,
+                              RecordType expected_type,
+                              uint64_t expected_fingerprint,
+                              std::string* payload, uint32_t* payload_crc) {
   payload->clear();
-  std::string file;
-  std::string io_error = ReadWholeFile(path, &file);
-  if (!io_error.empty()) return io_error;
   if (file.size() < kHeaderSize) return "truncated header";
   if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
     return "bad magic";
@@ -220,6 +218,17 @@ std::string ReadRecordFile(const std::string& path, RecordType expected_type,
   *payload = file.substr(kHeaderSize);
   if (payload_crc != nullptr) *payload_crc = crc;
   return std::string();
+}
+
+std::string ReadRecordFile(const std::string& path, RecordType expected_type,
+                           uint64_t expected_fingerprint, std::string* payload,
+                           uint32_t* payload_crc) {
+  payload->clear();
+  std::string file;
+  std::string io_error = ReadWholeFile(path, &file);
+  if (!io_error.empty()) return io_error;
+  return DecodeRecordBytes(file, expected_type, expected_fingerprint, payload,
+                           payload_crc);
 }
 
 }  // namespace catapult::persist

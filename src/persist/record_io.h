@@ -99,6 +99,16 @@ std::string WriteRecordFile(const std::string& path, RecordType type,
                             const std::string& payload,
                             uint32_t* payload_crc = nullptr);
 
+// Validates an in-memory record image (header + payload) exactly as
+// ReadRecordFile does, without touching the filesystem. This is the pure
+// core of record reading — the fuzz targets feed it arbitrary byte strings
+// directly. Same contract as ReadRecordFile minus the I/O errors.
+std::string DecodeRecordBytes(const std::string& file,
+                              RecordType expected_type,
+                              uint64_t expected_fingerprint,
+                              std::string* payload,
+                              uint32_t* payload_crc = nullptr);
+
 // Reads and validates the record at `path`. On success returns an empty
 // string and fills `payload` (and optionally `payload_crc`); on any
 // validation failure returns the reason ("bad magic", "checksum mismatch",

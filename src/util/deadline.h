@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/util/failpoint.h"
+#include "src/util/mem_budget.h"
 
 // Deadline-aware execution support. The Catapult pipeline chains several
 // NP-hard primitives (GED, MCS/MCCS, VF2); a pathological database can stall
@@ -70,7 +71,8 @@ class CancelToken {
 };
 
 // Execution context threaded through the pipeline: deadline + cancellation
-// token + budget translation. Copy freely; copies share the token.
+// token + memory budget + budget translation. Copy freely; copies share the
+// token and the memory ledger.
 class RunContext {
  public:
   // Conservative exploration speed assumed for the backtracking kernels when
@@ -83,6 +85,10 @@ class RunContext {
   explicit RunContext(Deadline deadline) : deadline_(deadline) {}
   RunContext(Deadline deadline, CancelToken token)
       : deadline_(deadline), cancel_(std::move(token)) {}
+  RunContext(Deadline deadline, CancelToken token, MemoryBudget memory)
+      : deadline_(deadline),
+        cancel_(std::move(token)),
+        memory_(std::move(memory)) {}
 
   static RunContext NoLimit() { return RunContext(); }
   static RunContext WithDeadlineMillis(double ms) {
@@ -92,6 +98,19 @@ class RunContext {
   const Deadline& deadline() const { return deadline_; }
   const CancelToken& cancel_token() const { return cancel_; }
 
+  // The shared memory ledger (unlimited by default). Producers charge their
+  // input-proportional structures through this handle; a refused charge
+  // latches the breach, which every subsequent StopRequested poll observes,
+  // so a hard memory breach winds the whole pipeline down exactly like a
+  // deadline expiry — best-effort partial results, never an OOM kill.
+  const MemoryBudget& memory() const { return memory_; }
+  MemoryBudget& memory() { return memory_; }
+
+  // Copy of this context charging against `memory` instead.
+  RunContext WithMemory(MemoryBudget memory) const {
+    return RunContext(deadline_, cancel_, std::move(memory));
+  }
+
   // Requests cooperative cancellation; observed by all copies of this
   // context at their next StopRequested poll.
   void Cancel() const { cancel_.Cancel(); }
@@ -100,19 +119,23 @@ class RunContext {
   bool Unlimited() const { return deadline_.infinite(); }
 
   // The cooperative stop poll. True when the deadline expired, the token was
-  // cancelled, or — in tests — the failpoint `site` is armed. Work loops
-  // call this once per iteration and wind down with their best partial
-  // result when it fires. With no deadline, no cancellation, and no armed
-  // failpoints this is two relaxed loads, so the unlimited path stays
-  // behaviourally and observably identical to pre-deadline code.
+  // cancelled, the memory budget's hard limit was breached, or — in tests —
+  // the failpoint `site` is armed. Work loops call this once per iteration
+  // and wind down with their best partial result when it fires. With no
+  // deadline, no cancellation, no memory limit, and no armed failpoints this
+  // is three relaxed loads, so the unlimited path stays behaviourally and
+  // observably identical to pre-deadline code.
   bool StopRequested(const char* site = nullptr) const {
     if (site != nullptr && CATAPULT_FAILPOINT(site)) return true;
-    return cancel_.Cancelled() || deadline_.Expired();
+    return cancel_.Cancelled() || memory_.HardBreached() ||
+           deadline_.Expired();
   }
 
-  // Sub-context whose deadline covers `fraction` of the remaining time.
+  // Sub-context whose deadline covers `fraction` of the remaining time (the
+  // memory ledger is shared, not sliced: bytes, unlike seconds, are returned
+  // when a phase frees its structures).
   RunContext Slice(double fraction) const {
-    return RunContext(deadline_.Fraction(fraction), cancel_);
+    return RunContext(deadline_.Fraction(fraction), cancel_, memory_);
   }
 
   // Tightens a configured kernel node budget (0 = unlimited) against the
@@ -127,6 +150,7 @@ class RunContext {
  private:
   Deadline deadline_;
   CancelToken cancel_;
+  MemoryBudget memory_;
 };
 
 }  // namespace catapult

@@ -1,0 +1,82 @@
+#include "src/util/mem_budget.h"
+
+namespace catapult {
+
+std::string ResourceError::ToString() const {
+  return "memory budget exhausted at " + site + ": charge of " +
+         std::to_string(requested) + " bytes with " + std::to_string(used) +
+         " tracked against a hard limit of " + std::to_string(hard_limit);
+}
+
+MemoryBudget MemoryBudget::Limited(size_t soft_bytes, size_t hard_bytes) {
+  MemoryBudget budget;
+  if (soft_bytes == 0 && hard_bytes != 0) {
+    soft_bytes = hard_bytes / 4 * 3;
+  }
+  budget.state_->soft_limit = soft_bytes;
+  budget.state_->hard_limit = hard_bytes;
+  return budget;
+}
+
+bool MemoryBudget::TryCharge(size_t bytes, const char* site) const {
+  State& s = *state_;
+  const size_t hard = s.hard_limit;
+  // Fault injection: an armed site (or the global "mem.charge") models the
+  // allocator failing here, regardless of the ledger.
+  bool injected =
+      CATAPULT_FAILPOINT("mem.charge") ||
+      (site != nullptr && CATAPULT_FAILPOINT(site));
+  if (!injected) {
+    size_t current = s.used.load(std::memory_order_relaxed);
+    for (;;) {
+      if (hard != 0 && (bytes > hard || current > hard - bytes)) break;
+      if (s.used.compare_exchange_weak(current, current + bytes,
+                                       std::memory_order_relaxed)) {
+        size_t next = current + bytes;
+        size_t peak = s.peak.load(std::memory_order_relaxed);
+        while (peak < next && !s.peak.compare_exchange_weak(
+                                  peak, next, std::memory_order_relaxed)) {
+        }
+        return true;
+      }
+    }
+  }
+  // Refused: latch the first breach for attribution.
+  bool was_breached = s.breached.exchange(true, std::memory_order_relaxed);
+  if (!was_breached) {
+    std::lock_guard<std::mutex> lock(s.error_mutex);
+    s.first_error.site = site != nullptr ? site : "unknown";
+    s.first_error.requested = bytes;
+    s.first_error.used = s.used.load(std::memory_order_relaxed);
+    s.first_error.hard_limit = hard;
+  }
+  return false;
+}
+
+void MemoryBudget::Release(size_t bytes) const {
+  State& s = *state_;
+  size_t current = s.used.load(std::memory_order_relaxed);
+  for (;;) {
+    size_t next = current >= bytes ? current - bytes : 0;
+    if (s.used.compare_exchange_weak(current, next,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+ResourceError MemoryBudget::error() const {
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.error_mutex);
+  return s.first_error;
+}
+
+size_t ApproxGraphBytes(size_t vertices, size_t edges) {
+  // Per vertex: label + adjacency-list header; per edge: two Neighbor
+  // entries (undirected adjacency) plus EdgeList slack.
+  return vertices * 40 + edges * 24 + 64;
+}
+
+size_t ApproxBitsetBytes(size_t bits) { return (bits + 63) / 64 * 8 + 48; }
+
+}  // namespace catapult

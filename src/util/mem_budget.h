@@ -1,0 +1,140 @@
+#ifndef CATAPULT_UTIL_MEM_BUDGET_H_
+#define CATAPULT_UTIL_MEM_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/util/failpoint.h"
+
+// Memory governance for the ingestion-to-selection path. The pipeline
+// materialises several data structures whose size is controlled by the input
+// (parsed graphs, feature-vector matrices, cluster summary graphs, candidate
+// pattern caches); an adversarial database can grow any of them without
+// bound. A MemoryBudget is an accounting ledger those producers charge
+// *before* allocating: crossing the soft limit is a pressure signal that
+// sheds optional work (sampling, coarse-only clustering, partial CSG folds,
+// cache eviction), and a charge that would cross the hard limit is refused —
+// the producer then winds down with its best partial result and the breach
+// surfaces as a structured ResourceError, never as an OOM kill.
+//
+// The ledger tracks the dominant, input-proportional structures, not every
+// allocation; the hard limit therefore bounds tracked bytes, with a
+// constant-factor slop for untracked bookkeeping.
+
+namespace catapult {
+
+// The first refused charge of a budget: which charge site asked, for how
+// much, and what the ledger looked like. Carried in ExecutionReport /
+// IngestReport so a hard breach is always attributable.
+struct ResourceError {
+  std::string site;        // e.g. "ingest.graph", "csg.fold", "mem.features"
+  size_t requested = 0;    // bytes the failing charge asked for
+  size_t used = 0;         // tracked bytes at the time of the refusal
+  size_t hard_limit = 0;   // the limit that refused it
+
+  std::string ToString() const;
+};
+
+// Shared, thread-safe byte ledger with a soft and a hard limit. Copies share
+// state (the CancelToken idiom), so a budget handed into RunCatapult is the
+// same ledger every phase charges. Default-constructed budgets are
+// unlimited: charges are still tracked (peak reporting) but never refused.
+class MemoryBudget {
+ public:
+  MemoryBudget() : state_(std::make_shared<State>()) {}
+
+  static MemoryBudget Unlimited() { return MemoryBudget(); }
+
+  // A budget refusing charges past `hard_bytes`, signalling pressure past
+  // `soft_bytes`. `soft_bytes` of 0 defaults to 3/4 of the hard limit;
+  // `hard_bytes` of 0 means no hard limit.
+  static MemoryBudget Limited(size_t soft_bytes, size_t hard_bytes);
+
+  bool limited() const {
+    return state_->soft_limit != 0 || state_->hard_limit != 0;
+  }
+  size_t soft_limit() const { return state_->soft_limit; }
+  size_t hard_limit() const { return state_->hard_limit; }
+
+  // Attempts to add `bytes` to the ledger. Returns false — leaving the
+  // ledger unchanged — when the charge would cross the hard limit, or when
+  // the failpoint `site` (or the global site "mem.charge") is armed to
+  // fault-inject an allocation failure. The first refusal is latched as the
+  // budget's ResourceError and HardBreached() stays true from then on, so
+  // every later StopRequested poll observes the breach.
+  // Const like CancelToken::Cancel: copies share the ledger, so charging
+  // through a const RunContext& is the normal case.
+  bool TryCharge(size_t bytes, const char* site) const;
+
+  // Removes `bytes` from the ledger (a tracked structure was freed).
+  void Release(size_t bytes) const;
+
+  // Tracked bytes now / at the high-water mark.
+  size_t used() const { return state_->used.load(std::memory_order_relaxed); }
+  size_t peak() const { return state_->peak.load(std::memory_order_relaxed); }
+
+  // True once tracked usage is at or past the soft limit: producers should
+  // shed optional work but may keep charging.
+  bool SoftExceeded() const {
+    size_t soft = state_->soft_limit;
+    return soft != 0 && used() >= soft;
+  }
+
+  // Sticky: true once any charge was refused.
+  bool HardBreached() const {
+    return state_->breached.load(std::memory_order_relaxed);
+  }
+
+  // The latched first refusal; meaningful only when HardBreached().
+  ResourceError error() const;
+
+ private:
+  struct State {
+    size_t soft_limit = 0;  // 0 = no soft signal
+    size_t hard_limit = 0;  // 0 = no hard limit
+    std::atomic<size_t> used{0};
+    std::atomic<size_t> peak{0};
+    std::atomic<bool> breached{false};
+    std::mutex error_mutex;
+    ResourceError first_error;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// RAII charge: charges in the constructor, releases what was charged in the
+// destructor. `ok()` is false when the charge was refused (nothing will be
+// released).
+class ScopedMemoryCharge {
+ public:
+  ScopedMemoryCharge(MemoryBudget budget, size_t bytes, const char* site)
+      : budget_(std::move(budget)), bytes_(bytes) {
+    ok_ = budget_.TryCharge(bytes_, site);
+  }
+  ~ScopedMemoryCharge() {
+    if (ok_) budget_.Release(bytes_);
+  }
+  ScopedMemoryCharge(const ScopedMemoryCharge&) = delete;
+  ScopedMemoryCharge& operator=(const ScopedMemoryCharge&) = delete;
+
+  bool ok() const { return ok_; }
+
+ private:
+  MemoryBudget budget_;
+  size_t bytes_;
+  bool ok_ = false;
+};
+
+// Byte estimates for the structures the pipeline charges. Deliberately
+// rounded up: adjacency lists, allocator headers and growth slack are folded
+// into per-element constants.
+size_t ApproxGraphBytes(size_t vertices, size_t edges);
+size_t ApproxBitsetBytes(size_t bits);
+
+}  // namespace catapult
+
+#endif  // CATAPULT_UTIL_MEM_BUDGET_H_
