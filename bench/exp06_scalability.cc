@@ -1,26 +1,53 @@
-// Exp 6 (Figure 12): scalability with dataset size.
+// Exp 6 (Figure 12): scalability with dataset size, plus thread scaling.
 //
-// Runs the sampling-enabled pipeline on PubChem-like datasets of growing
-// size and reports clustering time, PGT, MP, and the relative reduction
-// mu_DS = (step_P(D_s) - step_P(D_0)) / step_P(D_s) of each size against
-// the smallest dataset's pattern set, evaluated on a common query workload.
+// Part 1 runs the sampling-enabled pipeline on PubChem-like datasets of
+// growing size and reports clustering time, PGT, MP, and the relative
+// reduction mu_DS = (step_P(D_s) - step_P(D_0)) / step_P(D_s) of each size
+// against the smallest dataset's pattern set, evaluated on a common query
+// workload.
 //
-// Paper shape: times grow roughly with |D|; mu_DS <= 0 (bigger data ->
-// equal or better patterns) and MP drops, with the sweet spot before the
-// largest size (sampling quality vs data volume trade-off).
+// Part 2 fixes the database and sweeps the worker-thread count
+// {1, 2, 4, 8}, reporting per-phase wall times and the speedup over the
+// single-thread run — the determinism contract means every row produces the
+// same pattern panel, so the sweep measures pure execution cost.
+//
+// Paper shape (part 1): times grow roughly with |D|; mu_DS <= 0 (bigger
+// data -> equal or better patterns) and MP drops, with the sweet spot
+// before the largest size (sampling quality vs data volume trade-off).
+//
+// Both parts are written to BENCH_exp06.json in the working directory.
 
 #include "bench/bench_common.h"
 #include "src/formulate/steps.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 namespace {
+
+struct SizeRow {
+  size_t size = 0;
+  double clustering_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double mp_percent = 0.0;
+  double mu_ds = 0.0;
+};
+
+struct ThreadRow {
+  size_t threads = 0;
+  double clustering_seconds = 0.0;
+  double csg_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double total_seconds = 0.0;
+  double speedup_vs_1 = 0.0;
+  double effective_parallelism = 0.0;  // selection-phase busy/wall
+};
 
 }  // namespace
 }  // namespace catapult
 
 int main() {
   using namespace catapult;
-  bench::PrintHeader("Exp 6 (Fig. 12): scalability with |D|");
+  bench::PrintHeader("Exp 6 (Fig. 12): scalability with |D| and threads");
 
   const size_t base_sizes[4] = {150, 400, 800, 1600};
   std::vector<size_t> sizes;
@@ -34,6 +61,7 @@ int main() {
 
   std::printf("%10s %12s %10s %8s %10s\n", "|D|", "cluster(s)", "PGT(s)",
               "MP%", "avg_muDS%");
+  std::vector<SizeRow> size_rows;
   std::vector<double> baseline_steps;
   for (size_t size : sizes) {
     GraphDatabase db = bench::MakePubChemLike(size, 999);
@@ -65,10 +93,86 @@ int main() {
     std::printf("%10zu %12.2f %10.2f %8.1f %10.2f\n", size,
                 result.clustering_seconds, result.selection_seconds,
                 report.mp_percent, mu_ds);
+    size_rows.push_back({size, result.clustering_seconds,
+                         result.selection_seconds, report.mp_percent, mu_ds});
   }
   std::printf(
       "\nexpected shape: clustering time and PGT grow with |D|; mu_DS%% is\n"
       "negative for larger datasets (their patterns need fewer steps than\n"
       "the smallest dataset's), improving then flattening (paper Fig. 12).\n");
+
+  // --- Part 2: thread scaling at fixed |D| -------------------------------
+  std::printf("\nthread scaling at |D|=%zu (hardware threads: %zu)\n",
+              sizes[1], ThreadPool::HardwareThreads());
+  std::printf("%8s %12s %8s %10s %9s %9s %8s\n", "threads", "cluster(s)",
+              "csg(s)", "select(s)", "total(s)", "speedup", "par");
+  GraphDatabase db = bench::MakePubChemLike(sizes[1], 999);
+  std::vector<ThreadRow> thread_rows;
+  for (size_t threads : {1, 2, 4, 8}) {
+    CatapultOptions options = bench::DefaultPipeline(
+        {.eta_min = 3, .eta_max = 8, .gamma = 12}, 83);
+    options.threads = threads;
+    CatapultResult result = RunCatapult(db, options);
+    ThreadRow row;
+    row.threads = threads;
+    row.clustering_seconds = result.clustering_seconds;
+    row.csg_seconds = result.csg_seconds;
+    row.selection_seconds = result.selection_seconds;
+    row.total_seconds = result.clustering_seconds + result.csg_seconds +
+                        result.selection_seconds;
+    row.speedup_vs_1 = thread_rows.empty() || row.total_seconds <= 0.0
+                           ? 1.0
+                           : thread_rows.front().total_seconds /
+                                 row.total_seconds;
+    row.effective_parallelism =
+        result.execution.selection_parallel.EffectiveParallelism();
+    thread_rows.push_back(row);
+    std::printf("%8zu %12.2f %8.2f %10.2f %9.2f %8.2fx %8.2f\n", threads,
+                row.clustering_seconds, row.csg_seconds,
+                row.selection_seconds, row.total_seconds, row.speedup_vs_1,
+                row.effective_parallelism);
+  }
+  std::printf(
+      "\nexpected shape: identical panels at every thread count; total time\n"
+      "drops toward the hardware-thread count and flattens past it (on a\n"
+      "single-core runner every row costs the same, speedup ~1.0x).\n");
+
+  // --- Machine-readable artifact -----------------------------------------
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value("exp06_scalability");
+  json.Key("scale").Value(bench::ScaleFactor());
+  json.Key("hardware_threads").Value(ThreadPool::HardwareThreads());
+  json.Key("size_sweep").BeginArray();
+  for (const SizeRow& r : size_rows) {
+    json.BeginObject();
+    json.Key("db_size").Value(r.size);
+    json.Key("clustering_seconds").Value(r.clustering_seconds);
+    json.Key("selection_seconds").Value(r.selection_seconds);
+    json.Key("mp_percent").Value(r.mp_percent);
+    json.Key("mu_ds_percent").Value(r.mu_ds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("thread_sweep").BeginArray();
+  for (const ThreadRow& r : thread_rows) {
+    json.BeginObject();
+    json.Key("threads").Value(r.threads);
+    json.Key("clustering_seconds").Value(r.clustering_seconds);
+    json.Key("csg_seconds").Value(r.csg_seconds);
+    json.Key("selection_seconds").Value(r.selection_seconds);
+    json.Key("total_seconds").Value(r.total_seconds);
+    json.Key("speedup_vs_1").Value(r.speedup_vs_1);
+    json.Key("effective_parallelism").Value(r.effective_parallelism);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  const char* out_path = "BENCH_exp06.json";
+  if (json.WriteFile(out_path)) {
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nfailed to write %s\n", out_path);
+  }
   return 0;
 }

@@ -136,7 +136,69 @@ void BM_RandomWalkPcp(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomWalkPcp)->Arg(4)->Arg(8)->Arg(12);
 
+// Console output plus a machine-readable BENCH_micro.json: every run's
+// (name, real_time, cpu_time, iterations), written through the shared
+// bench::JsonWriter on exit.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Run {
+    std::string name;
+    double real_time_ns = 0.0;
+    double cpu_time_ns = 0.0;
+    uint64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run>& runs)
+      override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      Run r;
+      r.name = run.benchmark_name();
+      r.real_time_ns = run.GetAdjustedRealTime();
+      r.cpu_time_ns = run.GetAdjustedCPUTime();
+      r.iterations = static_cast<uint64_t>(run.iterations);
+      collected_.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    bench::JsonWriter json;
+    json.BeginObject();
+    json.Key("experiment").Value("micro_primitives");
+    json.Key("time_unit").Value("ns");
+    json.Key("benchmarks").BeginArray();
+    for (const Run& r : collected_) {
+      json.BeginObject();
+      json.Key("name").Value(r.name);
+      json.Key("real_time").Value(r.real_time_ns);
+      json.Key("cpu_time").Value(r.cpu_time_ns);
+      json.Key("iterations").Value(r.iterations);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    return json.WriteFile(path);
+  }
+
+ private:
+  std::vector<Run> collected_;
+};
+
 }  // namespace
 }  // namespace catapult
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  catapult::JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* out_path = "BENCH_micro.json";
+  if (reporter.WriteJson(out_path)) {
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("failed to write %s\n", out_path);
+  }
+  return 0;
+}

@@ -4,7 +4,7 @@
 //   generate --out FILE [--graphs N] [--families K] [--seed S]
 //       Write a synthetic molecule-like database in gSpan text format.
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
-//        [--seed S] [--sampling] [--deadline-ms MS]
+//        [--seed S] [--sampling] [--deadline-ms MS] [--threads N]
 //        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
 //        [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
 //        [--mem-budget-mb MB] [--strict-parse]
@@ -25,6 +25,9 @@
 //       N graphs. --mem-budget-mb bounds the tracked memory of both
 //       ingestion and the pipeline: soft pressure sheds work, a hard breach
 //       yields a degraded-but-valid pattern set, never an OOM kill.
+//       --threads N runs the parallel phases on N threads (0 = hardware
+//       concurrency; default 1): the output is bit-identical at any thread
+//       count for the same seed.
 //   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
 //       Evaluate a pattern panel on a random query workload (MP, mu).
 //   search --db FILE --query-id I [--edges K] [--seed S]
@@ -34,6 +37,7 @@
 // Exit status: 0 on success, 1 on usage/IO errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -46,6 +50,7 @@
 #include "src/graph/io.h"
 #include "src/search/search_engine.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -190,6 +195,13 @@ int CmdMine(const Flags& flags) {
   options.selector.budget.eta_max =
       static_cast<size_t>(flags.GetInt("max-size", 8));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  // --threads 0 asks for hardware concurrency explicitly; an absent flag
+  // leaves options.threads at 0 = "auto" (CATAPULT_THREADS env, else 1).
+  if (auto threads = flags.Get("threads")) {
+    long n = std::atol(threads->c_str());
+    options.threads = n <= 0 ? ThreadPool::HardwareThreads()
+                             : static_cast<size_t>(n);
+  }
   options.clustering.fine_mcs.node_budget = 5000;
   options.use_sampling = flags.GetBool("sampling");
   options.deadline_ms = static_cast<double>(flags.GetInt("deadline-ms", 0));
@@ -217,10 +229,11 @@ int CmdMine(const Flags& flags) {
     return 1;
   }
   std::printf(
-      "mined %zu patterns from %zu graphs (%zu clusters; clustering %.1fs, "
-      "selection %.1fs) -> %s\n",
+      "mined %zu patterns from %zu graphs (%zu clusters; %zu threads; "
+      "clustering %.1fs, selection %.1fs) -> %s\n",
       result.selection.patterns.size(), db->size(), result.clusters.size(),
-      result.clustering_seconds, result.selection_seconds, out->c_str());
+      result.execution.threads, result.clustering_seconds,
+      result.selection_seconds, out->c_str());
   std::printf("ingest: %s\n", ingest_report.Summary().c_str());
   if (ingest_report.mem_peak_bytes > 0 ||
       result.execution.mem_budget_set) {

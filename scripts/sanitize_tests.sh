@@ -1,19 +1,48 @@
 #!/usr/bin/env bash
-# Second ctest configuration: build and run the test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer.
+# Sanitizer ctest configurations.
 #
-#   scripts/sanitize_tests.sh [build-dir] [extra ctest args...]
+#   scripts/sanitize_tests.sh [flavor] [build-dir] [extra ctest args...]
 #
-# Uses build-sanitize/ by default so the instrumented tree never collides
-# with the regular build/.
+# Flavors:
+#   asan (default) — AddressSanitizer + UndefinedBehaviorSanitizer in
+#                    build-sanitize/; the whole suite.
+#   tsan           — ThreadSanitizer in build-tsan/ with CATAPULT_THREADS=4,
+#                    so every pool-aware phase actually runs multi-threaded
+#                    under the race detector.
+#
+# For backwards compatibility a first argument that is not a flavor name is
+# treated as the build dir of the asan flavor.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo/build-sanitize}"
+
+flavor="asan"
+case "${1:-}" in
+  asan|tsan)
+    flavor="$1"
+    shift
+    ;;
+esac
+
+if [[ "$flavor" == "tsan" ]]; then
+  build_dir="${1:-$repo/build-tsan}"
+  sanitize="thread"
+else
+  build_dir="${1:-$repo/build-sanitize}"
+  sanitize="address;undefined"
+fi
 shift || true
 
 cmake -B "$build_dir" -S "$repo" \
-  -DCATAPULT_SANITIZE="address;undefined" \
+  -DCATAPULT_SANITIZE="$sanitize" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure "$@"
+
+if [[ "$flavor" == "tsan" ]]; then
+  # Force the auto thread count to 4 so ParallelFor regions race for real;
+  # TSAN_OPTIONS makes any reported race fail the run.
+  CATAPULT_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "$build_dir" --output-on-failure "$@"
+else
+  ctest --test-dir "$build_dir" --output-on-failure "$@"
+fi

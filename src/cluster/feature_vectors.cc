@@ -1,23 +1,31 @@
 #include "src/cluster/feature_vectors.h"
 
 #include "src/iso/vf2.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 
 std::vector<DynamicBitset> BuildFeatureVectors(
     const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
-    const std::vector<FrequentSubtree>& subtrees) {
-  std::vector<DynamicBitset> features;
-  features.reserve(graph_ids.size());
-  for (GraphId id : graph_ids) {
-    const Graph& g = db.graph(id);
+    const std::vector<FrequentSubtree>& subtrees, const RunContext& ctx) {
+  // One slot per graph, filled independently (any thread, any order) and
+  // returned in graph_ids order: output is identical at every thread count.
+  std::vector<DynamicBitset> features(graph_ids.size());
+  ParallelFor(ctx, graph_ids.size(), 1, [&](size_t i) {
+    const Graph& g = db.graph(graph_ids[i]);
     DynamicBitset vec(subtrees.size());
     for (size_t j = 0; j < subtrees.size(); ++j) {
       if (ContainsSubgraph(subtrees[j].tree, g)) vec.Set(j);
     }
-    features.push_back(std::move(vec));
-  }
+    features[i] = std::move(vec);
+  });
   return features;
+}
+
+std::vector<DynamicBitset> BuildFeatureVectors(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const std::vector<FrequentSubtree>& subtrees) {
+  return BuildFeatureVectors(db, graph_ids, subtrees, RunContext::NoLimit());
 }
 
 }  // namespace catapult

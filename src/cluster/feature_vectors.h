@@ -6,6 +6,7 @@
 #include "src/graph/graph_database.h"
 #include "src/mining/subtree_miner.h"
 #include "src/util/bitset.h"
+#include "src/util/deadline.h"
 
 namespace catapult {
 
@@ -14,6 +15,12 @@ namespace catapult {
 // subtree j (Algorithm 2, lines 3-10). Containment is tested by subgraph
 // isomorphism; the subtrees' own support bitsets cannot be reused here
 // because they may have been mined on a different (sampled) id set.
+//
+// Per-graph containment tests are independent and run on the context's
+// thread pool; the result is identical at every thread count.
+std::vector<DynamicBitset> BuildFeatureVectors(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const std::vector<FrequentSubtree>& subtrees, const RunContext& ctx);
 std::vector<DynamicBitset> BuildFeatureVectors(
     const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
     const std::vector<FrequentSubtree>& subtrees);

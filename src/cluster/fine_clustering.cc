@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 
@@ -30,80 +31,117 @@ std::vector<std::vector<GraphId>> FineCluster(
     }
   }
 
+  // The sequential algorithm popped one oversized cluster at a time off a
+  // FIFO queue; since each split only *appends* its oversized parts, FIFO
+  // order is exactly level order. Processing the queue in whole rounds
+  // therefore preserves the original stop-poll sequence, rng draw sequence,
+  // and output order bit-for-bit, while the splits within a round — each an
+  // independent batch of MCS calls over disjoint clusters — run on the
+  // context's thread pool. All rng draws and all routing of the resulting
+  // parts stay on the calling thread, in queue order.
   while (!large.empty()) {
-    // On expiry, hand the still-oversized clusters back unsplit: the result
-    // remains a partition, just coarser than requested (the degradation
-    // ladder's "coarse-only" rung).
-    if (ctx.StopRequested("cluster.fine.split")) {
-      if (complete != nullptr) *complete = false;
-      for (auto& cluster : large) done.push_back(std::move(cluster));
-      large.clear();
-      break;
+    std::vector<std::vector<GraphId>> round;
+    round.reserve(large.size());
+    while (!large.empty()) {
+      round.push_back(std::move(large.front()));
+      large.pop_front();
     }
-    std::vector<GraphId> cluster = std::move(large.front());
-    large.pop_front();
 
-    // One split costs ~2 MCS calls per member; keep each call affordable
-    // within the remaining time (unlimited contexts leave budgets as
-    // configured).
-    McsOptions mcs = options.mcs;
-    mcs.node_budget = ctx.TightenNodeBudget(mcs.node_budget);
-
-    // Seed1: random member. Seed2: member least similar to Seed1.
-    size_t seed1_pos = rng.UniformInt(cluster.size());
-    GraphId seed1 = cluster[seed1_pos];
-    std::vector<double> similarity(cluster.size(), 0.0);
-    double min_sim = 2.0;
-    size_t seed2_pos = seed1_pos;
-    for (size_t i = 0; i < cluster.size(); ++i) {
-      if (i == seed1_pos) continue;
-      similarity[i] =
-          McsSimilarity(db.graph(cluster[i]), db.graph(seed1), mcs);
-      if (similarity[i] < min_sim) {
-        min_sim = similarity[i];
-        seed2_pos = i;
+    // Poll + draw per cluster, in order, exactly as the sequential pop loop
+    // did. On a stop request the remaining clusters of the round are handed
+    // back unsplit: the result remains a partition, just coarser than
+    // requested (the degradation ladder's "coarse-only" rung).
+    bool stopped = false;
+    size_t tasked = 0;                  // clusters of this round being split
+    std::vector<size_t> seed1_pos(round.size(), 0);
+    for (size_t c = 0; c < round.size(); ++c) {
+      if (ctx.StopRequested("cluster.fine.split")) {
+        if (complete != nullptr) *complete = false;
+        stopped = true;
+        break;
       }
+      seed1_pos[c] = rng.UniformInt(round[c].size());
+      tasked = c + 1;
     }
-    GraphId seed2 = cluster[seed2_pos];
 
-    std::vector<GraphId> first = {seed1};
-    std::vector<GraphId> second = {seed2};
-    for (size_t i = 0; i < cluster.size(); ++i) {
-      if (i == seed1_pos || i == seed2_pos) continue;
-      double to_seed2 =
-          McsSimilarity(db.graph(cluster[i]), db.graph(seed2), mcs);
-      if (similarity[i] > to_seed2) {
-        first.push_back(cluster[i]);
-      } else {
-        second.push_back(cluster[i]);
+    // Split the tasked clusters. Each task reads only its own cluster and
+    // writes only its own parts slot; parts are emitted in the same order
+    // the sequential code appended them.
+    std::vector<std::vector<std::vector<GraphId>>> parts(tasked);
+    ParallelFor(ctx, tasked, 1, [&](size_t c) {
+      const std::vector<GraphId>& cluster = round[c];
+
+      // One split costs ~2 MCS calls per member; keep each call affordable
+      // within the remaining time (unlimited contexts leave budgets as
+      // configured).
+      McsOptions mcs = options.mcs;
+      mcs.node_budget = ctx.TightenNodeBudget(mcs.node_budget);
+
+      // Seed1: random member (pre-drawn). Seed2: member least similar to
+      // Seed1.
+      GraphId seed1 = cluster[seed1_pos[c]];
+      std::vector<double> similarity(cluster.size(), 0.0);
+      double min_sim = 2.0;
+      size_t seed2_pos = seed1_pos[c];
+      for (size_t i = 0; i < cluster.size(); ++i) {
+        if (i == seed1_pos[c]) continue;
+        similarity[i] =
+            McsSimilarity(db.graph(cluster[i]), db.graph(seed1), mcs);
+        if (similarity[i] < min_sim) {
+          min_sim = similarity[i];
+          seed2_pos = i;
+        }
       }
-    }
+      GraphId seed2 = cluster[seed2_pos];
 
-    for (auto* part : {&first, &second}) {
-      if (part->size() > options.max_cluster_size) {
-        // A split that makes no progress (everything on one side) cannot
-        // recurse forever: the other side always keeps its seed, so each
-        // round strictly shrinks the larger part... unless the whole
-        // cluster collapsed onto one seed. Guard by forcing a balanced cut.
-        if (part->size() == cluster.size() - 1) {
-          // Degenerate: move half to `done` in arbitrary (id) order.
+      std::vector<GraphId> first = {seed1};
+      std::vector<GraphId> second = {seed2};
+      for (size_t i = 0; i < cluster.size(); ++i) {
+        if (i == seed1_pos[c] || i == seed2_pos) continue;
+        double to_seed2 =
+            McsSimilarity(db.graph(cluster[i]), db.graph(seed2), mcs);
+        if (similarity[i] > to_seed2) {
+          first.push_back(cluster[i]);
+        } else {
+          second.push_back(cluster[i]);
+        }
+      }
+
+      for (auto* part : {&first, &second}) {
+        if (part->size() == cluster.size() - 1 &&
+            part->size() > options.max_cluster_size) {
+          // A split that makes no progress (everything on one side) cannot
+          // recurse forever: the other side always keeps its seed, so each
+          // round strictly shrinks the larger part... unless the whole
+          // cluster collapsed onto one seed. Guard by forcing a balanced
+          // cut, in sorted (id) order.
           std::sort(part->begin(), part->end());
           size_t half = part->size() / 2;
-          std::vector<GraphId> a(part->begin(), part->begin() + half);
-          std::vector<GraphId> b(part->begin() + half, part->end());
-          for (auto* piece : {&a, &b}) {
-            if (piece->size() > options.max_cluster_size) {
-              large.push_back(std::move(*piece));
-            } else {
-              done.push_back(std::move(*piece));
-            }
-          }
-          continue;
+          parts[c].emplace_back(part->begin(), part->begin() + half);
+          parts[c].emplace_back(part->begin() + half, part->end());
+        } else {
+          parts[c].push_back(std::move(*part));
         }
-        large.push_back(std::move(*part));
-      } else {
-        done.push_back(std::move(*part));
       }
+    });
+
+    // Route the parts in task order: still-oversized parts go back on the
+    // queue for the next round (or, once stopped, out unsplit — matching
+    // the sequential dump of the whole queue at the stop poll).
+    for (size_t c = 0; c < tasked; ++c) {
+      for (auto& part : parts[c]) {
+        if (!stopped && part.size() > options.max_cluster_size) {
+          large.push_back(std::move(part));
+        } else {
+          done.push_back(std::move(part));
+        }
+      }
+    }
+    if (stopped) {
+      for (size_t c = tasked; c < round.size(); ++c) {
+        done.push_back(std::move(round[c]));
+      }
+      break;
     }
   }
   return done;

@@ -1,10 +1,12 @@
 #include "src/cluster/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 
@@ -29,7 +31,12 @@ double SquaredDistance(const DynamicBitset& a, const DynamicBitset& b) {
 }  // namespace
 
 KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
-                           const KMeansOptions& options, Rng& rng) {
+                           const KMeansOptions& options, Rng& rng,
+                           const RunContext& ctx) {
+  // Distance evaluations (per point, read-only inputs, own output slot)
+  // parallelise; every rng draw and every order-sensitive reduction stays
+  // on the calling thread in index order.
+  constexpr size_t kGrain = 64;  // points per claimed chunk: bodies are cheap
   KMeansResult result;
   const size_t n = points.size();
   if (n == 0) return result;
@@ -41,11 +48,11 @@ KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
   seeds.push_back(rng.UniformInt(n));
   std::vector<double> min_dist(n, std::numeric_limits<double>::max());
   while (seeds.size() < k) {
-    for (size_t i = 0; i < n; ++i) {
+    ParallelFor(ctx, n, kGrain, [&](size_t i) {
       min_dist[i] =
           std::min(min_dist[i], SquaredDistance(points[i],
                                                 points[seeds.back()]));
-    }
+    });
     double total = 0.0;
     for (double d : min_dist) total += d;
     if (total <= 0.0) {
@@ -67,9 +74,11 @@ KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
   result.assignment.assign(n, 0);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assign.
-    bool changed = false;
-    for (size_t i = 0; i < n; ++i) {
+    // Assign. Each point's nearest centroid depends only on that point, so
+    // the O(n·k·d) scan parallelises; `changed` is a monotone flag, order
+    // of the stores is irrelevant.
+    std::atomic<bool> changed{false};
+    ParallelFor(ctx, n, kGrain, [&](size_t i) {
       double best = std::numeric_limits<double>::max();
       size_t best_c = 0;
       for (size_t c = 0; c < k; ++c) {
@@ -81,10 +90,10 @@ KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
       }
       if (result.assignment[i] != best_c) {
         result.assignment[i] = best_c;
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
-    if (!changed && iter > 0) break;
+    });
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
 
     // Update.
     std::vector<size_t> counts(k, 0);
@@ -128,6 +137,11 @@ KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
         SquaredDistance(points[i], centroids[result.assignment[i]]);
   }
   return result;
+}
+
+KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
+                           const KMeansOptions& options, Rng& rng) {
+  return KMeansCluster(points, options, rng, RunContext::NoLimit());
 }
 
 }  // namespace catapult

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/util/bitset.h"
+#include "src/util/deadline.h"
 #include "src/util/rng.h"
 
 namespace catapult {
@@ -30,6 +31,14 @@ struct KMeansResult {
 // its natural extension to fractional centroids). Empty clusters are
 // re-seeded with the point farthest from its centroid. Deterministic given
 // `rng`.
+//
+// The distance evaluations of the seeding and assignment steps run on the
+// context's thread pool; every seeding draw and every reduction (changed
+// flag, centroid sums, inertia) is taken in point-index order on the calling
+// thread, so the result is bit-identical at every thread count.
+KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
+                           const KMeansOptions& options, Rng& rng,
+                           const RunContext& ctx);
 KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
                            const KMeansOptions& options, Rng& rng);
 

@@ -66,7 +66,7 @@ ClusteringResult SmallGraphClustering(
       coarse_clusters.push_back(graph_ids);
     } else {
       std::vector<DynamicBitset> features =
-          BuildFeatureVectors(db, graph_ids, result.features);
+          BuildFeatureVectors(db, graph_ids, result.features, ctx);
       size_t target_k =
           options.explicit_k != 0
               ? options.explicit_k
@@ -81,7 +81,8 @@ ClusteringResult SmallGraphClustering(
         KMeansOptions kmeans_options;
         kmeans_options.k = target_k;
         kmeans_options.max_iterations = options.kmeans_max_iterations;
-        assignment = KMeansCluster(features, kmeans_options, rng).assignment;
+        assignment =
+            KMeansCluster(features, kmeans_options, rng, ctx).assignment;
       }
       size_t k = 0;
       for (size_t a : assignment) k = std::max(k, a + 1);

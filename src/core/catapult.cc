@@ -1,13 +1,16 @@
 #include "src/core/catapult.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 
 #include "src/cluster/feature_vectors.h"
 #include "src/cluster/kmeans.h"
 #include "src/util/failpoint.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace catapult {
@@ -37,6 +40,23 @@ class Fingerprinter {
   uint64_t hash_ = 0xCBF29CE484222325ULL;
 };
 
+// Resolves CatapultOptions::threads: explicit values win; 0 consults the
+// CATAPULT_THREADS environment variable (itself 0 = hardware concurrency,
+// the hook the CI sanitizer jobs use to thread every suite), else 1.
+size_t ResolveThreadCount(size_t configured) {
+  if (configured != 0) return configured;
+  const char* env = std::getenv("CATAPULT_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return value == 0 ? ThreadPool::HardwareThreads()
+                        : static_cast<size_t>(value);
+    }
+  }
+  return 1;
+}
+
 // Sampling-mode clustering (Section 4.3): features are mined on the eager
 // sample at a lowered threshold and re-verified on the full database;
 // coarse clustering covers the full database; oversized coarse clusters are
@@ -58,21 +78,37 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
 
   // Re-count candidate supports on the full database at the original
   // threshold (Lemma 4.4's verification step). One full-database support
-  // count per candidate is the expensive part; poll between candidates.
+  // count per candidate is the expensive part; the counts are independent
+  // (per-candidate slots, read-only database) and run on the context's
+  // pool, with the stop poll per candidate and the keep/drop reduction in
+  // candidate order.
   const size_t min_count = static_cast<size_t>(std::max(
       1.0, options.clustering.miner.min_support *
                static_cast<double>(db.size())));
-  std::vector<FrequentSubtree> verified;
-  for (FrequentSubtree& fs : candidates) {
+  std::vector<DynamicBitset> supports(candidates.size());
+  std::vector<uint8_t> frequent(candidates.size(), 0);
+  std::atomic<bool> stop_verifying{false};
+  ParallelFor(ctx, candidates.size(), 1, [&](size_t i) {
+    if (stop_verifying.load(std::memory_order_relaxed)) return;
     if (ctx.StopRequested("miner.count_support")) {
-      result.mining_complete = false;
-      break;
+      stop_verifying.store(true, std::memory_order_relaxed);
+      return;
     }
-    DynamicBitset support = CountSupport(fs.tree, db);
-    if (support.Count() < min_count) continue;
-    fs.frequency = static_cast<double>(support.Count()) /
+    DynamicBitset support = CountSupport(candidates[i].tree, db);
+    if (support.Count() < min_count) return;
+    supports[i] = std::move(support);
+    frequent[i] = 1;
+  });
+  if (stop_verifying.load(std::memory_order_relaxed)) {
+    result.mining_complete = false;
+  }
+  std::vector<FrequentSubtree> verified;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (frequent[i] == 0) continue;
+    FrequentSubtree& fs = candidates[i];
+    fs.frequency = static_cast<double>(supports[i].Count()) /
                    static_cast<double>(db.size());
-    fs.support = std::move(support);
+    fs.support = std::move(supports[i]);
     verified.push_back(std::move(fs));
   }
   std::vector<size_t> selected =
@@ -114,7 +150,7 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
                                         options.clustering.max_cluster_size);
     kmeans_options.max_iterations =
         options.clustering.kmeans_max_iterations;
-    KMeansResult kmeans = KMeansCluster(features, kmeans_options, rng);
+    KMeansResult kmeans = KMeansCluster(features, kmeans_options, rng, ctx);
     size_t k = 0;
     for (size_t a : kmeans.assignment) k = std::max(k, a + 1);
     coarse.assign(k, {});
@@ -203,6 +239,9 @@ std::vector<OptionsError> ValidateCatapultOptions(
   }
   if (!(options.deadline_ms >= 0.0) || !std::isfinite(options.deadline_ms)) {
     Err("deadline_ms", "must be finite and non-negative");
+  }
+  if (options.threads > ThreadPool::kMaxThreads) {
+    Err("threads", "must not exceed ThreadPool::kMaxThreads (256)");
   }
   if (!(options.clustering_time_share > 0.0 &&
         options.clustering_time_share < 1.0)) {
@@ -334,9 +373,10 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   RunContext run_ctx = ctx;
   if (options.deadline_ms > 0.0) {
     run_ctx = RunContext(
-        Deadline::Earliest(ctx.deadline(),
-                           Deadline::AfterMillis(options.deadline_ms)),
-        ctx.cancel_token(), ctx.memory());
+                  Deadline::Earliest(ctx.deadline(),
+                                     Deadline::AfterMillis(options.deadline_ms)),
+                  ctx.cancel_token(), ctx.memory())
+                  .WithPool(ctx.pool());
   }
   // Memory governance: a budget configured in the options supersedes the
   // (by default unlimited) ledger of the caller's context.
@@ -344,12 +384,32 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     run_ctx = run_ctx.WithMemory(MemoryBudget::Limited(
         options.mem_soft_limit_bytes, options.mem_hard_limit_bytes));
   }
+  // Parallelism: a pool carried by the caller's context is reused when the
+  // options don't ask for a specific count; otherwise the run owns a pool
+  // sized by options.threads (a 1-thread pool spawns no threads and executes
+  // inline, so the default path stays exactly sequential).
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (run_ctx.pool() == nullptr || options.threads != 0) {
+    owned_pool =
+        std::make_unique<ThreadPool>(ResolveThreadCount(options.threads));
+    run_ctx = run_ctx.WithPool(owned_pool.get());
+  }
+  ThreadPool& pool = *run_ctx.pool();
   const MemoryBudget& memory = run_ctx.memory();
   ExecutionReport& exec = result.execution;
   exec.deadline_set = !run_ctx.Unlimited();
+  exec.threads = pool.num_threads();
   exec.mem_budget_set = memory.limited();
   exec.mem_soft_limit = memory.soft_limit();
   exec.mem_hard_limit = memory.hard_limit();
+  // Aggregates each phase's pool activity into its PhaseParallelStats.
+  auto FinishPhase = [&pool](const ThreadPool::Stats& before, double wall,
+                             PhaseParallelStats& out) {
+    ThreadPool::Stats after = pool.stats();
+    out.wall_seconds = wall;
+    out.busy_seconds = after.busy_seconds - before.busy_seconds;
+    out.parallel_items = after.items - before.items;
+  };
   Rng rng(options.seed);
 
   // Durability: open the checkpoint store and, when resuming, restore the
@@ -383,6 +443,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
 
   // --- Clustering ---
   WallTimer clustering_timer;
+  ThreadPool::Stats clustering_pool_stats = pool.stats();
   if (recovery.clustering.has_value()) {
     result.clusters = std::move(recovery.clustering->clusters);
     result.features = std::move(recovery.clustering->features);
@@ -430,9 +491,12 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     }
   }
   result.clustering_seconds = clustering_timer.ElapsedSeconds();
+  FinishPhase(clustering_pool_stats, result.clustering_seconds,
+              exec.clustering_parallel);
 
   // --- CSG generation ---
   WallTimer csg_timer;
+  ThreadPool::Stats csg_pool_stats = pool.stats();
   if (recovery.csgs.has_value()) {
     result.csgs = std::move(recovery.csgs->csgs);
     rng.RestoreState(recovery.csgs->rng_after);
@@ -462,9 +526,11 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     }
   }
   result.csg_seconds = csg_timer.ElapsedSeconds();
+  FinishPhase(csg_pool_stats, result.csg_seconds, exec.csg_parallel);
 
   // --- Selection ---
   WallTimer selection_timer;
+  ThreadPool::Stats selection_pool_stats = pool.stats();
   SelectorCheckpointHooks hooks;
   if (recovery.selection.has_value()) {
     hooks.resume = &*recovery.selection;
@@ -510,6 +576,8 @@ CatapultResult RunCatapult(const GraphDatabase& db,
              last_save_error});
   }
   result.selection_seconds = selection_timer.ElapsedSeconds();
+  FinishPhase(selection_pool_stats, result.selection_seconds,
+              exec.selection_parallel);
   exec.selection_complete = result.selection.complete;
   exec.fallback_patterns = result.selection.fallback_patterns;
   exec.iso_budget_exhausted = result.selection.iso_budget_exhausted;

@@ -29,6 +29,17 @@ struct CatapultOptions {
   // Deterministic seed for the whole pipeline.
   uint64_t seed = 42;
 
+  // Worker threads for the parallel phases (feature vectors, k-means
+  // assignment, fine splits, CSG folds, candidate walks, scoring). 0 means
+  // "auto": the CATAPULT_THREADS environment variable if set (its own 0
+  // meaning hardware concurrency), else 1. The task decomposition pre-splits
+  // rng streams and reduces in task order, so — absent a binding memory
+  // hard limit or live deadline — the output is bit-identical at every
+  // thread count, and the setting is excluded from ConfigFingerprint (a
+  // checkpoint resumes fine under a different thread count, like a new
+  // deadline). Clamped to ThreadPool::kMaxThreads.
+  size_t threads = 0;
+
   // Wall-clock deadline for the whole run in milliseconds (0 = unlimited).
   // On expiry every phase returns its best partial result and the
   // degradation is reported in CatapultResult::execution; with no deadline
@@ -102,10 +113,32 @@ std::vector<OptionsError> ValidateCatapultOptions(
 uint64_t ConfigFingerprint(const CatapultOptions& options,
                            const GraphDatabase& db);
 
+// Parallel-execution accounting of one phase: the phase's wall time against
+// the aggregate time all threads (caller included) spent inside the phase's
+// ParallelFor bodies. busy/wall is the phase's *effective parallelism* —
+// ~1.0 when single-threaded or dominated by sequential sections, approaching
+// the thread count when the parallel regions dominate the phase.
+struct PhaseParallelStats {
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;
+  uint64_t parallel_items = 0;  // ParallelFor body invocations
+
+  double EffectiveParallelism() const {
+    return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0;
+  }
+};
+
 // Robustness diagnostics of one RunCatapult execution (DESIGN.md,
 // "Robustness & anytime semantics").
 struct ExecutionReport {
   bool deadline_set = false;
+
+  // Parallelism diagnostics: the resolved thread count (see
+  // CatapultOptions::threads) and per-phase parallel accounting.
+  size_t threads = 1;
+  PhaseParallelStats clustering_parallel;
+  PhaseParallelStats csg_parallel;
+  PhaseParallelStats selection_parallel;
 
   // Phase completeness: false when the deadline or a cancellation cut the
   // phase short and its output is a best-effort partial result.

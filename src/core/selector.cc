@@ -1,10 +1,12 @@
 #include "src/core/selector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "src/mining/frequent_edges.h"
 #include "src/iso/vf2.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 
@@ -157,30 +159,20 @@ SelectionResult FindCannedPatternSet(
   std::unordered_map<uint64_t, std::vector<CoverageEntry>> coverage_cache;
   // The cache is the selector's only input-proportional allocation, so its
   // entries are charged against the memory budget; when a charge is refused
-  // the freshly computed covered set is still used (via `uncached`), just
-  // not retained.
+  // the freshly computed covered set is still used, just not retained.
+  //
+  // During the parallel scoring pass the cache is strictly read-only (lookup
+  // by fingerprint + isomorphism); freshly computed covered sets are carried
+  // out in per-candidate slots and inserted — with their budget charges — on
+  // the calling thread afterwards, in candidate order.
   size_t cache_charged_bytes = 0;
-  CoverageEntry uncached;
-  auto CoveredCached = [&](const Graph& g) -> const std::vector<bool>& {
-    uint64_t fp = GraphFingerprint(g);
-    std::vector<CoverageEntry>& bucket = coverage_cache[fp];
-    for (const CoverageEntry& entry : bucket) {
-      if (AreIsomorphic(entry.graph, g)) return entry.covered;
+  auto CacheProbe = [&](uint64_t fp, const Graph& g) -> const std::vector<bool>* {
+    auto it = coverage_cache.find(fp);
+    if (it == coverage_cache.end()) return nullptr;
+    for (const CoverageEntry& entry : it->second) {
+      if (AreIsomorphic(entry.graph, g)) return &entry.covered;
     }
-    // Near the deadline each iso test gets only the nodes still affordable,
-    // so one adversarial summary cannot eat the whole selection slice.
-    uint64_t iso_budget = ctx.TightenNodeBudget(options.iso_node_budget);
-    std::vector<bool> covered =
-        CoveredCsgs(g, summaries, iso_budget, &result.iso_budget_exhausted);
-    size_t bytes = ApproxGraphBytes(g.NumVertices(), g.NumEdges()) +
-                   covered.size() + 64;
-    if (ctx.memory().TryCharge(bytes, "selector.cache")) {
-      cache_charged_bytes += bytes;
-      bucket.push_back({g, std::move(covered)});
-      return bucket.back().covered;
-    }
-    uncached.covered = std::move(covered);
-    return uncached.covered;
+    return nullptr;
   };
 
   while (selected_graphs.size() < options.budget.gamma) {
@@ -200,12 +192,21 @@ SelectionResult FindCannedPatternSet(
         OpenPatternSizes(options.budget, selected_per_size);
     if (open_sizes.empty()) break;
 
-    // Every CSG proposes one FCP per open size.
-    struct Candidate {
-      Graph graph;
-      size_t source_csg;
+    // Every CSG proposes one FCP per open size. The (CSG, size) tasks are
+    // enumerated — with their stop polls and rng stream splits — on the
+    // calling thread in deterministic order, then executed on the pool into
+    // per-task slots: each task walks its own pre-split child stream, so
+    // neither the parent stream's consumption nor any task's walks depend
+    // on the thread count or interleaving.
+    struct CandidateTask {
+      size_t csg_index;
+      size_t size;
+      size_t wcsg_index;
+      Rng walk_rng{1};  // pre-split child stream (random-walk strategy only)
     };
-    std::vector<Candidate> candidates;
+    std::vector<WeightedCsg> wcsgs;
+    wcsgs.reserve(csgs.size());
+    std::vector<CandidateTask> tasks;
     for (size_t csg_index = 0; csg_index < csgs.size(); ++csg_index) {
       if (ctx.StopRequested("selector.candidates")) {
         result.complete = false;
@@ -218,21 +219,47 @@ SelectionResult FindCannedPatternSet(
       double weight_sum = 0.0;
       for (double w : wcsg.edge_weights) weight_sum += w;
       if (weight_sum <= 0.0) continue;
+      wcsgs.push_back(std::move(wcsg));
       for (size_t size : open_sizes) {
-        Pcp fcp;
-        if (options.strategy == CandidateStrategy::kGreedyBfs) {
-          fcp = GenerateGreedyPcp(wcsg, size);
-        } else {
-          std::vector<Pcp> library = GeneratePcpLibrary(
-              wcsg, size, options.walks_per_candidate, rng, ctx);
-          fcp = GenerateFcp(csg, library, size);
+        CandidateTask task;
+        task.csg_index = csg_index;
+        task.size = size;
+        task.wcsg_index = wcsgs.size() - 1;
+        if (options.strategy != CandidateStrategy::kGreedyBfs) {
+          task.walk_rng = rng.Split();
         }
-        if (fcp.size() < options.budget.eta_min) continue;
-        Candidate candidate;
-        candidate.graph = PatternFromCsgEdges(csg, fcp);
-        candidate.source_csg = csg_index;
-        candidates.push_back(std::move(candidate));
+        tasks.push_back(std::move(task));
       }
+    }
+
+    struct Candidate {
+      Graph graph;
+      size_t source_csg = 0;
+      bool valid = false;
+    };
+    std::vector<Candidate> slots(tasks.size());
+    ParallelFor(ctx, tasks.size(), 1, [&](size_t t) {
+      CandidateTask& task = tasks[t];
+      const WeightedCsg& wcsg = wcsgs[task.wcsg_index];
+      const ClusterSummaryGraph& csg = *wcsg.csg;
+      Pcp fcp;
+      if (options.strategy == CandidateStrategy::kGreedyBfs) {
+        fcp = GenerateGreedyPcp(wcsg, task.size);
+      } else {
+        std::vector<Pcp> library = GeneratePcpLibrary(
+            wcsg, task.size, options.walks_per_candidate, task.walk_rng, ctx);
+        fcp = GenerateFcp(csg, library, task.size);
+      }
+      if (fcp.size() < options.budget.eta_min) return;
+      slots[t].graph = PatternFromCsgEdges(csg, fcp);
+      slots[t].source_csg = task.csg_index;
+      slots[t].valid = true;
+    });
+
+    std::vector<Candidate> candidates;
+    candidates.reserve(slots.size());
+    for (Candidate& c : slots) {
+      if (c.valid) candidates.push_back(std::move(c));
     }
     if (candidates.empty()) break;
 
@@ -265,15 +292,31 @@ SelectionResult FindCannedPatternSet(
     GedOptions ged = options.ged;
     ged.node_budget = ctx.TightenNodeBudget(ged.node_budget);
 
-    // Score candidates; keep the best.
-    int best_index = -1;
-    SelectedPattern best;
-    bool stopped_scoring = false;
-    for (size_t i = 0; i < candidates.size(); ++i) {
+    // Score candidates on the pool; keep the best. During the parallel pass
+    // every shared structure (coverage cache, cluster/label weights,
+    // selected panel) is read-only; each candidate fills only its own slot.
+    // The argmax, the iso-budget tally, and all cache inserts + memory
+    // charges then run on the calling thread in candidate order, so the
+    // winner — including the strict-> first-max tie-break — is the one the
+    // sequential scan would have picked.
+    struct ScoredSlot {
+      bool valid = false;           // scored (not skipped, not stopped)
+      SelectedPattern scored;
+      std::vector<bool> covered;
+      bool fresh = false;           // covered computed here, not cache-hit
+      uint64_t iso_exhausted = 0;
+    };
+    std::vector<ScoredSlot> scored_slots(candidates.size());
+    std::atomic<bool> stop_scoring{false};
+    ParallelFor(ctx, candidates.size(), 1, [&](size_t i) {
+      // Once a stop is observed, later candidates bail out without polling
+      // again: at one thread this reproduces the sequential break exactly
+      // (no extra failpoint evaluations), at N threads in-flight candidates
+      // simply finish.
+      if (stop_scoring.load(std::memory_order_relaxed)) return;
       if (ctx.StopRequested("selector.score")) {
-        result.complete = false;
-        stopped_scoring = true;
-        break;
+        stop_scoring.store(true, std::memory_order_relaxed);
+        return;
       }
       const Graph& g = candidates[i].graph;
       // FCP assembly can fall short of the requested size; keep only
@@ -281,26 +324,34 @@ SelectionResult FindCannedPatternSet(
       // size distribution of Definition 3.1.
       if (std::find(open_sizes.begin(), open_sizes.end(), g.NumEdges()) ==
           open_sizes.end()) {
-        continue;
+        return;
       }
       if (options.skip_duplicates) {
-        bool duplicate = false;
         for (const Graph& s : selected_graphs) {
-          if (AreIsomorphic(g, s)) {
-            duplicate = true;
-            break;
-          }
+          if (AreIsomorphic(g, s)) return;
         }
-        if (duplicate) continue;
       }
-      SelectedPattern scored;
+      ScoredSlot& slot = scored_slots[i];
+      SelectedPattern& scored = slot.scored;
       scored.graph = g;
       scored.cog = CognitiveLoad(g);
       {
-        const std::vector<bool>& covered = CoveredCached(g);
+        uint64_t fp = GraphFingerprint(g);
+        const std::vector<bool>* cached = CacheProbe(fp, g);
+        if (cached != nullptr) {
+          slot.covered = *cached;
+        } else {
+          // Near the deadline each iso test gets only the nodes still
+          // affordable, so one adversarial summary cannot eat the whole
+          // selection slice.
+          uint64_t iso_budget = ctx.TightenNodeBudget(options.iso_node_budget);
+          slot.covered =
+              CoveredCsgs(g, summaries, iso_budget, &slot.iso_exhausted);
+          slot.fresh = true;
+        }
         double ccov = 0.0;
-        for (size_t c = 0; c < covered.size(); ++c) {
-          if (covered[c]) ccov += cw.Get(c);
+        for (size_t c = 0; c < slot.covered.size(); ++c) {
+          if (slot.covered[c]) ccov += cw.Get(c);
         }
         scored.ccov = ccov;
       }
@@ -313,9 +364,33 @@ SelectionResult FindCannedPatternSet(
                          ? scored.ccov * scored.lcov * scored.div / scored.cog
                          : 0.0;
       scored.source_csg = candidates[i].source_csg;
-      if (best_index < 0 || scored.score > best.score) {
+      slot.valid = true;
+    });
+    bool stopped_scoring = stop_scoring.load(std::memory_order_relaxed);
+    if (stopped_scoring) result.complete = false;
+
+    // Ordered reduce: tallies, cache retention (with its budget charges, in
+    // the same candidate order the sequential code charged), and the argmax.
+    int best_index = -1;
+    SelectedPattern best;
+    const std::vector<bool>* best_covered = nullptr;
+    for (size_t i = 0; i < scored_slots.size(); ++i) {
+      ScoredSlot& slot = scored_slots[i];
+      result.iso_budget_exhausted += slot.iso_exhausted;
+      if (!slot.valid) continue;
+      if (slot.fresh) {
+        const Graph& g = slot.scored.graph;
+        size_t bytes = ApproxGraphBytes(g.NumVertices(), g.NumEdges()) +
+                       slot.covered.size() + 64;
+        if (ctx.memory().TryCharge(bytes, "selector.cache")) {
+          cache_charged_bytes += bytes;
+          coverage_cache[GraphFingerprint(g)].push_back({g, slot.covered});
+        }
+      }
+      if (best_index < 0 || slot.scored.score > best.score) {
         best_index = static_cast<int>(i);
-        best = std::move(scored);
+        best = slot.scored;
+        best_covered = &slot.covered;
       }
     }
     if (best_index < 0) break;
@@ -323,7 +398,7 @@ SelectionResult FindCannedPatternSet(
     // Record the winner and decay weights (Algorithm 4, lines 19-21).
     size_t size_slot = best.graph.NumEdges() - options.budget.eta_min;
     if (size_slot < selected_per_size.size()) ++selected_per_size[size_slot];
-    const std::vector<bool>& covered = CoveredCached(best.graph);
+    const std::vector<bool>& covered = *best_covered;
     for (size_t i = 0; i < covered.size(); ++i) {
       if (covered[i]) cw.Decay(i, options.weight_decay);
     }

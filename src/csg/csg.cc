@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/graph/algorithms.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 
@@ -284,12 +285,24 @@ std::vector<ClusterSummaryGraph> BuildCsgs(
     const std::vector<std::vector<GraphId>>& clusters, const RunContext& ctx,
     size_t* degraded) {
   if (degraded != nullptr) *degraded = 0;
-  std::vector<ClusterSummaryGraph> csgs;
-  csgs.reserve(clusters.size());
-  for (const auto& cluster : clusters) {
-    bool complete = true;
-    csgs.push_back(BuildCsg(db, cluster, ctx, &complete));
-    if (!complete && degraded != nullptr) ++*degraded;
+  // Each cluster's closure fold is independent (rng-free, reads only its own
+  // members, writes only its own summary slot), so folds run on the
+  // context's thread pool; the degraded count is reduced in cluster order
+  // afterwards. Memory charges land on the shared atomic ledger — with no
+  // binding hard limit (the determinism contract's precondition) every
+  // charge succeeds and the output is identical at any thread count.
+  std::vector<ClusterSummaryGraph> csgs(clusters.size(),
+                                        ClusterSummaryGraph(1));
+  std::vector<uint8_t> complete(clusters.size(), 1);
+  ParallelFor(ctx, clusters.size(), 1, [&](size_t c) {
+    bool ok = true;
+    csgs[c] = BuildCsg(db, clusters[c], ctx, &ok);
+    complete[c] = ok ? 1 : 0;
+  });
+  if (degraded != nullptr) {
+    for (uint8_t ok : complete) {
+      if (ok == 0) ++*degraded;
+    }
   }
   return csgs;
 }

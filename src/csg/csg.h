@@ -117,7 +117,9 @@ std::vector<ClusterSummaryGraph> BuildCsgs(
 // Deadline-aware variant: always returns one CSG per cluster (selection
 // relies on the 1:1 correspondence), but clusters whose turn comes after
 // expiry get a summary folded from fewer members. `degraded` (optional)
-// receives the number of partially folded summaries.
+// receives the number of partially folded summaries. Per-cluster folds are
+// independent and run on the context's thread pool; with no binding memory
+// hard limit the result is identical at every thread count.
 std::vector<ClusterSummaryGraph> BuildCsgs(
     const GraphDatabase& db,
     const std::vector<std::vector<GraphId>>& clusters, const RunContext& ctx,

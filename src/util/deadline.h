@@ -21,6 +21,8 @@
 
 namespace catapult {
 
+class ThreadPool;
+
 // A point on the monotonic clock by which work should stop. Infinite by
 // default; value-copyable.
 class Deadline {
@@ -108,8 +110,23 @@ class RunContext {
 
   // Copy of this context charging against `memory` instead.
   RunContext WithMemory(MemoryBudget memory) const {
-    return RunContext(deadline_, cancel_, std::move(memory));
+    RunContext copy(deadline_, cancel_, std::move(memory));
+    copy.pool_ = pool_;
+    return copy;
   }
+
+  // Copy of this context whose parallel regions execute on `pool` (non-
+  // owning; may be nullptr to force inline execution). The pool must outlive
+  // every copy of the context that references it.
+  RunContext WithPool(ThreadPool* pool) const {
+    RunContext copy = *this;
+    copy.pool_ = pool;
+    return copy;
+  }
+
+  // Pool for parallel regions; nullptr means "run inline on the calling
+  // thread", which is observably identical to a 1-thread pool.
+  ThreadPool* pool() const { return pool_; }
 
   // Requests cooperative cancellation; observed by all copies of this
   // context at their next StopRequested poll.
@@ -135,7 +152,9 @@ class RunContext {
   // memory ledger is shared, not sliced: bytes, unlike seconds, are returned
   // when a phase frees its structures).
   RunContext Slice(double fraction) const {
-    return RunContext(deadline_.Fraction(fraction), cancel_, memory_);
+    RunContext copy(deadline_.Fraction(fraction), cancel_, memory_);
+    copy.pool_ = pool_;
+    return copy;
   }
 
   // Tightens a configured kernel node budget (0 = unlimited) against the
@@ -151,6 +170,7 @@ class RunContext {
   Deadline deadline_;
   CancelToken cancel_;
   MemoryBudget memory_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace catapult

@@ -41,14 +41,20 @@ bool MemoryBudget::TryCharge(size_t bytes, const char* site) const {
       }
     }
   }
-  // Refused: latch the first breach for attribution.
-  bool was_breached = s.breached.exchange(true, std::memory_order_relaxed);
-  if (!was_breached) {
+  // Refused: latch the first breach for attribution. The error fields are
+  // populated *before* the breached flag is raised (both under the mutex),
+  // so a concurrent reader that observes HardBreached() == true is
+  // guaranteed to find a fully attributed error() — the flag is the last
+  // write of the losing charge, never the first.
+  {
     std::lock_guard<std::mutex> lock(s.error_mutex);
-    s.first_error.site = site != nullptr ? site : "unknown";
-    s.first_error.requested = bytes;
-    s.first_error.used = s.used.load(std::memory_order_relaxed);
-    s.first_error.hard_limit = hard;
+    if (!s.breached.load(std::memory_order_relaxed)) {
+      s.first_error.site = site != nullptr ? site : "unknown";
+      s.first_error.requested = bytes;
+      s.first_error.used = s.used.load(std::memory_order_relaxed);
+      s.first_error.hard_limit = hard;
+      s.breached.store(true, std::memory_order_release);
+    }
   }
   return false;
 }

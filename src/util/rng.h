@@ -47,6 +47,14 @@ class Rng {
   // Returns the next raw 64-bit value.
   uint64_t Next();
 
+  // Splits off an independent child generator: consumes exactly one draw
+  // from this stream and seeds the child from it (SplitMix64 expansion in
+  // the child's constructor decorrelates the streams). Parallel tasks each
+  // take a pre-split child on the calling thread, in task order, so the
+  // parent stream's consumption — and therefore the run's entire output —
+  // is independent of execution interleaving and thread count.
+  Rng Split() { return Rng(Next()); }
+
   // Returns a uniform integer in [0, bound). `bound` must be positive.
   uint64_t UniformInt(uint64_t bound);
 

@@ -5,10 +5,18 @@
 
 namespace catapult {
 
-// Simple wall-clock stopwatch used by the benchmark harnesses to report the
-// paper's timing measures (clustering time, pattern generation time).
+// Simple stopwatch used for the paper's timing measures (clustering time,
+// pattern generation time) and the per-phase wall times in ExecutionReport.
+// Pinned to steady_clock: phase durations feed the deadline slice-donation
+// logic and the parallel-speedup accounting, both of which would misbehave
+// if the clock could jump (NTP adjustment, suspend/resume) while worker
+// threads are mid-phase.
 class WallTimer {
  public:
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "phase timings must come from a monotonic clock");
+
   WallTimer() : start_(Clock::now()) {}
 
   // Restarts the stopwatch.
@@ -23,7 +31,6 @@ class WallTimer {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

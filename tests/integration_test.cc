@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "src/core/catapult.h"
 #include "src/data/molecule_generator.h"
@@ -12,6 +16,7 @@
 #include "src/formulate/evaluate.h"
 #include "src/graph/algorithms.h"
 #include "src/iso/vf2.h"
+#include "src/util/failpoint.h"
 
 namespace catapult {
 namespace {
@@ -163,6 +168,159 @@ TEST(CatapultIntegrationTest, TinyDatabaseStillWorks) {
   CatapultResult result = RunCatapult(db, FastOptions());
   EXPECT_EQ(result.csgs.size(), result.clusters.size());
   // With 3 graphs the pipeline must not crash; patterns are best-effort.
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: the parallel refactor's contract is that N
+// threads produce the same bytes as one.
+
+// The full panel, clusters included, compared exactly: structural pattern
+// equality plus bit-exact doubles (EXPECT_EQ, not NEAR — the determinism
+// contract is bit-identity, so even the fp accumulation order must match).
+void ExpectIdenticalResults(const CatapultResult& a, const CatapultResult& b) {
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i], b.clusters[i]) << "cluster " << i;
+  }
+  ASSERT_EQ(a.selection.patterns.size(), b.selection.patterns.size());
+  for (size_t i = 0; i < a.selection.patterns.size(); ++i) {
+    const SelectedPattern& pa = a.selection.patterns[i];
+    const SelectedPattern& pb = b.selection.patterns[i];
+    EXPECT_TRUE(StructurallyEqual(pa.graph, pb.graph)) << "pattern " << i;
+    EXPECT_EQ(pa.score, pb.score) << "pattern " << i;
+    EXPECT_EQ(pa.ccov, pb.ccov) << "pattern " << i;
+    EXPECT_EQ(pa.lcov, pb.lcov) << "pattern " << i;
+    EXPECT_EQ(pa.div, pb.div) << "pattern " << i;
+    EXPECT_EQ(pa.source_csg, pb.source_csg) << "pattern " << i;
+    EXPECT_EQ(pa.fallback, pb.fallback) << "pattern " << i;
+  }
+  EXPECT_EQ(a.selection.fallback_patterns, b.selection.fallback_patterns);
+}
+
+std::string ThreadScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "catapult_threads_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+                    "_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CatapultThreadsTest, ThreadCountDoesNotChangeOutput) {
+  GraphDatabase db = SmallDb();
+
+  CatapultOptions one = FastOptions();
+  one.threads = 1;
+  CatapultResult r1 = RunCatapult(db, one);
+  ASSERT_FALSE(r1.selection.patterns.empty());
+  EXPECT_EQ(r1.execution.threads, 1u);
+
+  CatapultOptions four = FastOptions();
+  four.threads = 4;
+  CatapultResult r4 = RunCatapult(db, four);
+  EXPECT_EQ(r4.execution.threads, 4u);
+
+  ExpectIdenticalResults(r1, r4);
+}
+
+TEST(CatapultThreadsTest, CheckpointsAreByteIdenticalAcrossThreadCounts) {
+  // Checkpoints serialise the decayed weights and the rng cursor, so a
+  // byte-compare of the files is the strongest available probe that the
+  // *internal* state — not just the visible panel — matched.
+  GraphDatabase db = SmallDb();
+
+  CatapultOptions one = FastOptions();
+  one.threads = 1;
+  one.checkpoint_dir = ThreadScratchDir("one");
+  RunCatapult(db, one);
+
+  CatapultOptions four = FastOptions();
+  four.threads = 4;
+  four.checkpoint_dir = ThreadScratchDir("four");
+  RunCatapult(db, four);
+
+  for (const char* file : {"clustering.ckpt", "csgs.ckpt", "selection.ckpt"}) {
+    std::string a = one.checkpoint_dir + "/" + file;
+    std::string b = four.checkpoint_dir + "/" + file;
+    ASSERT_TRUE(std::filesystem::exists(a)) << a;
+    ASSERT_TRUE(std::filesystem::exists(b)) << b;
+    EXPECT_EQ(FileBytes(a), FileBytes(b)) << file << " differs";
+  }
+  std::filesystem::remove_all(one.checkpoint_dir);
+  std::filesystem::remove_all(four.checkpoint_dir);
+}
+
+TEST(CatapultThreadsTest, KillAndResumeUnderFourThreadsIsBitIdentical) {
+  // Mid-run kill while four workers are live, then resume — still must
+  // reproduce the uninterrupted single-thread panel exactly.
+  GraphDatabase db = SmallDb();
+  CatapultOptions baseline_options = FastOptions();
+  baseline_options.threads = 1;
+  CatapultResult baseline = RunCatapult(db, baseline_options);
+  ASSERT_FALSE(baseline.selection.patterns.empty());
+
+  CatapultOptions options = FastOptions();
+  options.threads = 4;
+  options.checkpoint_dir = ThreadScratchDir("kill");
+  {
+    failpoint::ScopedFailpoint fp("catapult.crash_after_csg_checkpoint", 1);
+    CatapultResult killed = RunCatapult(db, options);
+    EXPECT_FALSE(killed.execution.selection_complete);
+  }
+
+  options.resume = true;
+  CatapultResult resumed = RunCatapult(db, options);
+  EXPECT_EQ(resumed.execution.resumed_from, "csgs");
+  ExpectIdenticalResults(baseline, resumed);
+  std::filesystem::remove_all(options.checkpoint_dir);
+}
+
+TEST(CatapultThreadsTest, SamplingPathIsThreadCountInvariant) {
+  GraphDatabase db = SmallDb(77, 120);
+  CatapultOptions one = FastOptions();
+  one.use_sampling = true;
+  one.eager.epsilon = 0.08;
+  one.lazy.min_cluster_size_to_sample = 10;
+  one.threads = 1;
+  CatapultResult r1 = RunCatapult(db, one);
+
+  CatapultOptions four = one;
+  four.threads = 4;
+  CatapultResult r4 = RunCatapult(db, four);
+  ExpectIdenticalResults(r1, r4);
+}
+
+TEST(CatapultThreadsTest, RejectsAbsurdThreadCount) {
+  GraphDatabase db = SmallDb(5, 3);
+  CatapultOptions options = FastOptions();
+  options.threads = 100000;
+  CatapultResult result = RunCatapult(db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.option_errors[0].field, "threads");
+}
+
+TEST(CatapultThreadsTest, ReportsPhaseParallelStats) {
+  GraphDatabase db = SmallDb();
+  CatapultOptions options = FastOptions();
+  options.threads = 2;
+  CatapultResult result = RunCatapult(db, options);
+  EXPECT_EQ(result.execution.threads, 2u);
+  // Every phase did parallel work and the accounting is self-consistent:
+  // busy time accrued and items were executed through the pool.
+  EXPECT_GT(result.execution.clustering_parallel.parallel_items, 0u);
+  EXPECT_GT(result.execution.csg_parallel.parallel_items, 0u);
+  EXPECT_GT(result.execution.selection_parallel.parallel_items, 0u);
+  EXPECT_GE(result.execution.clustering_parallel.wall_seconds, 0.0);
+  EXPECT_GE(result.execution.selection_parallel.busy_seconds, 0.0);
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/util/bitset.h"
+#include "src/util/failpoint.h"
+#include "src/util/mem_budget.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace catapult {
 namespace {
@@ -206,6 +212,194 @@ TEST(StatsTest, KendallTauPerfectDisagreement) {
 
 TEST(StatsTest, KendallTauMismatchedSizesIsZero) {
   EXPECT_DOUBLE_EQ(KendallTau({1, 2}, {1}), 0.0);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCount) {
+  EXPECT_EQ(ThreadPool(0).num_threads(), 1u);
+  EXPECT_EQ(ThreadPool(3).num_threads(), 3u);
+  EXPECT_EQ(ThreadPool(ThreadPool::kMaxThreads + 100).num_threads(),
+            ThreadPool::kMaxThreads);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kN = 20000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  pool.ParallelFor(kN, 7, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  pool.ParallelFor(100, 16, [&](size_t i) {
+    order.push_back(i);
+    if (std::this_thread::get_id() != caller) all_on_caller = false;
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ThreadPoolTest, OutputsIdenticalAcrossPoolSizes) {
+  // The determinism contract: per-item slots + ordered reduce give the same
+  // bytes at any pool size. Each item derives a value from a pre-split rng
+  // stream, exactly like the pipeline's parallel phases do.
+  constexpr size_t kN = 512;
+  auto run = [](size_t threads) {
+    Rng rng(1234);
+    std::vector<Rng> streams;
+    streams.reserve(kN);
+    for (size_t i = 0; i < kN; ++i) streams.push_back(rng.Split());
+    ThreadPool pool(threads);
+    std::vector<double> slots(kN, 0.0);
+    pool.ParallelFor(kN, 3, [&](size_t i) {
+      slots[i] = streams[i].UniformReal() + static_cast<double>(i);
+    });
+    double reduced = 0.0;
+    for (double v : slots) reduced += v;  // ordered fp accumulation
+    return std::make_pair(slots, reduced);
+  };
+  auto [slots1, sum1] = run(1);
+  auto [slots2, sum2] = run(2);
+  auto [slots8, sum8] = run(8);
+  EXPECT_EQ(slots1, slots2);
+  EXPECT_EQ(slots1, slots8);
+  EXPECT_EQ(sum1, sum2);
+  EXPECT_EQ(sum1, sum8);
+}
+
+TEST(ThreadPoolTest, StatsCountItemsAndRegions) {
+  ThreadPool pool(2);
+  pool.ParallelFor(100, [](size_t) {});
+  pool.ParallelFor(50, 8, [](size_t) {});
+  ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.items, 150u);
+  EXPECT_EQ(stats.regions, 2u);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+}
+
+TEST(ThreadPoolTest, BackToBackRegionsReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(64, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 64u * 50u);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesBalanceToZero) {
+  // Hammer the ledger from four threads; every TryCharge on an unlimited
+  // budget succeeds and is paired with a Release, so the ledger must read
+  // exactly zero afterwards and the peak must be at most the sum of all
+  // concurrent outstanding charges.
+  MemoryBudget budget = MemoryBudget::Unlimited();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  constexpr size_t kBytes = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_TRUE(budget.TryCharge(kBytes, "test.hammer"));
+        budget.Release(kBytes);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_FALSE(budget.HardBreached());
+  EXPECT_GE(budget.peak(), kBytes);
+  EXPECT_LE(budget.peak(), kThreads * kBytes);
+}
+
+TEST(MemoryBudgetTest, ConcurrentBreachLatchesOneAttributedError) {
+  // Many threads race past a tiny hard limit. Exactly which charge is
+  // refused first is scheduling-dependent, but the latched error must always
+  // be fully attributed (site + sizes) the moment HardBreached() reads true.
+  MemoryBudget budget = MemoryBudget::Limited(0, 1024);
+  constexpr int kThreads = 4;
+  std::atomic<int> refused{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget, &refused] {
+      for (int i = 0; i < 200; ++i) {
+        if (!budget.TryCharge(64, "test.breach")) {
+          refused.fetch_add(1, std::memory_order_relaxed);
+          // The sticky flag and its attribution must be visible together.
+          ASSERT_TRUE(budget.HardBreached());
+          ResourceError err = budget.error();
+          ASSERT_EQ(err.site, "test.breach");
+          ASSERT_EQ(err.requested, 64u);
+          ASSERT_EQ(err.hard_limit, 1024u);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(refused.load(), 0);
+  EXPECT_TRUE(budget.HardBreached());
+  EXPECT_LE(budget.used(), 1024u);
+}
+
+TEST(FailpointTest, CountedArmFiresExactlyNTimesAcrossThreads) {
+  // A counted failpoint evaluated from four threads at once must fire
+  // exactly `count` times in total — no lost or duplicated firings.
+  failpoint::Arm("test.counted", 100);
+  constexpr int kThreads = 4;
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < 1000; ++i) {
+        if (CATAPULT_FAILPOINT("test.counted")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fired.load(), 100);
+  EXPECT_EQ(failpoint::HitCount("test.counted"), 100u);
+  failpoint::Disarm("test.counted");
+}
+
+TEST(FailpointTest, ConcurrentArmDisarmDoesNotWedgeEvaluate) {
+  // Arm/disarm churn from one thread while others evaluate: no crash, and
+  // evaluations never fire once the site is finally disarmed.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> evaluators;
+  for (int t = 0; t < 3; ++t) {
+    evaluators.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)CATAPULT_FAILPOINT("test.churn");
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    failpoint::Arm("test.churn", 2);
+    failpoint::Disarm("test.churn");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : evaluators) th.join();
+  EXPECT_FALSE(CATAPULT_FAILPOINT("test.churn"));
 }
 
 }  // namespace
