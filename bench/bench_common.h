@@ -21,6 +21,7 @@
 #include "src/data/molecule_generator.h"
 #include "src/data/query_generator.h"
 #include "src/formulate/evaluate.h"
+#include "src/obs/json.h"
 
 namespace catapult::bench {
 
@@ -101,113 +102,11 @@ inline void PrintHeader(const std::string& title) {
   std::printf("==============================================================\n");
 }
 
-// Minimal streaming JSON writer for the machine-readable BENCH_*.json
-// artifacts the harnesses emit next to their console tables. Handles comma
-// placement and string escaping; the caller is responsible for balanced
-// Begin/End calls. Numbers are emitted with enough precision to round-trip
-// a double.
-class JsonWriter {
- public:
-  JsonWriter& BeginObject() { return Open('{'); }
-  JsonWriter& EndObject() { return Close('}'); }
-  JsonWriter& BeginArray() { return Open('['); }
-  JsonWriter& EndArray() { return Close(']'); }
-
-  // Key of the next value inside an object; follow with Value/Begin*.
-  JsonWriter& Key(const std::string& name) {
-    Comma();
-    Escaped(name);
-    out_ += ':';
-    pending_value_ = true;
-    return *this;
-  }
-
-  JsonWriter& Value(const std::string& v) {
-    Comma();
-    Escaped(v);
-    return *this;
-  }
-  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
-  JsonWriter& Value(double v) {
-    Comma();
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out_ += buf;
-    return *this;
-  }
-  JsonWriter& Value(uint64_t v) {
-    Comma();
-    out_ += std::to_string(v);
-    return *this;
-  }
-  JsonWriter& Value(int v) {
-    Comma();
-    out_ += std::to_string(v);
-    return *this;
-  }
-  JsonWriter& Value(bool v) {
-    Comma();
-    out_ += v ? "true" : "false";
-    return *this;
-  }
-
-  const std::string& str() const { return out_; }
-
-  // Writes the document to `path` (with a trailing newline); returns false
-  // on I/O failure, which harnesses report but do not abort on.
-  bool WriteFile(const std::string& path) const {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << out_ << '\n';
-    return static_cast<bool>(out);
-  }
-
- private:
-  JsonWriter& Open(char c) {
-    Comma();
-    out_ += c;
-    need_comma_ = false;
-    return *this;
-  }
-  JsonWriter& Close(char c) {
-    out_ += c;
-    need_comma_ = true;
-    pending_value_ = false;
-    return *this;
-  }
-  void Comma() {
-    if (pending_value_) {
-      pending_value_ = false;  // value follows its key, no comma
-      return;
-    }
-    if (need_comma_) out_ += ',';
-    need_comma_ = true;
-  }
-  void Escaped(const std::string& s) {
-    out_ += '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
-      }
-    }
-    out_ += '"';
-  }
-
-  std::string out_;
-  bool need_comma_ = false;
-  bool pending_value_ = false;
-};
+// The BENCH_*.json artifacts are emitted through the shared streaming
+// writer in src/obs/json.h (promoted from this header so the bench
+// harnesses, the selection report, and the metrics/trace dumps all use one
+// escaping implementation).
+using JsonWriter = ::catapult::obs::JsonWriter;
 
 }  // namespace catapult::bench
 

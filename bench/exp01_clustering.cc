@@ -11,7 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "src/csg/csg.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 namespace catapult {
 namespace {

@@ -19,6 +19,7 @@
 
 #include "bench/bench_common.h"
 #include "src/formulate/steps.h"
+#include "src/obs/metrics.h"
 #include "src/util/thread_pool.h"
 
 namespace catapult {
@@ -40,6 +41,10 @@ struct ThreadRow {
   double total_seconds = 0.0;
   double speedup_vs_1 = 0.0;
   double effective_parallelism = 0.0;  // selection-phase busy/wall
+  // Merged per-primitive counters of the run: identical at every thread
+  // count (the determinism contract extends to the work performed, not just
+  // the patterns produced), which the JSON artifact lets a reader verify.
+  obs::MetricsSnapshot metrics;
 };
 
 }  // namespace
@@ -112,9 +117,13 @@ int main() {
     CatapultOptions options = bench::DefaultPipeline(
         {.eta_min = 3, .eta_max = 8, .gamma = 12}, 83);
     options.threads = threads;
-    CatapultResult result = RunCatapult(db, options);
+    obs::MetricsRegistry registry;
+    RunContext ctx =
+        RunContext::NoLimit().WithObservability(&registry, nullptr);
+    CatapultResult result = RunCatapult(db, options, ctx);
     ThreadRow row;
     row.threads = threads;
+    row.metrics = result.execution.metrics;
     row.clustering_seconds = result.clustering_seconds;
     row.csg_seconds = result.csg_seconds;
     row.selection_seconds = result.selection_seconds;
@@ -164,6 +173,9 @@ int main() {
     json.Key("total_seconds").Value(r.total_seconds);
     json.Key("speedup_vs_1").Value(r.speedup_vs_1);
     json.Key("effective_parallelism").Value(r.effective_parallelism);
+    json.Key("metrics").BeginObject();
+    obs::RenderMetricsFields(r.metrics, json);
+    json.EndObject();
     json.EndObject();
   }
   json.EndArray();

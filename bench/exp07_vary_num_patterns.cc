@@ -8,7 +8,7 @@
 // 40); PGT grows with |P|; avg cog stays in [1.65, 1.97].
 
 #include "bench/bench_common.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 namespace catapult {
 namespace {

@@ -10,7 +10,7 @@
 // cog stays roughly constant.
 
 #include "bench/bench_common.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 namespace catapult {
 namespace {

@@ -13,7 +13,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/weights.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 int main() {
   using namespace catapult;

@@ -7,8 +7,9 @@
 
 #include "bench/bench_common.h"
 #include "src/core/pattern_score.h"
-#include "src/graph/algorithms.h"
 #include "src/core/random_walk.h"
+#include "src/graph/algorithms.h"
+#include "src/obs/metrics.h"
 #include "src/csg/csg.h"
 #include "src/iso/ged.h"
 #include "src/iso/mcs.h"
@@ -137,8 +138,10 @@ void BM_RandomWalkPcp(benchmark::State& state) {
 BENCHMARK(BM_RandomWalkPcp)->Arg(4)->Arg(8)->Arg(12);
 
 // Console output plus a machine-readable BENCH_micro.json: every run's
-// (name, real_time, cpu_time, iterations), written through the shared
-// bench::JsonWriter on exit.
+// (name, real_time, cpu_time, iterations) plus the aggregate per-primitive
+// metrics of the whole benchmark process (how many VF2 calls / nodes, GED
+// calls, walk steps the suite actually performed), written through the
+// shared bench::JsonWriter on exit.
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:
   struct Run {
@@ -162,7 +165,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
-  bool WriteJson(const std::string& path) const {
+  bool WriteJson(const std::string& path,
+                 const obs::MetricsSnapshot& metrics) const {
     bench::JsonWriter json;
     json.BeginObject();
     json.Key("experiment").Value("micro_primitives");
@@ -177,6 +181,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       json.EndObject();
     }
     json.EndArray();
+    json.Key("metrics").BeginObject();
+    obs::RenderMetricsFields(metrics, json);
+    json.EndObject();
     json.EndObject();
     return json.WriteFile(path);
   }
@@ -191,11 +198,15 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Count every primitive the suite exercises: the benchmarks run on this
+  // thread, so one registry scope covers them all.
+  catapult::obs::MetricsRegistry registry;
+  catapult::obs::ScopedMetricsScope metrics_scope(&registry);
   catapult::JsonTeeReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   const char* out_path = "BENCH_micro.json";
-  if (reporter.WriteJson(out_path)) {
+  if (reporter.WriteJson(out_path, registry.Snapshot())) {
     std::printf("wrote %s\n", out_path);
   } else {
     std::printf("failed to write %s\n", out_path);

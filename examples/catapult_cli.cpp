@@ -8,6 +8,7 @@
 //        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
 //        [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
 //        [--mem-budget-mb MB] [--strict-parse]
+//        [--trace-out FILE] [--metrics-out FILE] [--print-stats]
 //       Run the full Catapult pipeline and write the selected canned
 //       patterns (as a pattern database in the same text format).
 //       --deadline-ms bounds the wall-clock time: on expiry each phase
@@ -28,6 +29,14 @@
 //       --threads N runs the parallel phases on N threads (0 = hardware
 //       concurrency; default 1): the output is bit-identical at any thread
 //       count for the same seed.
+//       Observability (DESIGN.md Section 11): --trace-out writes a Chrome
+//       trace-event JSON file of the run's phase spans (open it in
+//       chrome://tracing or https://ui.perfetto.dev), --metrics-out writes
+//       the merged per-primitive counters/gauges/histograms as JSON, and
+//       --print-stats prints a human-readable summary of the same counters
+//       (plus the ingestion quarantine/memory accounting) to stderr. None
+//       of the three affects the mined patterns: instrumentation only ever
+//       writes metrics, it never reads them.
 //   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
 //       Evaluate a pattern panel on a random query workload (MP, mu).
 //   search --db FILE --query-id I [--edges K] [--seed S]
@@ -48,6 +57,9 @@
 #include "src/formulate/evaluate.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/io.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/search/search_engine.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -209,7 +221,18 @@ int CmdMine(const Flags& flags) {
   options.resume = flags.GetBool("resume");
   options.checkpoint_every_phase =
       flags.GetInt("checkpoint-every-phase", 1) != 0;
-  CatapultResult result = RunCatapult(*db, options);
+  // Observability: any of the three flags attaches a metrics registry to the
+  // run; --trace-out additionally attaches a tracer. With none of them the
+  // context carries null handles and the hot paths do no metric work at all.
+  auto trace_out = flags.Get("trace-out");
+  auto metrics_out = flags.Get("metrics-out");
+  bool print_stats = flags.GetBool("print-stats");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  bool observe = trace_out || metrics_out || print_stats;
+  RunContext ctx = RunContext::NoLimit().WithObservability(
+      observe ? &registry : nullptr, trace_out ? &tracer : nullptr);
+  CatapultResult result = RunCatapult(*db, options, ctx);
   if (!result.ok()) {
     for (const OptionsError& e : result.option_errors) {
       std::fprintf(stderr, "invalid option %s: %s\n", e.field.c_str(),
@@ -270,6 +293,37 @@ int CmdMine(const Flags& flags) {
   }
   for (const CheckpointEvent& event : exec.checkpoint_events) {
     std::printf("  %s\n", ToString(event).c_str());
+  }
+  if (trace_out) {
+    if (tracer.WriteFile(*trace_out)) {
+      std::fprintf(stderr, "trace: %zu spans -> %s\n", tracer.event_count(),
+                   trace_out->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_out->c_str());
+      return 1;
+    }
+  }
+  if (metrics_out) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    obs::RenderMetricsFields(exec.metrics, w);
+    w.EndObject();
+    if (w.WriteFile(*metrics_out)) {
+      std::fprintf(stderr, "metrics: -> %s\n", metrics_out->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics %s\n", metrics_out->c_str());
+      return 1;
+    }
+  }
+  if (print_stats) {
+    std::fprintf(stderr, "--- run stats ---\n%s",
+                 obs::HumanSummary(exec.metrics).c_str());
+    std::fprintf(stderr, "ingest:\n  %s\n", ingest_report.Summary().c_str());
+    std::fprintf(stderr,
+                 "  ingest peak %.1f MB, pipeline peak %.1f MB%s\n",
+                 static_cast<double>(ingest_report.mem_peak_bytes) / (1 << 20),
+                 static_cast<double>(exec.mem_peak_bytes) / (1 << 20),
+                 exec.mem_hard_breached ? " [hard limit breached]" : "");
   }
   return 0;
 }

@@ -14,7 +14,7 @@
 #include "src/data/molecule_generator.h"
 #include "src/data/query_generator.h"
 #include "src/formulate/evaluate.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 int main() {
   using namespace catapult;

@@ -12,7 +12,7 @@
 #include "src/data/query_generator.h"
 #include "src/formulate/session.h"
 #include "src/search/search_engine.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 int main() {
   using namespace catapult;

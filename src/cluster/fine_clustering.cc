@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
@@ -40,6 +41,7 @@ std::vector<std::vector<GraphId>> FineCluster(
   // context's thread pool. All rng draws and all routing of the resulting
   // parts stay on the calling thread, in queue order.
   while (!large.empty()) {
+    obs::Count(obs::Counter::kFineSplitRounds);
     std::vector<std::vector<GraphId>> round;
     round.reserve(large.size());
     while (!large.empty()) {

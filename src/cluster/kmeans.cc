@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
 
@@ -74,6 +75,7 @@ KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
   result.assignment.assign(n, 0);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    obs::Count(obs::Counter::kKmeansIterations);
     // Assign. Each point's nearest centroid depends only on that point, so
     // the O(n·k·d) scan parallelises; `changed` is a monotone flag, order
     // of the stores is irrelevant.
@@ -90,6 +92,7 @@ KMeansResult KMeansCluster(const std::vector<DynamicBitset>& points,
       }
       if (result.assignment[i] != best_c) {
         result.assignment[i] = best_c;
+        obs::Count(obs::Counter::kKmeansReassignments);
         changed.store(true, std::memory_order_relaxed);
       }
     });

@@ -1,12 +1,14 @@
 #include "src/cluster/pipeline.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/cluster/agglomerative.h"
 #include "src/cluster/feature_vectors.h"
 #include "src/cluster/kmeans.h"
+#include "src/obs/clock.h"
+#include "src/obs/trace.h"
 #include "src/util/mem_budget.h"
-#include "src/util/timer.h"
 
 namespace catapult {
 
@@ -35,6 +37,8 @@ ClusteringResult SmallGraphClustering(
     // Mining gets at most half of the remaining time so it cannot starve
     // the clustering stages proper.
     WallTimer mining_timer;
+    std::optional<obs::Span> stage_span;
+    stage_span.emplace(ctx.tracer(), "clustering.mining");
     std::vector<FrequentSubtree> all_subtrees = MineFrequentSubtrees(
         db, graph_ids, options.miner, ctx.Slice(0.5),
         &result.mining_complete);
@@ -44,9 +48,11 @@ ClusteringResult SmallGraphClustering(
     for (size_t idx : selected) {
       result.features.push_back(all_subtrees[idx]);
     }
+    stage_span.reset();
     result.mining_seconds = mining_timer.ElapsedSeconds();
 
     WallTimer coarse_timer;
+    stage_span.emplace(ctx.tracer(), "clustering.coarse");
     // The feature matrix (|graph_ids| x |features| bitsets) is the coarse
     // stage's dominant allocation; charge it before materialising. A refused
     // charge sheds the stage — one cluster, best-effort — instead of
@@ -95,6 +101,7 @@ ClusteringResult SmallGraphClustering(
                          [](const auto& c) { return c.empty(); }),
           coarse_clusters.end());
     }
+    stage_span.reset();
     result.coarse_seconds = coarse_timer.ElapsedSeconds();
   }
 
@@ -105,6 +112,7 @@ ClusteringResult SmallGraphClustering(
 
   // --- Fine clustering (Algorithm 3) ---
   WallTimer fine_timer;
+  obs::Span fine_span(ctx.tracer(), "clustering.fine");
   if (ctx.memory().SoftExceeded()) {
     // Soft-limit pressure: fine splitting is optional refinement (its MCS
     // working sets grow quadratically in cluster size), so shed it and keep

@@ -6,12 +6,15 @@
 #include <cmath>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 
 #include "src/cluster/feature_vectors.h"
 #include "src/cluster/kmeans.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/failpoint.h"
 #include "src/util/thread_pool.h"
-#include "src/util/timer.h"
 
 namespace catapult {
 
@@ -376,7 +379,8 @@ CatapultResult RunCatapult(const GraphDatabase& db,
                   Deadline::Earliest(ctx.deadline(),
                                      Deadline::AfterMillis(options.deadline_ms)),
                   ctx.cancel_token(), ctx.memory())
-                  .WithPool(ctx.pool());
+                  .WithPool(ctx.pool())
+                  .WithObservability(ctx.metrics(), ctx.tracer());
   }
   // Memory governance: a budget configured in the options supersedes the
   // (by default unlimited) ledger of the caller's context.
@@ -396,6 +400,14 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   }
   ThreadPool& pool = *run_ctx.pool();
   const MemoryBudget& memory = run_ctx.memory();
+  // Observability: install the calling thread's metrics shard for the whole
+  // run (worker threads install theirs per parallel region inside the
+  // pool), and open the root span. Both are no-ops when the context carries
+  // no registry/tracer; neither ever influences pipeline decisions, so a
+  // traced run stays bit-identical to an untraced one.
+  obs::ScopedMetricsScope metrics_scope(run_ctx.metrics());
+  obs::Span run_span(run_ctx.tracer(), "catapult.run");
+  obs::SetGaugeMax(obs::Gauge::kPoolThreads, pool.num_threads());
   ExecutionReport& exec = result.execution;
   exec.deadline_set = !run_ctx.Unlimited();
   exec.threads = pool.num_threads();
@@ -441,9 +453,15 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     }
   };
 
+  // Phase spans: children of the run span, closed just before each phase's
+  // stats are finalised so the trace duration matches the reported wall
+  // time. Span objects are inert (and free) when the context has no tracer.
+  std::optional<obs::Span> phase_span;
+
   // --- Clustering ---
   WallTimer clustering_timer;
   ThreadPool::Stats clustering_pool_stats = pool.stats();
+  phase_span.emplace(run_ctx.tracer(), "clustering", run_span.id());
   if (recovery.clustering.has_value()) {
     result.clusters = std::move(recovery.clustering->clusters);
     result.features = std::move(recovery.clustering->features);
@@ -490,6 +508,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
       }
     }
   }
+  phase_span.reset();
   result.clustering_seconds = clustering_timer.ElapsedSeconds();
   FinishPhase(clustering_pool_stats, result.clustering_seconds,
               exec.clustering_parallel);
@@ -497,6 +516,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   // --- CSG generation ---
   WallTimer csg_timer;
   ThreadPool::Stats csg_pool_stats = pool.stats();
+  phase_span.emplace(run_ctx.tracer(), "csg", run_span.id());
   if (recovery.csgs.has_value()) {
     result.csgs = std::move(recovery.csgs->csgs);
     rng.RestoreState(recovery.csgs->rng_after);
@@ -525,12 +545,14 @@ CatapultResult RunCatapult(const GraphDatabase& db,
       }
     }
   }
+  phase_span.reset();
   result.csg_seconds = csg_timer.ElapsedSeconds();
   FinishPhase(csg_pool_stats, result.csg_seconds, exec.csg_parallel);
 
   // --- Selection ---
   WallTimer selection_timer;
   ThreadPool::Stats selection_pool_stats = pool.stats();
+  phase_span.emplace(run_ctx.tracer(), "selection", run_span.id());
   SelectorCheckpointHooks hooks;
   if (recovery.selection.has_value()) {
     hooks.resume = &*recovery.selection;
@@ -575,6 +597,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
          std::to_string(progress_failures) + " failed writes, last: " +
              last_save_error});
   }
+  phase_span.reset();
   result.selection_seconds = selection_timer.ElapsedSeconds();
   FinishPhase(selection_pool_stats, result.selection_seconds,
               exec.selection_parallel);
@@ -587,6 +610,14 @@ CatapultResult RunCatapult(const GraphDatabase& db,
       memory.soft_limit() != 0 && memory.peak() >= memory.soft_limit();
   exec.mem_hard_breached = memory.HardBreached();
   if (exec.mem_hard_breached) exec.resource_error = memory.error();
+  // Close the root span before snapshotting so its counter deltas cover the
+  // whole run, then merge the per-thread metric shards into the report.
+  // Safe here: every parallel region has joined, so worker writes
+  // happen-before this read.
+  run_span.Close();
+  if (run_ctx.metrics() != nullptr) {
+    exec.metrics = run_ctx.metrics()->Snapshot();
+  }
   return result;
 }
 

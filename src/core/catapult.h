@@ -8,6 +8,7 @@
 #include "src/core/selector.h"
 #include "src/csg/csg.h"
 #include "src/graph/graph_database.h"
+#include "src/obs/metrics.h"
 #include "src/persist/checkpoint.h"
 #include "src/sample/sampling.h"
 #include "src/util/deadline.h"
@@ -176,6 +177,11 @@ struct ExecutionReport {
   bool mem_soft_exceeded = false;
   bool mem_hard_breached = false;
   ResourceError resource_error;
+
+  // Merged per-primitive metrics of the run (DESIGN.md §11). Always
+  // present; `metrics.enabled` is false when the run carried no registry,
+  // in which case every counter is zero.
+  obs::MetricsSnapshot metrics;
 
   bool Resumed() const { return !resumed_from.empty(); }
 

@@ -4,7 +4,7 @@
 #include <unordered_set>
 
 #include "src/iso/vf2.h"
-#include "src/util/timer.h"
+#include "src/obs/clock.h"
 
 namespace catapult {
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+
 namespace catapult {
 
 WeightedCsg MakeWeightedCsg(const ClusterSummaryGraph& csg,
@@ -57,7 +59,11 @@ Pcp GeneratePcp(const WeightedCsg& wcsg, size_t target_edges, Rng& rng) {
         weights.push_back(wcsg.edge_weights[idx]);
       }
     }
-    if (cae.empty()) break;
+    if (cae.empty()) {
+      obs::Count(obs::Counter::kWalkDeadEnds);
+      break;
+    }
+    obs::Count(obs::Counter::kWalkSteps);
     Take(cae[rng.WeightedIndex(weights)]);
   }
   return pcp;
@@ -71,7 +77,11 @@ std::vector<Pcp> GeneratePcpLibrary(const WeightedCsg& wcsg,
   for (size_t walk = 0; walk < count; ++walk) {
     if (ctx.StopRequested("selector.pcp_walk")) break;
     Pcp pcp = GeneratePcp(wcsg, target_edges, rng);
-    if (!pcp.empty()) library.push_back(std::move(pcp));
+    if (!pcp.empty()) {
+      obs::Count(obs::Counter::kPcpEmitted);
+      obs::Observe(obs::Hist::kPcpEdges, pcp.size());
+      library.push_back(std::move(pcp));
+    }
   }
   return library;
 }

@@ -3,86 +3,74 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
 namespace catapult {
-
-namespace {
-
-// JSON string escaping for label names (quotes, backslashes, control
-// characters; labels are typically atom symbols, but be safe).
-void WriteJsonString(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      case '\r':
-        out << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
-}  // namespace
 
 void WriteSelectionReport(const CatapultResult& result,
                           const LabelMap& labels, std::ostream& out) {
-  out << "{\n";
-  out << "  \"database\": {\"graphs\": ";
+  obs::JsonWriter w(/*indent=*/2);
+  w.BeginObject();
+
   size_t total_graphs = 0;
   for (const auto& cluster : result.clusters) total_graphs += cluster.size();
-  out << total_graphs << ", \"clusters\": " << result.clusters.size()
-      << "},\n";
-  out << "  \"timings\": {\"clustering_s\": " << result.clustering_seconds
-      << ", \"csg_s\": " << result.csg_seconds
-      << ", \"selection_s\": " << result.selection_seconds << "},\n";
-  out << "  \"patterns\": [";
+  w.Key("database").BeginObject();
+  w.Key("graphs").Value(static_cast<uint64_t>(total_graphs));
+  w.Key("clusters").Value(static_cast<uint64_t>(result.clusters.size()));
+  w.EndObject();
+
+  w.Key("timings").BeginObject();
+  w.Key("clustering_s").Value(result.clustering_seconds);
+  w.Key("csg_s").Value(result.csg_seconds);
+  w.Key("selection_s").Value(result.selection_seconds);
+  w.EndObject();
+
+  // Per-primitive counters of the run (DESIGN.md §11). Always present;
+  // "enabled" is false (and every counter zero) when the run carried no
+  // MetricsRegistry.
+  w.Key("metrics").BeginObject();
+  obs::RenderMetricsFields(result.execution.metrics, w);
+  w.EndObject();
+
+  w.Key("patterns").BeginArray();
   for (size_t i = 0; i < result.selection.patterns.size(); ++i) {
     const SelectedPattern& p = result.selection.patterns[i];
-    if (i > 0) out << ",";
-    out << "\n    {\"id\": " << i << ", \"score\": " << p.score
-        << ", \"ccov\": " << p.ccov << ", \"lcov\": " << p.lcov
-        << ", \"div\": " << p.div << ", \"cog\": " << p.cog
-        << ",\n     \"vertices\": [";
+    w.BeginObject();
+    w.Key("id").Value(static_cast<uint64_t>(i));
+    w.Key("score").Value(p.score);
+    w.Key("ccov").Value(p.ccov);
+    w.Key("lcov").Value(p.lcov);
+    w.Key("div").Value(p.div);
+    w.Key("cog").Value(p.cog);
+    w.Key("vertices").BeginArray();
     for (VertexId v = 0; v < p.graph.NumVertices(); ++v) {
-      if (v > 0) out << ", ";
-      out << "{\"id\": " << v << ", \"label\": ";
+      w.BeginObject();
+      w.Key("id").Value(static_cast<uint64_t>(v));
       Label label = p.graph.VertexLabel(v);
+      w.Key("label");
       if (label < labels.size()) {
-        WriteJsonString(out, labels.Name(label));
+        w.Value(labels.Name(label));
       } else {
-        out << label;  // numeric fallback for labels without names
+        w.Value(static_cast<uint64_t>(label));  // numeric fallback
       }
-      out << "}";
+      w.EndObject();
     }
-    out << "],\n     \"edges\": [";
-    bool first_edge = true;
+    w.EndArray();
+    w.Key("edges").BeginArray();
     for (const Edge& e : p.graph.EdgeList()) {
-      if (!first_edge) out << ", ";
-      first_edge = false;
-      out << "{\"u\": " << e.u << ", \"v\": " << e.v << "}";
+      w.BeginObject();
+      w.Key("u").Value(static_cast<uint64_t>(e.u));
+      w.Key("v").Value(static_cast<uint64_t>(e.v));
+      w.EndObject();
     }
-    out << "]}";
+    w.EndArray();
+    w.EndObject();
   }
-  out << "\n  ]\n}\n";
+  w.EndArray();
+
+  w.EndObject();
+  out << w.str() << '\n';
 }
 
 std::string SelectionReportJson(const CatapultResult& result,

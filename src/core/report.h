@@ -11,19 +11,29 @@ namespace catapult {
 
 // JSON export of a pipeline run: the selected patterns (vertices with label
 // names, edges) with their selection diagnostics, plus clustering/CSG/
-// selection phase statistics. Intended for GUI layers and notebooks that
-// consume the miner's output without linking the library.
+// selection phase statistics and the run's merged per-primitive metrics.
+// Intended for GUI layers and notebooks that consume the miner's output
+// without linking the library. Emitted via the shared obs::JsonWriter, so
+// escaping matches every other artifact the system writes.
 //
 // Schema (stable; all keys always present):
 // {
 //   "database": {"graphs": N, "clusters": N},
 //   "timings": {"clustering_s": x, "csg_s": x, "selection_s": x},
+//   "metrics": {"enabled": b,
+//               "counters": {"vf2.calls": n, ...},
+//               "gauges": {"mem.peak_bytes": n, ...},
+//               "histograms": {"vf2.nodes_per_call":
+//                  {"count": n, "sum": n, "min": n, "max": n,
+//                   "buckets": [...]}, ...}},
 //   "patterns": [
 //     {"id": i, "score": s, "ccov": c, "lcov": l, "div": d, "cog": g,
 //      "vertices": [{"id": v, "label": "C"}, ...],
 //      "edges": [{"u": a, "v": b}, ...]},
 //     ...]
 // }
+// "metrics.enabled" is false — with all counters zero — when the run
+// carried no MetricsRegistry (see RunContext::WithObservability).
 void WriteSelectionReport(const CatapultResult& result, const LabelMap& labels,
                           std::ostream& out);
 

@@ -6,6 +6,7 @@
 
 #include "src/mining/frequent_edges.h"
 #include "src/iso/vf2.h"
+#include "src/obs/metrics.h"
 #include "src/util/thread_pool.h"
 
 namespace catapult {
@@ -166,6 +167,7 @@ SelectionResult FindCannedPatternSet(
   // out in per-candidate slots and inserted — with their budget charges — on
   // the calling thread afterwards, in candidate order.
   size_t cache_charged_bytes = 0;
+  size_t cache_entries = 0;
   auto CacheProbe = [&](uint64_t fp, const Graph& g) -> const std::vector<bool>* {
     auto it = coverage_cache.find(fp);
     if (it == coverage_cache.end()) return nullptr;
@@ -184,7 +186,9 @@ SelectionResult FindCannedPatternSet(
     // the first thing to go — recomputing covered sets trades time for
     // bounded memory.
     if (!coverage_cache.empty() && ctx.memory().SoftExceeded()) {
+      obs::Count(obs::Counter::kSelectorCacheEvictions, cache_entries);
       coverage_cache.clear();
+      cache_entries = 0;
       ctx.memory().Release(cache_charged_bytes);
       cache_charged_bytes = 0;
     }
@@ -279,6 +283,7 @@ SelectionResult FindCannedPatternSet(
             break;
           }
         }
+        if (duplicate) obs::Count(obs::Counter::kPcpDeduplicated);
         if (!duplicate) {
           unique.push_back(std::move(c));
           fingerprints.push_back(fp);
@@ -339,8 +344,10 @@ SelectionResult FindCannedPatternSet(
         uint64_t fp = GraphFingerprint(g);
         const std::vector<bool>* cached = CacheProbe(fp, g);
         if (cached != nullptr) {
+          obs::Count(obs::Counter::kSelectorCacheHits);
           slot.covered = *cached;
         } else {
+          obs::Count(obs::Counter::kSelectorCacheMisses);
           // Near the deadline each iso test gets only the nodes still
           // affordable, so one adversarial summary cannot eat the whole
           // selection slice.
@@ -385,6 +392,8 @@ SelectionResult FindCannedPatternSet(
         if (ctx.memory().TryCharge(bytes, "selector.cache")) {
           cache_charged_bytes += bytes;
           coverage_cache[GraphFingerprint(g)].push_back({g, slot.covered});
+          ++cache_entries;
+          obs::SetGaugeMax(obs::Gauge::kSelectorCachePeak, cache_entries);
         }
       }
       if (best_index < 0 || slot.scored.score > best.score) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/graph/algorithms.h"
+#include "src/obs/metrics.h"
 #include "src/util/thread_pool.h"
 
 namespace catapult {
@@ -209,6 +210,7 @@ ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
     }
     const Graph& g = db.graph(member_ids[member]);
     if (g.NumVertices() == 0) continue;
+    obs::Count(obs::Counter::kCsgFolds);
 
     // Map g's vertices into the summary in BFS order from the highest-
     // degree vertex, greedily choosing the same-label summary vertex that
@@ -256,9 +258,11 @@ ClusterSummaryGraph BuildCsg(const GraphDatabase& db,
       }
       VertexId target;
       if (best < 0) {
+        obs::Count(obs::Counter::kCsgDummyPads);
         target = csg.AddVertex(label);
         summary_used.push_back(false);
       } else {
+        obs::Count(obs::Counter::kCsgVerticesMapped);
         target = static_cast<VertexId>(best);
       }
       mapping[gv] = static_cast<int>(target);

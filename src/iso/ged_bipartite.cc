@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace catapult {
@@ -272,6 +273,8 @@ double BipartiteGedOneWay(const Graph& a, const Graph& b) {
 }  // namespace
 
 double BipartiteGed(const Graph& a, const Graph& b) {
+  obs::Count(obs::Counter::kGedBipartiteCalls);
+  obs::Observe(obs::Hist::kGedMatrixDim, a.NumVertices() + b.NumVertices());
   // The assignment heuristic is not symmetric; evaluate both directions and
   // keep the tighter (both are valid upper bounds).
   double forward = BipartiteGedOneWay(a, b);

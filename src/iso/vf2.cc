@@ -4,9 +4,20 @@
 #include <deque>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+
 namespace catapult {
 
 namespace {
+
+// One bookkeeping batch per search (not per node): the per-node cost of
+// instrumentation inside Backtrack would dwarf the work it measures.
+void RecordSearch(uint64_t nodes, bool budget_exhausted) {
+  obs::Count(obs::Counter::kVf2Calls);
+  obs::Count(obs::Counter::kVf2Nodes, nodes);
+  obs::Observe(obs::Hist::kVf2NodesPerCall, nodes);
+  if (budget_exhausted) obs::Count(obs::Counter::kVf2BudgetExhausted);
+}
 
 // Chooses the root of the matching order: rarest label in the target, ties
 // broken by highest pattern degree.
@@ -144,6 +155,7 @@ bool SubgraphIsomorphism::Exists() {
   size_t found = 0;
   nodes_ = 0;
   Backtrack(0, [](const Embedding&) { return false; }, found);
+  RecordSearch(nodes_, BudgetExhausted());
   return found > 0;
 }
 
@@ -157,6 +169,7 @@ size_t SubgraphIsomorphism::Count(size_t cap) {
   Backtrack(0,
             [&](const Embedding&) { return cap == 0 || found < cap; },
             found);
+  RecordSearch(nodes_, BudgetExhausted());
   return found;
 }
 
@@ -169,6 +182,7 @@ size_t SubgraphIsomorphism::Enumerate(
   size_t found = 0;
   nodes_ = 0;
   Backtrack(0, visitor, found);
+  RecordSearch(nodes_, BudgetExhausted());
   return found;
 }
 

@@ -59,6 +59,11 @@ class SubgraphIsomorphism {
   bool Backtrack(size_t depth, const std::function<bool(const Embedding&)>& visitor,
                  size_t& found);
 
+  // True when the last search stopped because it hit the node budget.
+  bool BudgetExhausted() const {
+    return options_.node_budget != 0 && nodes_ >= options_.node_budget;
+  }
+
   const Graph& pattern_;
   const Graph& target_;
   IsoOptions options_;

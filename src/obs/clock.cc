@@ -1,0 +1,48 @@
+#include "src/obs/clock.h"
+
+#include <atomic>
+
+namespace catapult::obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+static_assert(SteadyClock::is_steady,
+              "the observability clock must be monotonic");
+
+// Process-wide anchor so default ticks start near zero (keeps trace
+// timestamps small and readable). Captured on first use.
+SteadyClock::time_point ProcessAnchor() {
+  static const SteadyClock::time_point anchor = SteadyClock::now();
+  return anchor;
+}
+
+uint64_t DefaultTicks() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           ProcessAnchor())
+          .count());
+}
+
+// The installed tick source. Relaxed is sufficient: installation happens in
+// tests before the threads under test start (ScopedTickSourceForTest is
+// documented single-threaded), and readers only need *a* valid function
+// pointer, never ordering against other memory.
+std::atomic<TickSource> g_tick_source{&DefaultTicks};
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return g_tick_source.load(std::memory_order_relaxed)();
+}
+
+ScopedTickSourceForTest::ScopedTickSourceForTest(TickSource source)
+    : previous_(g_tick_source.exchange(source == nullptr ? &DefaultTicks
+                                                         : source,
+                                       std::memory_order_relaxed)) {}
+
+ScopedTickSourceForTest::~ScopedTickSourceForTest() {
+  g_tick_source.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace catapult::obs

@@ -1,0 +1,193 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace catapult::obs {
+
+namespace internal {
+constinit thread_local MetricsShard* tls_shard = nullptr;
+}  // namespace internal
+
+namespace {
+
+constexpr const char* kCounterNames[] = {
+    "vf2.calls",
+    "vf2.nodes",
+    "vf2.budget_exhausted",
+    "ged.bipartite_calls",
+    "walk.steps",
+    "walk.dead_ends",
+    "walk.pcp_emitted",
+    "walk.pcp_deduplicated",
+    "kmeans.iterations",
+    "kmeans.reassignments",
+    "fine.split_rounds",
+    "csg.folds",
+    "csg.vertices_mapped",
+    "csg.dummy_pads",
+    "selector.cache_hits",
+    "selector.cache_misses",
+    "selector.cache_evictions",
+    "ckpt.records_written",
+    "ckpt.records_read",
+    "ckpt.bytes_written",
+    "ckpt.bytes_read",
+    "ckpt.fsyncs",
+    "mem.charges",
+    "mem.charge_refused",
+    "mem.soft_pressure",
+    "failpoint.fires",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
+              "counter name table out of sync with the Counter enum");
+
+constexpr const char* kGaugeNames[] = {
+    "mem.peak_bytes",
+    "selector.cache_peak",
+    "pool.threads",
+};
+static_assert(sizeof(kGaugeNames) / sizeof(kGaugeNames[0]) == kNumGauges,
+              "gauge name table out of sync with the Gauge enum");
+
+constexpr const char* kHistNames[] = {
+    "vf2.nodes_per_call",
+    "ged.matrix_dim",
+    "walk.pcp_edges",
+    "ckpt.record_bytes",
+};
+static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) == kNumHists,
+              "histogram name table out of sync with the Hist enum");
+
+}  // namespace
+
+const char* CounterName(Counter c) {
+  return kCounterNames[static_cast<size_t>(c)];
+}
+const char* GaugeName(Gauge g) { return kGaugeNames[static_cast<size_t>(g)]; }
+const char* HistName(Hist h) { return kHistNames[static_cast<size_t>(h)]; }
+
+std::array<uint64_t, kNumCounters> ThreadCounterSnapshot() {
+#if !defined(CATAPULT_DISABLE_OBS)
+  MetricsShard* shard = internal::tls_shard;
+  if (shard != nullptr) return shard->counters;
+#endif
+  return {};
+}
+
+MetricsShard* MetricsRegistry::ShardForThisThread() {
+  const std::thread::id me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, shard] : shards_) {
+    if (id == me) return shard.get();
+  }
+  shards_.emplace_back(me, std::make_unique<MetricsShard>());
+  return shards_.back().second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.enabled = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, shard] : shards_) {
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      snapshot.counters[i] += shard->counters[i];
+    }
+    for (size_t i = 0; i < kNumGauges; ++i) {
+      snapshot.gauges[i] = std::max(snapshot.gauges[i], shard->gauges[i]);
+    }
+    for (size_t i = 0; i < kNumHists; ++i) {
+      snapshot.hists[i].MergeFrom(shard->hists[i]);
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, shard] : shards_) *shard = MetricsShard{};
+}
+
+ScopedMetricsScope::ScopedMetricsScope(MetricsRegistry* registry) {
+#if !defined(CATAPULT_DISABLE_OBS)
+  if (registry != nullptr) {
+    previous_ = internal::tls_shard;
+    internal::tls_shard = registry->ShardForThisThread();
+    installed_ = true;
+  }
+#else
+  (void)registry;
+#endif
+}
+
+ScopedMetricsScope::~ScopedMetricsScope() {
+#if !defined(CATAPULT_DISABLE_OBS)
+  if (installed_) internal::tls_shard = previous_;
+#endif
+}
+
+std::string HumanSummary(const MetricsSnapshot& snapshot, bool include_zeros) {
+  std::string out;
+  char line[160];
+  out += "counters:\n";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (snapshot.counters[i] == 0 && !include_zeros) continue;
+    std::snprintf(line, sizeof(line), "  %-24s %12llu\n", kCounterNames[i],
+                  static_cast<unsigned long long>(snapshot.counters[i]));
+    out += line;
+  }
+  out += "gauges:\n";
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    if (snapshot.gauges[i] == 0 && !include_zeros) continue;
+    std::snprintf(line, sizeof(line), "  %-24s %12llu\n", kGaugeNames[i],
+                  static_cast<unsigned long long>(snapshot.gauges[i]));
+    out += line;
+  }
+  out += "histograms:\n";
+  for (size_t i = 0; i < kNumHists; ++i) {
+    const HistData& h = snapshot.hists[i];
+    if (h.count == 0 && !include_zeros) continue;
+    std::snprintf(line, sizeof(line),
+                  "  %-24s count=%llu mean=%.1f min=%llu max=%llu\n",
+                  kHistNames[i], static_cast<unsigned long long>(h.count),
+                  h.Mean(),
+                  static_cast<unsigned long long>(h.count == 0 ? 0 : h.min),
+                  static_cast<unsigned long long>(h.max));
+    out += line;
+  }
+  return out;
+}
+
+void RenderMetricsFields(const MetricsSnapshot& snapshot, JsonWriter& json) {
+  json.Key("enabled").Value(snapshot.enabled);
+  json.Key("counters").BeginObject();
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    json.Key(kCounterNames[i]).Value(snapshot.counters[i]);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    json.Key(kGaugeNames[i]).Value(snapshot.gauges[i]);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (size_t i = 0; i < kNumHists; ++i) {
+    const HistData& h = snapshot.hists[i];
+    json.Key(kHistNames[i]).BeginObject();
+    json.Key("count").Value(h.count);
+    json.Key("sum").Value(h.sum);
+    json.Key("min").Value(h.count == 0 ? uint64_t{0} : h.min);
+    json.Key("max").Value(h.max);
+    json.Key("buckets").BeginArray();
+    size_t last = kHistBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (size_t b = 0; b < last; ++b) json.Value(h.buckets[b]);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
+}  // namespace catapult::obs

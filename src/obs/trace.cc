@@ -1,0 +1,97 @@
+#include "src/obs/trace.h"
+
+#include <fstream>
+
+#include "src/obs/clock.h"
+#include "src/obs/json.h"
+
+namespace catapult::obs {
+
+int Tracer::TidLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void Tracer::Emit(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.tid = TidLocked(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string Tracer::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TraceEvent& e : events_) {
+      json.BeginObject();
+      json.Key("name").Value(e.name);
+      json.Key("cat").Value("catapult");
+      json.Key("ph").Value("X");
+      json.Key("ts").Value(e.start_ns / 1000);   // microseconds
+      json.Key("dur").Value(e.dur_ns / 1000);
+      json.Key("pid").Value(1);
+      json.Key("tid").Value(e.tid);
+      json.Key("args").BeginObject();
+      json.Key("span_id").Value(e.span_id);
+      json.Key("parent_id").Value(e.parent_id);
+      for (const auto& [counter, delta] : e.counter_deltas) {
+        json.Key(CounterName(counter)).Value(delta);
+      }
+      json.EndObject();
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").Value("ms");
+  json.EndObject();
+  return json.str();
+}
+
+bool Tracer::WriteFile(const std::string& path) const {
+  const std::string doc = ToJson();
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream) return false;
+  stream << doc << '\n';
+  return static_cast<bool>(stream);
+}
+
+Span::Span(Tracer* tracer, std::string name, uint64_t parent_id)
+    : tracer_(tracer), name_(std::move(name)), parent_id_(parent_id) {
+  if (tracer_ == nullptr) return;
+  id_ = tracer_->NextSpanId();
+  start_ns_ = NowNanos();
+  counters_at_open_ = ThreadCounterSnapshot();
+}
+
+void Span::Close() {
+  if (tracer_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.start_ns = start_ns_;
+  const uint64_t now = NowNanos();
+  event.dur_ns = now >= start_ns_ ? now - start_ns_ : 0;
+  event.span_id = id_;
+  event.parent_id = parent_id_;
+  const std::array<uint64_t, kNumCounters> at_close = ThreadCounterSnapshot();
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const uint64_t delta = at_close[i] - counters_at_open_[i];
+    if (delta != 0) {
+      event.counter_deltas.emplace_back(static_cast<Counter>(i), delta);
+    }
+  }
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;  // idempotent close
+  tracer->Emit(std::move(event));
+}
+
+}  // namespace catapult::obs

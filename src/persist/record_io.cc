@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/atomic_file.h"
 
 namespace catapult::persist {
@@ -174,7 +175,13 @@ std::string WriteRecordFile(const std::string& path, RecordType type,
   AppendLittleEndian(file, Crc32(file.data(), file.size()), 4);
   file.append(payload);
   if (payload_crc != nullptr) *payload_crc = crc;
-  return AtomicWriteFile(path, file);
+  std::string error = AtomicWriteFile(path, file);
+  if (error.empty()) {
+    obs::Count(obs::Counter::kCheckpointRecordsWritten);
+    obs::Count(obs::Counter::kCheckpointBytesWritten, file.size());
+    obs::Observe(obs::Hist::kCheckpointRecordBytes, payload.size());
+  }
+  return error;
 }
 
 std::string DecodeRecordBytes(const std::string& file,
@@ -227,8 +234,13 @@ std::string ReadRecordFile(const std::string& path, RecordType expected_type,
   std::string file;
   std::string io_error = ReadWholeFile(path, &file);
   if (!io_error.empty()) return io_error;
-  return DecodeRecordBytes(file, expected_type, expected_fingerprint, payload,
-                           payload_crc);
+  std::string decode_error = DecodeRecordBytes(
+      file, expected_type, expected_fingerprint, payload, payload_crc);
+  if (decode_error.empty()) {
+    obs::Count(obs::Counter::kCheckpointRecordsRead);
+    obs::Count(obs::Counter::kCheckpointBytesRead, file.size());
+  }
+  return decode_error;
 }
 
 }  // namespace catapult::persist

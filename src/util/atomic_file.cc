@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/failpoint.h"
 
 #if defined(_WIN32)
@@ -28,6 +29,7 @@ bool SyncFile(std::FILE* file) {
     errno = EIO;
     return false;
   }
+  obs::Count(obs::Counter::kCheckpointFsyncs);
 #if defined(_WIN32)
   return _commit(_fileno(file)) == 0;
 #else
@@ -45,6 +47,7 @@ void SyncParentDirectory(const std::string& path) {
   if (dir.empty()) dir = "/";
   int fd = ::open(dir.c_str(), O_RDONLY);
   if (fd >= 0) {
+    obs::Count(obs::Counter::kCheckpointFsyncs);
     ::fsync(fd);
     ::close(fd);
   }

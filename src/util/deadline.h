@@ -21,6 +21,11 @@
 
 namespace catapult {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 class ThreadPool;
 
 // A point on the monotonic clock by which work should stop. Infinite by
@@ -110,8 +115,8 @@ class RunContext {
 
   // Copy of this context charging against `memory` instead.
   RunContext WithMemory(MemoryBudget memory) const {
-    RunContext copy(deadline_, cancel_, std::move(memory));
-    copy.pool_ = pool_;
+    RunContext copy = *this;
+    copy.memory_ = std::move(memory);
     return copy;
   }
 
@@ -127,6 +132,27 @@ class RunContext {
   // Pool for parallel regions; nullptr means "run inline on the calling
   // thread", which is observably identical to a 1-thread pool.
   ThreadPool* pool() const { return pool_; }
+
+  // Copy of this context recording metrics into `metrics` and spans into
+  // `tracer` (both non-owning; either may be nullptr to disable that half).
+  // Observability handles live here, next to the deadline and pool, rather
+  // than in CatapultOptions: they are execution environment, not
+  // configuration, so ConfigFingerprint never sees them and resume
+  // compatibility cannot depend on whether a run was traced.
+  RunContext WithObservability(obs::MetricsRegistry* metrics,
+                               obs::Tracer* tracer) const {
+    RunContext copy = *this;
+    copy.metrics_ = metrics;
+    copy.tracer_ = tracer;
+    return copy;
+  }
+
+  // Metrics registry for this run; nullptr = metrics disabled (hot-path
+  // recording helpers see a null thread-local shard and no-op).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // Span tracer for this run; nullptr = tracing disabled (spans are inert).
+  obs::Tracer* tracer() const { return tracer_; }
 
   // Requests cooperative cancellation; observed by all copies of this
   // context at their next StopRequested poll.
@@ -152,8 +178,8 @@ class RunContext {
   // memory ledger is shared, not sliced: bytes, unlike seconds, are returned
   // when a phase frees its structures).
   RunContext Slice(double fraction) const {
-    RunContext copy(deadline_.Fraction(fraction), cancel_, memory_);
-    copy.pool_ = pool_;
+    RunContext copy = *this;
+    copy.deadline_ = deadline_.Fraction(fraction);
     return copy;
   }
 
@@ -171,6 +197,8 @@ class RunContext {
   CancelToken cancel_;
   MemoryBudget memory_;
   ThreadPool* pool_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace catapult

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+
 namespace catapult::failpoint {
 
 namespace {
@@ -71,6 +73,7 @@ bool Evaluate(const char* site) {
   if (s.remaining == 0) return false;
   if (s.remaining > 0) --s.remaining;
   ++s.hits;
+  obs::Count(obs::Counter::kFailpointFires);
   return true;
 }
 

@@ -1,5 +1,7 @@
 #include "src/util/mem_budget.h"
 
+#include "src/obs/metrics.h"
+
 namespace catapult {
 
 std::string ResourceError::ToString() const {
@@ -37,6 +39,12 @@ bool MemoryBudget::TryCharge(size_t bytes, const char* site) const {
         while (peak < next && !s.peak.compare_exchange_weak(
                                   peak, next, std::memory_order_relaxed)) {
         }
+        obs::Count(obs::Counter::kMemCharges);
+        obs::SetGaugeMax(obs::Gauge::kMemPeakBytes, next);
+        if (s.soft_limit != 0 && next >= s.soft_limit &&
+            current < s.soft_limit) {
+          obs::Count(obs::Counter::kMemSoftPressure);
+        }
         return true;
       }
     }
@@ -46,6 +54,7 @@ bool MemoryBudget::TryCharge(size_t bytes, const char* site) const {
   // so a concurrent reader that observes HardBreached() == true is
   // guaranteed to find a fully attributed error() — the flag is the last
   // write of the losing charge, never the first.
+  obs::Count(obs::Counter::kMemChargeRefused);
   {
     std::lock_guard<std::mutex> lock(s.error_mutex);
     if (!s.breached.load(std::memory_order_relaxed)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/metrics.h"
 #include "src/util/deadline.h"
 
 namespace catapult {
@@ -49,6 +50,9 @@ ThreadPool::Stats ThreadPool::stats() const {
 }
 
 void ThreadPool::RunChunks(Job& job) {
+  // One shard install per (job, thread): instrumentation inside the body
+  // records into this thread's private shard with no further locking.
+  obs::ScopedMetricsScope metrics_scope(job.metrics);
   const Clock::time_point start = Clock::now();
   uint64_t ran = 0;
   for (;;) {
@@ -89,7 +93,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t grain,
-                             const std::function<void(size_t)>& body) {
+                             const std::function<void(size_t)>& body,
+                             obs::MetricsRegistry* metrics) {
   if (n == 0) return;
   regions_.fetch_add(1, std::memory_order_relaxed);
   grain = std::max<size_t>(grain, 1);
@@ -97,6 +102,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   if (num_threads_ == 1 || n == 1) {
     // Inline sequential execution in index order: the default path has the
     // exact observable behaviour of a plain loop.
+    obs::ScopedMetricsScope metrics_scope(metrics);
     const Clock::time_point start = Clock::now();
     for (size_t i = 0; i < n; ++i) body(i);
     busy_nanos_.fetch_add(NanosSince(start), std::memory_order_relaxed);
@@ -108,6 +114,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   job.body = &body;
   job.n = n;
   job.grain = grain;
+  job.metrics = metrics;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;
@@ -134,8 +141,10 @@ size_t Parallelism(const RunContext& ctx) {
 void ParallelFor(const RunContext& ctx, size_t n, size_t grain,
                  const std::function<void(size_t)>& body) {
   if (ctx.pool() != nullptr) {
-    ctx.pool()->ParallelFor(n, grain, body);
+    ctx.pool()->ParallelFor(n, grain, body, ctx.metrics());
   } else {
+    // No pool: the calling thread runs inline and already holds whatever
+    // shard scope the pipeline installed, so nothing to set up here.
     for (size_t i = 0; i < n; ++i) body(i);
   }
 }

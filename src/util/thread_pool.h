@@ -27,6 +27,10 @@
 
 namespace catapult {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class ThreadPool {
  public:
   // Number of logical CPUs, never 0 (falls back to 1 when the runtime cannot
@@ -65,8 +69,14 @@ class ThreadPool {
   // With num_threads() == 1 this is exactly `for (i = 0; i < n; ++i)
   // body(i)` on the calling thread — same order, same thread, no atomics
   // beyond the stats counters.
+  //
+  // When `metrics` is non-null, every participating thread installs its
+  // thread-local shard of that registry for the duration of the job (once
+  // per thread per job, not per item), so obs::Count()/Observe() calls
+  // inside the body record without any cross-thread synchronization.
   void ParallelFor(size_t n, size_t grain,
-                   const std::function<void(size_t)>& body);
+                   const std::function<void(size_t)>& body,
+                   obs::MetricsRegistry* metrics = nullptr);
   void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
     ParallelFor(n, 1, body);
   }
@@ -80,6 +90,7 @@ class ThreadPool {
     const std::function<void(size_t)>* body = nullptr;
     size_t n = 0;
     size_t grain = 1;
+    obs::MetricsRegistry* metrics = nullptr;  // shard scope for workers
     std::atomic<size_t> next{0};   // next unclaimed item index
     std::atomic<size_t> done{0};   // items completed
   };

@@ -1,0 +1,502 @@
+// Tests of the observability layer (DESIGN.md Section 11): the JSON writer,
+// the log2 histogram bucketing, thread-local shard merging across the
+// ThreadPool, the deterministic span tracer, the report schema with its
+// metrics section — and the layer's central contract, asserted end-to-end:
+// a run with metrics and tracing attached produces bit-identical patterns
+// and checkpoint bytes to a run without them, at 1 and at 4 threads.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/catapult.h"
+#include "src/core/report.h"
+#include "src/data/molecule_generator.h"
+#include "src/graph/algorithms.h"
+#include "src/obs/clock.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/thread_pool.h"
+
+namespace catapult {
+namespace {
+
+// False when CATAPULT_DISABLE_OBS compiled the recording helpers out; the
+// tests below then still assert the zero-effect contract (everything builds
+// and runs, results unchanged) but skip assertions on recorded values.
+constexpr bool ObsCompiledIn() {
+#if defined(CATAPULT_DISABLE_OBS)
+  return false;
+#else
+  return true;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, CompactDocument) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Value(uint64_t{1});
+  w.Key("b").BeginArray().Value(2).Value(3).EndArray();
+  w.Key("c").BeginObject().Key("d").Value(true).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,3],"c":{"d":true}})");
+}
+
+TEST(JsonWriterTest, PrettyDocumentMatchesReportShape) {
+  obs::JsonWriter w(2);
+  w.BeginObject();
+  w.Key("patterns").BeginArray().EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"patterns\": [\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EscapesEverything) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("k\"ey").Value(std::string("a\\b\n\t\r\b\f\x01z"));
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"k\\\"ey\":\"a\\\\b\\n\\t\\r\\b\\f\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  w.Value(1.5);
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[1.5,null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+
+TEST(MetricsTest, HistBucketEdges) {
+  EXPECT_EQ(obs::HistBucket(0), 0u);
+  EXPECT_EQ(obs::HistBucket(1), 1u);
+  EXPECT_EQ(obs::HistBucket(2), 2u);
+  EXPECT_EQ(obs::HistBucket(3), 2u);
+  EXPECT_EQ(obs::HistBucket(4), 3u);
+  EXPECT_EQ(obs::HistBucket(7), 3u);
+  EXPECT_EQ(obs::HistBucket(8), 4u);
+  EXPECT_EQ(obs::HistBucket(uint64_t{1} << 62), 63u);
+  EXPECT_EQ(obs::HistBucket(uint64_t{1} << 63), 64u);
+  EXPECT_EQ(obs::HistBucket(UINT64_MAX), 64u);
+}
+
+TEST(MetricsTest, HistDataRecordAndMerge) {
+  obs::HistData a;
+  a.Record(1);
+  a.Record(100);
+  obs::HistData b;
+  b.Record(7);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 108u);
+  EXPECT_EQ(a.min, 1u);
+  EXPECT_EQ(a.max, 100u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 36.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + scopes
+
+TEST(MetricsTest, CountsNothingWithoutScope) {
+  obs::MetricsRegistry registry;
+  obs::Count(obs::Counter::kVf2Calls);  // no scope installed: dropped
+  EXPECT_FALSE(obs::MetricsEnabled());
+  EXPECT_EQ(registry.Snapshot().counter(obs::Counter::kVf2Calls), 0u);
+}
+
+TEST(MetricsTest, ScopeInstallsAndRestores) {
+  if (!ObsCompiledIn()) GTEST_SKIP() << "built with CATAPULT_DISABLE_OBS";
+  obs::MetricsRegistry registry;
+  {
+    obs::ScopedMetricsScope scope(&registry);
+    EXPECT_TRUE(obs::MetricsEnabled());
+    obs::Count(obs::Counter::kVf2Calls, 3);
+    obs::SetGaugeMax(obs::Gauge::kPoolThreads, 7);
+    obs::SetGaugeMax(obs::Gauge::kPoolThreads, 2);  // below the watermark
+    obs::Observe(obs::Hist::kVf2NodesPerCall, 5);
+  }
+  EXPECT_FALSE(obs::MetricsEnabled());
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(snap.counter(obs::Counter::kVf2Calls), 3u);
+  EXPECT_EQ(snap.gauge(obs::Gauge::kPoolThreads), 7u);
+  EXPECT_EQ(snap.hist(obs::Hist::kVf2NodesPerCall).count, 1u);
+  EXPECT_EQ(snap.hist(obs::Hist::kVf2NodesPerCall).sum, 5u);
+}
+
+TEST(MetricsTest, NullRegistryScopeIsInert) {
+  obs::ScopedMetricsScope scope(nullptr);
+  EXPECT_FALSE(obs::MetricsEnabled());
+  obs::Count(obs::Counter::kVf2Calls);  // must not crash
+}
+
+TEST(MetricsTest, ShardsMergeAcrossPoolThreads) {
+  if (!ObsCompiledIn()) GTEST_SKIP() << "built with CATAPULT_DISABLE_OBS";
+  obs::MetricsRegistry registry;
+  ThreadPool pool(4);
+  obs::ScopedMetricsScope scope(&registry);
+  // 100 parallel items, each counting once and observing its index: the
+  // merged totals must be exact regardless of which worker ran which item.
+  pool.ParallelFor(
+      100, 1,
+      [](size_t i) {
+        obs::Count(obs::Counter::kWalkSteps);
+        obs::Observe(obs::Hist::kPcpEdges, i);
+      },
+      &registry);
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kWalkSteps), 100u);
+  EXPECT_EQ(snap.hist(obs::Hist::kPcpEdges).count, 100u);
+  EXPECT_EQ(snap.hist(obs::Hist::kPcpEdges).sum, 99u * 100u / 2);
+  EXPECT_EQ(snap.hist(obs::Hist::kPcpEdges).min, 0u);
+  EXPECT_EQ(snap.hist(obs::Hist::kPcpEdges).max, 99u);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  obs::MetricsRegistry registry;
+  {
+    obs::ScopedMetricsScope scope(&registry);
+    obs::Count(obs::Counter::kVf2Calls);
+  }
+  registry.Reset();
+  EXPECT_EQ(registry.Snapshot().counter(obs::Counter::kVf2Calls), 0u);
+}
+
+TEST(MetricsTest, EveryNameIsNonEmptyAndUnique) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    names.insert(obs::CounterName(static_cast<obs::Counter>(i)));
+  }
+  for (size_t i = 0; i < obs::kNumGauges; ++i) {
+    names.insert(obs::GaugeName(static_cast<obs::Gauge>(i)));
+  }
+  for (size_t i = 0; i < obs::kNumHists; ++i) {
+    names.insert(obs::HistName(static_cast<obs::Hist>(i)));
+  }
+  EXPECT_EQ(names.size(),
+            obs::kNumCounters + obs::kNumGauges + obs::kNumHists);
+  EXPECT_EQ(names.count(""), 0u);
+}
+
+TEST(MetricsTest, HumanSummarySkipsZerosByDefault) {
+  obs::MetricsSnapshot snap;
+  snap.enabled = true;
+  snap.counters[static_cast<size_t>(obs::Counter::kVf2Calls)] = 42;
+  std::string text = obs::HumanSummary(snap);
+  EXPECT_NE(text.find("vf2.calls"), std::string::npos);
+  EXPECT_EQ(text.find("ged.bipartite_calls"), std::string::npos);
+  std::string all = obs::HumanSummary(snap, /*include_zeros=*/true);
+  EXPECT_NE(all.find("ged.bipartite_calls"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Clock + tracer
+
+// Deterministic tick source: advances 1 microsecond per call.
+uint64_t g_test_ticks = 0;
+uint64_t TestTicks() { return g_test_ticks += 1000; }
+
+TEST(ClockTest, ScopedTickSourceInstallsAndRestores) {
+  g_test_ticks = 0;
+  {
+    obs::ScopedTickSourceForTest scoped(&TestTicks);
+    EXPECT_EQ(obs::NowNanos(), 1000u);
+    EXPECT_EQ(obs::NowNanos(), 2000u);
+    EXPECT_EQ(obs::NowMicros(), 3u);
+  }
+  // Default source restored: monotonic real time again.
+  uint64_t a = obs::NowNanos();
+  uint64_t b = obs::NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, WallTimerUsesInstalledSource) {
+  g_test_ticks = 0;
+  obs::ScopedTickSourceForTest scoped(&TestTicks);
+  WallTimer timer;                             // tick 1: start = 1000
+  EXPECT_DOUBLE_EQ(timer.ElapsedSeconds(), 1e-6);  // tick 2: 2000 - 1000
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 2e-3);   // tick 3
+}
+
+TEST(TracerTest, DeterministicSpanTree) {
+  g_test_ticks = 0;
+  obs::ScopedTickSourceForTest scoped(&TestTicks);
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsScope scope(&registry);
+  {
+    obs::Span root(&tracer, "run");  // opens at 1000
+    {
+      obs::Span child(&tracer, "phase", root.id());  // opens at 2000
+      obs::Count(obs::Counter::kVf2Calls, 5);
+      // child closes at 3000: dur 1000, delta vf2.calls=5
+    }
+    obs::Count(obs::Counter::kVf2Calls, 2);
+    // root closes at 4000: dur 3000, delta vf2.calls=7
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  std::string json = tracer.ToJson();
+  // Child emitted first (closed first); exact timestamps in microseconds.
+  // The per-span counter deltas appear only when instrumentation is
+  // compiled in.
+  std::string child_args = "{\"span_id\":2,\"parent_id\":1";
+  std::string root_args = "{\"span_id\":1,\"parent_id\":0";
+  if (ObsCompiledIn()) {
+    child_args += ",\"vf2.calls\":5";
+    root_args += ",\"vf2.calls\":7";
+  }
+  EXPECT_NE(json.find("{\"name\":\"phase\",\"cat\":\"catapult\",\"ph\":\"X\","
+                      "\"ts\":2,\"dur\":1,\"pid\":1,\"tid\":0,\"args\":" +
+                      child_args + "}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"run\",\"cat\":\"catapult\",\"ph\":\"X\","
+                      "\"ts\":1,\"dur\":3,\"pid\":1,\"tid\":0,\"args\":" +
+                      root_args + "}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TracerTest, InertSpanDoesNothing) {
+  obs::Span span(nullptr, "nothing");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.Close();  // must not crash
+}
+
+TEST(TracerTest, CloseIsIdempotent) {
+  obs::Tracer tracer;
+  obs::Span span(&tracer, "once");
+  span.Close();
+  span.Close();
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: report schema and the no-effect-on-results contract
+
+CatapultOptions FastOptions() {
+  CatapultOptions options;
+  options.selector.budget = {.eta_min = 3, .eta_max = 6, .gamma = 8};
+  options.selector.walks_per_candidate = 10;
+  options.clustering.max_cluster_size = 12;
+  options.clustering.fine_mcs.node_budget = 3000;
+  options.seed = 99;
+  return options;
+}
+
+GraphDatabase SmallDb(uint64_t seed = 31, size_t n = 60) {
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = n;
+  gen.min_vertices = 8;
+  gen.max_vertices = 18;
+  gen.seed = seed;
+  return GenerateMoleculeDatabase(gen);
+}
+
+void ExpectIdenticalResults(const CatapultResult& a, const CatapultResult& b) {
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i], b.clusters[i]) << "cluster " << i;
+  }
+  ASSERT_EQ(a.selection.patterns.size(), b.selection.patterns.size());
+  for (size_t i = 0; i < a.selection.patterns.size(); ++i) {
+    const SelectedPattern& pa = a.selection.patterns[i];
+    const SelectedPattern& pb = b.selection.patterns[i];
+    EXPECT_TRUE(StructurallyEqual(pa.graph, pb.graph)) << "pattern " << i;
+    EXPECT_EQ(pa.score, pb.score) << "pattern " << i;
+    EXPECT_EQ(pa.ccov, pb.ccov) << "pattern " << i;
+    EXPECT_EQ(pa.lcov, pb.lcov) << "pattern " << i;
+    EXPECT_EQ(pa.div, pb.div) << "pattern " << i;
+  }
+}
+
+std::string ObsScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "catapult_obs_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+                    "_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The tentpole contract: attaching a registry and a tracer changes neither
+// the patterns nor the checkpoint bytes, at 1 and at 4 threads.
+TEST(ObsPipelineTest, ObservabilityDoesNotChangeResults) {
+  GraphDatabase db = SmallDb();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(threads);
+    CatapultOptions plain_options = FastOptions();
+    plain_options.threads = threads;
+    plain_options.checkpoint_dir = ObsScratchDir(
+        "plain" + std::to_string(threads));
+    CatapultResult plain = RunCatapult(db, plain_options);
+    ASSERT_FALSE(plain.selection.patterns.empty());
+    EXPECT_FALSE(plain.execution.metrics.enabled);
+
+    CatapultOptions observed_options = FastOptions();
+    observed_options.threads = threads;
+    observed_options.checkpoint_dir = ObsScratchDir(
+        "observed" + std::to_string(threads));
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    RunContext ctx =
+        RunContext::NoLimit().WithObservability(&registry, &tracer);
+    CatapultResult observed = RunCatapult(db, observed_options, ctx);
+
+    ExpectIdenticalResults(plain, observed);
+    for (const char* file :
+         {"clustering.ckpt", "csgs.ckpt", "selection.ckpt"}) {
+      std::string a = plain_options.checkpoint_dir + "/" + file;
+      std::string b = observed_options.checkpoint_dir + "/" + file;
+      ASSERT_TRUE(std::filesystem::exists(a)) << a;
+      ASSERT_TRUE(std::filesystem::exists(b)) << b;
+      EXPECT_EQ(FileBytes(a), FileBytes(b)) << file << " differs";
+    }
+    // And the instrumentation did observe the run (unless compiled out, in
+    // which case only the zero-effect half of the contract applies).
+    if (ObsCompiledIn()) {
+      obs::MetricsSnapshot snap = observed.execution.metrics;
+      EXPECT_TRUE(snap.enabled);
+      EXPECT_GT(snap.counter(obs::Counter::kVf2Calls), 0u);
+      EXPECT_GT(snap.counter(obs::Counter::kWalkSteps), 0u);
+      EXPECT_GT(snap.counter(obs::Counter::kCsgFolds), 0u);
+      EXPECT_GT(snap.counter(obs::Counter::kCheckpointRecordsWritten), 0u);
+      EXPECT_EQ(snap.gauge(obs::Gauge::kPoolThreads), threads);
+      EXPECT_GT(tracer.event_count(), 0u);
+    }
+
+    std::filesystem::remove_all(plain_options.checkpoint_dir);
+    std::filesystem::remove_all(observed_options.checkpoint_dir);
+  }
+}
+
+// Counter totals are thread-count independent: the work performed is
+// deterministic, and the shard merge is commutative.
+TEST(ObsPipelineTest, CounterTotalsAreThreadCountInvariant) {
+  GraphDatabase db = SmallDb();
+  obs::MetricsSnapshot snaps[2];
+  size_t idx = 0;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    CatapultOptions options = FastOptions();
+    options.threads = threads;
+    obs::MetricsRegistry registry;
+    RunContext ctx =
+        RunContext::NoLimit().WithObservability(&registry, nullptr);
+    snaps[idx++] = RunCatapult(db, options, ctx).execution.metrics;
+  }
+  EXPECT_EQ(snaps[0].counters, snaps[1].counters);
+  for (size_t h = 0; h < obs::kNumHists; ++h) {
+    SCOPED_TRACE(obs::HistName(static_cast<obs::Hist>(h)));
+    EXPECT_EQ(snaps[0].hists[h].count, snaps[1].hists[h].count);
+    EXPECT_EQ(snaps[0].hists[h].sum, snaps[1].hists[h].sum);
+    EXPECT_EQ(snaps[0].hists[h].buckets, snaps[1].hists[h].buckets);
+  }
+}
+
+// Minimal structural JSON validation: balanced containers outside strings,
+// correct escaping inside them. Catches the classes of breakage a schema
+// change could introduce without pulling in a parser.
+void ExpectStructurallyValidJson(const std::string& json) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else {
+        ASSERT_GE(static_cast<unsigned char>(c), 0x20)
+            << "raw control character inside string";
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{');
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[');
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_TRUE(stack.empty());
+}
+
+// Golden schema test: every documented key of the selection report is
+// present, including the new metrics section with every counter name.
+TEST(ObsPipelineTest, SelectionReportSchemaIncludesMetrics) {
+  GraphDatabase db = SmallDb();
+  CatapultOptions options = FastOptions();
+  obs::MetricsRegistry registry;
+  RunContext ctx =
+      RunContext::NoLimit().WithObservability(&registry, nullptr);
+  CatapultResult result = RunCatapult(db, options, ctx);
+  ASSERT_FALSE(result.selection.patterns.empty());
+  std::string json = SelectionReportJson(result, db.labels());
+  ExpectStructurallyValidJson(json);
+  for (const char* key :
+       {"\"database\"", "\"graphs\"", "\"clusters\"", "\"timings\"",
+        "\"clustering_s\"", "\"csg_s\"", "\"selection_s\"", "\"metrics\"",
+        "\"enabled\": true", "\"counters\"", "\"gauges\"", "\"histograms\"",
+        "\"patterns\"", "\"id\"", "\"score\"", "\"ccov\"", "\"lcov\"",
+        "\"div\"", "\"cog\"", "\"vertices\"", "\"label\"", "\"edges\"",
+        "\"u\"", "\"v\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Every metric name is present even when its value is zero.
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    std::string quoted =
+        std::string("\"") + obs::CounterName(static_cast<obs::Counter>(i)) +
+        "\"";
+    EXPECT_NE(json.find(quoted), std::string::npos) << "missing " << quoted;
+  }
+}
+
+TEST(ObsPipelineTest, ReportWithoutRegistryHasDisabledMetrics) {
+  CatapultResult empty;
+  LabelMap labels;
+  std::string json = SelectionReportJson(empty, labels);
+  ExpectStructurallyValidJson(json);
+  EXPECT_NE(json.find("\"enabled\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace catapult
