@@ -5,6 +5,7 @@
 //       Write a synthetic molecule-like database in gSpan text format.
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
 //        [--seed S] [--sampling] [--deadline-ms MS] [--threads N]
+//        [--processes N] [--max-shard-retries N]
 //        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
 //        [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
 //        [--mem-budget-mb MB] [--strict-parse]
@@ -29,6 +30,12 @@
 //       --threads N runs the parallel phases on N threads (0 = hardware
 //       concurrency; default 1): the output is bit-identical at any thread
 //       count for the same seed.
+//       --processes N shards the fine-clustering/CSG phases across N
+//       supervised worker processes (DESIGN.md Section 12); crashed or hung
+//       workers are retried under capped exponential backoff, up to
+//       --max-shard-retries failures per shard before the shard is
+//       quarantined and executed in-process. Output stays bit-identical to
+//       a single-process run for the same seed.
 //       Observability (DESIGN.md Section 11): --trace-out writes a Chrome
 //       trace-event JSON file of the run's phase spans (open it in
 //       chrome://tracing or https://ui.perfetto.dev), --metrics-out writes
@@ -43,8 +50,21 @@
 //       Extract a random connected substructure of graph I and run the
 //       subgraph search engine over the database.
 //
-// Exit status: 0 on success, 1 on usage/IO errors.
+// Exit status — one code per failure class so scripts can branch on what
+// went wrong without scraping stderr:
+//   0  success
+//   1  usage or I/O error (bad flags, unreadable/unwritable files)
+//   2  database parse error (malformed input, or nothing ingested)
+//   3  invalid pipeline options (ValidateCatapultOptions rejected them)
+//   4  memory budget hard breach (degraded patterns were still written)
+//   5  deadline expiry degraded the result (partial patterns written)
+//   6  sharded execution quarantined at least one shard (patterns written;
+//      bit-identical, but the process-level fault tolerance was exhausted)
+//   130  interrupted by SIGINT/SIGTERM (partial report printed)
+// Codes 4-6 still write the output pattern file before exiting nonzero:
+// the result is valid, the code only flags how it was obtained.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +87,33 @@
 namespace {
 
 using namespace catapult;
+
+// Exit codes (see the header comment).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitParseError = 2;
+constexpr int kExitOptionsError = 3;
+constexpr int kExitResourceBreach = 4;
+constexpr int kExitDeadlineDegraded = 5;
+constexpr int kExitShardQuarantine = 6;
+constexpr int kExitInterrupted = 130;  // shell convention: 128 + SIGINT
+
+// Graceful shutdown: SIGINT/SIGTERM trip the run's cancellation token, the
+// pipeline winds down cooperatively (workers reaped, partial results
+// returned), and the driver still prints its report before exiting 130.
+// The handler only stores into pre-constructed atomics — async-signal-safe.
+CancelToken g_cancel_token;                     // shared with the run context
+std::sig_atomic_t volatile g_signal_received = 0;
+
+extern "C" void HandleShutdownSignal(int signum) {
+  g_signal_received = signum;
+  g_cancel_token.Cancel();
+}
+
+void InstallShutdownHandlers() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
 
 // Minimal flag parser: --name value pairs after the subcommand.
 class Flags {
@@ -113,10 +160,12 @@ int Usage() {
 
 // Reads a database under `options`, printing the parse diagnostics (file,
 // line, graph index, reason) on failure and the quarantine/memory summary
-// when anything was skipped or ingestion stopped early.
+// when anything was skipped or ingestion stopped early. On failure
+// `exit_code` (when given) distinguishes malformed content (kExitParseError)
+// from plain I/O trouble (kExitUsage).
 std::optional<GraphDatabase> ReadDatabaseOrComplain(
     const std::string& path, const IngestOptions& options,
-    IngestReport* report = nullptr) {
+    IngestReport* report = nullptr, int* exit_code = nullptr) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   ParseError error;
@@ -126,10 +175,12 @@ std::optional<GraphDatabase> ReadDatabaseOrComplain(
       std::fprintf(stderr, "%s:%zu: parse error in graph %zu: %s\n",
                    path.c_str(), error.line, error.graph_index,
                    error.message.c_str());
+      if (exit_code != nullptr) *exit_code = kExitParseError;
     } else {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    error.message.empty() ? "cannot read"
                                          : error.message.c_str());
+      if (exit_code != nullptr) *exit_code = kExitUsage;
     }
     return db;
   }
@@ -141,6 +192,7 @@ std::optional<GraphDatabase> ReadDatabaseOrComplain(
   // is useless to every subcommand — treat it as the error it is.
   if (db->size() == 0) {
     std::fprintf(stderr, "%s: no graphs ingested\n", path.c_str());
+    if (exit_code != nullptr) *exit_code = kExitParseError;
     return std::nullopt;
   }
   return db;
@@ -192,8 +244,10 @@ int CmdMine(const Flags& flags) {
   if (!db_path || !out) return Usage();
   IngestOptions ingest = IngestOptionsFromFlags(flags);
   IngestReport ingest_report;
-  auto db = ReadDatabaseOrComplain(*db_path, ingest, &ingest_report);
-  if (!db) return 1;
+  int read_exit = kExitUsage;
+  auto db = ReadDatabaseOrComplain(*db_path, ingest, &ingest_report,
+                                   &read_exit);
+  if (!db) return read_exit;
   CatapultOptions options;
   options.ingest_digest = ingest_report.quarantine_digest;
   long mem_budget_mb = flags.GetInt("mem-budget-mb", 0);
@@ -217,6 +271,10 @@ int CmdMine(const Flags& flags) {
   options.clustering.fine_mcs.node_budget = 5000;
   options.use_sampling = flags.GetBool("sampling");
   options.deadline_ms = static_cast<double>(flags.GetInt("deadline-ms", 0));
+  options.processes = static_cast<size_t>(flags.GetInt("processes", 0));
+  options.max_shard_retries = static_cast<size_t>(
+      flags.GetInt("max-shard-retries",
+                   static_cast<long>(options.max_shard_retries)));
   if (auto dir = flags.Get("checkpoint-dir")) options.checkpoint_dir = *dir;
   options.resume = flags.GetBool("resume");
   options.checkpoint_every_phase =
@@ -230,15 +288,19 @@ int CmdMine(const Flags& flags) {
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   bool observe = trace_out || metrics_out || print_stats;
-  RunContext ctx = RunContext::NoLimit().WithObservability(
-      observe ? &registry : nullptr, trace_out ? &tracer : nullptr);
+  // The run shares the process-wide cancellation token so SIGINT/SIGTERM
+  // wind it down cooperatively (see InstallShutdownHandlers).
+  RunContext ctx =
+      RunContext(Deadline::Infinite(), g_cancel_token)
+          .WithObservability(observe ? &registry : nullptr,
+                             trace_out ? &tracer : nullptr);
   CatapultResult result = RunCatapult(*db, options, ctx);
   if (!result.ok()) {
     for (const OptionsError& e : result.option_errors) {
       std::fprintf(stderr, "invalid option %s: %s\n", e.field.c_str(),
                    e.message.c_str());
     }
-    return 1;
+    return kExitOptionsError;
   }
 
   GraphDatabase panel;
@@ -294,6 +356,24 @@ int CmdMine(const Flags& flags) {
   for (const CheckpointEvent& event : exec.checkpoint_events) {
     std::printf("  %s\n", ToString(event).c_str());
   }
+  if (exec.dist.enabled) {
+    const dist::DistReport& d = exec.dist;
+    std::printf(
+        "sharded: %zu shards on %zu processes; spawned=%zu deaths=%zu "
+        "hangs=%zu retries=%zu backoff=%.0fms quarantined=%zu "
+        "fallbacks=%zu\n",
+        d.shards, d.processes, d.workers_spawned, d.worker_deaths,
+        d.worker_hangs, d.shard_retries, d.backoff_total_ms,
+        d.quarantined_shards, d.inprocess_fallbacks);
+    // The full event log only matters when supervision actually had to act.
+    if (d.worker_deaths + d.worker_hangs + d.shard_retries +
+            d.quarantined_shards >
+        0) {
+      for (const dist::ShardEvent& event : d.events) {
+        std::printf("  %s\n", dist::ToString(event).c_str());
+      }
+    }
+  }
   if (trace_out) {
     if (tracer.WriteFile(*trace_out)) {
       std::fprintf(stderr, "trace: %zu spans -> %s\n", tracer.event_count(),
@@ -325,18 +405,31 @@ int CmdMine(const Flags& flags) {
                  static_cast<double>(exec.mem_peak_bytes) / (1 << 20),
                  exec.mem_hard_breached ? " [hard limit breached]" : "");
   }
-  return 0;
+  // Failure-class exit code, most severe first. The output file and every
+  // report above were already written: the code flags *how* the patterns
+  // were obtained, not whether they exist.
+  if (g_signal_received != 0) {
+    std::fprintf(stderr, "interrupted by signal %d; partial results written\n",
+                 static_cast<int>(g_signal_received));
+    return kExitInterrupted;
+  }
+  if (exec.mem_hard_breached) return kExitResourceBreach;
+  if (exec.dist.quarantined_shards > 0) return kExitShardQuarantine;
+  if (exec.deadline_set && exec.Degraded()) return kExitDeadlineDegraded;
+  return kExitOk;
 }
 
 int CmdEvaluate(const Flags& flags) {
   auto db_path = flags.Get("db");
   auto patterns_path = flags.Get("patterns");
   if (!db_path || !patterns_path) return Usage();
-  auto db = ReadDatabaseOrComplain(*db_path, IngestOptionsFromFlags(flags));
-  if (!db) return 1;
-  auto patterns =
-      ReadDatabaseOrComplain(*patterns_path, IngestOptionsFromFlags(flags));
-  if (!patterns) return 1;
+  int read_exit = kExitUsage;
+  auto db = ReadDatabaseOrComplain(*db_path, IngestOptionsFromFlags(flags),
+                                   nullptr, &read_exit);
+  if (!db) return read_exit;
+  auto patterns = ReadDatabaseOrComplain(
+      *patterns_path, IngestOptionsFromFlags(flags), nullptr, &read_exit);
+  if (!patterns) return read_exit;
   QueryWorkloadOptions wl;
   wl.count = static_cast<size_t>(flags.GetInt("queries", 100));
   wl.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
@@ -358,8 +451,10 @@ int CmdEvaluate(const Flags& flags) {
 int CmdSearch(const Flags& flags) {
   auto db_path = flags.Get("db");
   if (!db_path) return Usage();
-  auto db = ReadDatabaseOrComplain(*db_path, IngestOptionsFromFlags(flags));
-  if (!db) return 1;
+  int read_exit = kExitUsage;
+  auto db = ReadDatabaseOrComplain(*db_path, IngestOptionsFromFlags(flags),
+                                   nullptr, &read_exit);
+  if (!db) return read_exit;
   GraphId source = static_cast<GraphId>(flags.GetInt("query-id", 0));
   if (source >= db->size()) {
     std::fprintf(stderr, "query-id out of range\n");
@@ -383,6 +478,7 @@ int CmdSearch(const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  InstallShutdownHandlers();
   Flags flags(argc, argv, 2);
   std::string command = argv[1];
   if (command == "generate") return CmdGenerate(flags);

@@ -149,4 +149,54 @@ std::vector<std::vector<GraphId>> FineCluster(
   return done;
 }
 
+std::vector<RngState> SplitFineStreams(Rng& rng, size_t count) {
+  std::vector<RngState> streams;
+  streams.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    streams.push_back(rng.Split().SaveState());
+  }
+  return streams;
+}
+
+std::vector<std::vector<GraphId>> FineClusterOne(
+    const GraphDatabase& db, std::vector<GraphId> cluster,
+    const FineClusteringOptions& options, const RngState& stream,
+    const RunContext& ctx, bool* complete) {
+  Rng child(0);
+  child.RestoreState(stream);
+  std::vector<std::vector<GraphId>> one;
+  one.push_back(std::move(cluster));
+  // Inline (pool-less) context: FineClusterOne is itself the unit callers
+  // parallelise over, so its internal rounds must not re-enter the pool.
+  return FineCluster(db, std::move(one), options, child,
+                     ctx.WithPool(nullptr), complete);
+}
+
+std::vector<std::vector<GraphId>> FineClusterPerCluster(
+    const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
+    const FineClusteringOptions& options, Rng& rng, const RunContext& ctx,
+    bool* complete) {
+  if (complete != nullptr) *complete = true;
+  // One stream per input cluster, small ones included: the draw count must
+  // be a function of the coarse partition alone (not of which clusters turn
+  // out to need splitting) so the parent stream's position after this stage
+  // is identical in-process and across any shard assignment.
+  std::vector<RngState> streams = SplitFineStreams(rng, clusters.size());
+  std::vector<std::vector<std::vector<GraphId>>> parts(clusters.size());
+  std::vector<uint8_t> part_complete(clusters.size(), 1);
+  ParallelFor(ctx, clusters.size(), 1, [&](size_t c) {
+    if (clusters[c].empty()) return;
+    bool ok = true;
+    parts[c] = FineClusterOne(db, std::move(clusters[c]), options, streams[c],
+                              ctx, &ok);
+    part_complete[c] = ok ? 1 : 0;
+  });
+  std::vector<std::vector<GraphId>> done;
+  for (size_t c = 0; c < parts.size(); ++c) {
+    if (part_complete[c] == 0 && complete != nullptr) *complete = false;
+    for (auto& part : parts[c]) done.push_back(std::move(part));
+  }
+  return done;
+}
+
 }  // namespace catapult

@@ -43,6 +43,41 @@ std::vector<std::vector<GraphId>> FineCluster(
     const FineClusteringOptions& options, Rng& rng, const RunContext& ctx,
     bool* complete = nullptr);
 
+// --- Per-cluster decomposition ---------------------------------------------
+//
+// The sharded executor (src/dist/) partitions the coarse clusters across
+// worker processes, so each coarse cluster's fine splitting must be an
+// independent unit of work: it consumes a private pre-split rng stream and
+// nothing else. The in-process pipeline uses the same decomposition (one
+// child stream per coarse cluster, drawn from the parent in cluster order,
+// results concatenated in cluster order), which is what makes a P-process
+// run bit-identical to the 1-process run — both sides compute exactly
+// FineClusterOne(cluster[i], stream[i]) for every i.
+
+// Pre-splits one child stream per coarse cluster: consumes exactly `count`
+// draws from `rng`, in order. streams[i] seeds the fine splitting of
+// cluster i regardless of which process or thread executes it.
+std::vector<RngState> SplitFineStreams(Rng& rng, size_t count);
+
+// Fine clustering of one coarse cluster under its pre-split stream. Returns
+// a partition of `cluster` (clusters at or below max_cluster_size where the
+// deadline allowed). `complete` reports whether every oversized part was
+// split. Runs inline — no pool use — so callers may invoke it from inside
+// their own parallel regions.
+std::vector<std::vector<GraphId>> FineClusterOne(
+    const GraphDatabase& db, std::vector<GraphId> cluster,
+    const FineClusteringOptions& options, const RngState& stream,
+    const RunContext& ctx, bool* complete = nullptr);
+
+// Per-cluster fine clustering of a whole coarse partition: pre-splits the
+// streams, runs FineClusterOne per cluster on the context's pool, and
+// concatenates the results in cluster order (empty input clusters are
+// dropped). `complete` is the conjunction of the per-cluster flags.
+std::vector<std::vector<GraphId>> FineClusterPerCluster(
+    const GraphDatabase& db, std::vector<std::vector<GraphId>> clusters,
+    const FineClusteringOptions& options, Rng& rng, const RunContext& ctx,
+    bool* complete = nullptr);
+
 }  // namespace catapult
 
 #endif  // CATAPULT_CLUSTER_FINE_CLUSTERING_H_

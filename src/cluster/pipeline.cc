@@ -19,7 +19,7 @@ ClusteringResult SmallGraphClustering(
                               RunContext::NoLimit());
 }
 
-ClusteringResult SmallGraphClustering(
+ClusteringResult CoarseClusteringStage(
     const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
     const SmallGraphClusteringOptions& options, Rng& rng,
     const RunContext& ctx) {
@@ -105,11 +105,14 @@ ClusteringResult SmallGraphClustering(
     result.coarse_seconds = coarse_timer.ElapsedSeconds();
   }
 
-  if (options.mode == ClusteringMode::kCoarseOnly) {
-    result.clusters = std::move(coarse_clusters);
-    return result;
-  }
+  result.clusters = std::move(coarse_clusters);
+  return result;
+}
 
+void FineClusteringStage(const GraphDatabase& db,
+                         const SmallGraphClusteringOptions& options,
+                         ClusteringResult* result, Rng& rng,
+                         const RunContext& ctx) {
   // --- Fine clustering (Algorithm 3) ---
   WallTimer fine_timer;
   obs::Span fine_span(ctx.tracer(), "clustering.fine");
@@ -117,17 +120,31 @@ ClusteringResult SmallGraphClustering(
     // Soft-limit pressure: fine splitting is optional refinement (its MCS
     // working sets grow quadratically in cluster size), so shed it and keep
     // the coarse partition — the degradation ladder's coarse-only rung.
-    result.fine_complete = false;
-    result.clusters = std::move(coarse_clusters);
-    result.fine_seconds = fine_timer.ElapsedSeconds();
-    return result;
+    // Shedding happens before any stream is split, so the parent stream's
+    // position stays a function of the pressure decision alone.
+    result->fine_complete = false;
+    result->fine_seconds = fine_timer.ElapsedSeconds();
+    return;
   }
   FineClusteringOptions fine;
   fine.max_cluster_size = options.max_cluster_size;
   fine.mcs = options.fine_mcs;
-  result.clusters = FineCluster(db, std::move(coarse_clusters), fine, rng,
-                                ctx, &result.fine_complete);
-  result.fine_seconds = fine_timer.ElapsedSeconds();
+  result->clusters =
+      FineClusterPerCluster(db, std::move(result->clusters), fine, rng, ctx,
+                            &result->fine_complete);
+  result->fine_seconds = fine_timer.ElapsedSeconds();
+}
+
+ClusteringResult SmallGraphClustering(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SmallGraphClusteringOptions& options, Rng& rng,
+    const RunContext& ctx) {
+  ClusteringResult result =
+      CoarseClusteringStage(db, graph_ids, options, rng, ctx);
+  if (graph_ids.empty() || options.mode == ClusteringMode::kCoarseOnly) {
+    return result;
+  }
+  FineClusteringStage(db, options, &result, rng, ctx);
   return result;
 }
 

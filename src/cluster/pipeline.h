@@ -68,6 +68,28 @@ struct ClusteringResult {
   }
 };
 
+// The stages of SmallGraphClustering before fine splitting: mining +
+// facility selection + coarse partitioning (kFineOnly skips both and seeds
+// one all-graphs cluster). `result.clusters` holds the coarse partition;
+// the fine_* fields are untouched. Exposed separately so the sharded
+// executor (src/dist/) can run the coarse stage in the supervisor process
+// and partition the fine stage across workers.
+ClusteringResult CoarseClusteringStage(
+    const GraphDatabase& db, const std::vector<GraphId>& graph_ids,
+    const SmallGraphClusteringOptions& options, Rng& rng,
+    const RunContext& ctx);
+
+// The fine stage over `result->clusters` (the coarse partition): under
+// memory soft pressure the stage is shed (coarse partition kept,
+// fine_complete=false); otherwise each coarse cluster is split under its
+// own pre-split child stream (FineClusterPerCluster) so the output — and
+// the parent stream's position — is identical for any thread count and any
+// shard assignment.
+void FineClusteringStage(const GraphDatabase& db,
+                         const SmallGraphClusteringOptions& options,
+                         ClusteringResult* result, Rng& rng,
+                         const RunContext& ctx);
+
 // Runs the small graph clustering phase over the graphs in `graph_ids`
 // (typically all of `db`, or an eagerly sampled subset). Deterministic given
 // `rng`.

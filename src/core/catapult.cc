@@ -10,6 +10,7 @@
 
 #include "src/cluster/feature_vectors.h"
 #include "src/cluster/kmeans.h"
+#include "src/dist/supervisor.h"
 #include "src/obs/clock.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -60,11 +61,13 @@ size_t ResolveThreadCount(size_t configured) {
   return 1;
 }
 
-// Sampling-mode clustering (Section 4.3): features are mined on the eager
-// sample at a lowered threshold and re-verified on the full database;
+// Sampling-mode coarse stages (Section 4.3): features are mined on the
+// eager sample at a lowered threshold and re-verified on the full database;
 // coarse clustering covers the full database; oversized coarse clusters are
-// lazily down-sampled before fine clustering.
-ClusteringResult ClusterWithSampling(const GraphDatabase& db,
+// lazily down-sampled. The returned result's `clusters` hold the sampled
+// coarse partition — the shared fine stage (FineClusteringStage, in-process
+// or sharded) runs on top of it.
+ClusteringResult SamplingCoarseStage(const GraphDatabase& db,
                                      const CatapultOptions& options,
                                      Rng& rng, const RunContext& ctx) {
   ClusteringResult result;
@@ -166,17 +169,21 @@ ClusteringResult ClusterWithSampling(const GraphDatabase& db,
   }
   result.coarse_seconds = coarse_timer.ElapsedSeconds();
 
-  // Lazy sampling of oversized clusters, then fine clustering.
-  WallTimer fine_timer;
-  std::vector<std::vector<GraphId>> sampled =
-      LazySampleClusters(coarse, db.size(), options.lazy, rng);
-  FineClusteringOptions fine;
-  fine.max_cluster_size = options.clustering.max_cluster_size;
-  fine.mcs = options.clustering.fine_mcs;
-  result.clusters = FineCluster(db, std::move(sampled), fine, rng, ctx,
-                                &result.fine_complete);
-  result.fine_seconds = fine_timer.ElapsedSeconds();
+  // Lazy sampling of oversized clusters; fine clustering is the caller's.
+  result.clusters = LazySampleClusters(coarse, db.size(), options.lazy, rng);
   return result;
+}
+
+// The coarse stages of the clustering phase under either mining path. What
+// remains afterwards — fine splitting and CSG folding — is exactly the work
+// the sharded executor partitions across worker processes.
+ClusteringResult RunCoarseStages(const GraphDatabase& db,
+                                 const CatapultOptions& options, Rng& rng,
+                                 const RunContext& ctx) {
+  if (options.use_sampling) return SamplingCoarseStage(db, options, rng, ctx);
+  std::vector<GraphId> all(db.size());
+  for (GraphId i = 0; i < db.size(); ++i) all[i] = i;
+  return CoarseClusteringStage(db, all, options.clustering, rng, ctx);
 }
 
 }  // namespace
@@ -277,6 +284,25 @@ std::vector<OptionsError> ValidateCatapultOptions(
   if (options.resume && options.checkpoint_dir.empty()) {
     Err("resume", "requires checkpoint_dir to be set");
   }
+  if (options.processes > 64) {
+    Err("processes", "must not exceed 64");
+  }
+  if (options.max_shard_retries > 16) {
+    Err("max_shard_retries", "must not exceed 16");
+  }
+  if (!(options.shard_heartbeat_timeout_ms > 0.0) ||
+      !std::isfinite(options.shard_heartbeat_timeout_ms)) {
+    Err("shard_heartbeat_timeout_ms", "must be positive and finite");
+  }
+  if (!(options.shard_backoff_base_ms >= 0.0) ||
+      !std::isfinite(options.shard_backoff_base_ms)) {
+    Err("shard_backoff_base_ms", "must be finite and non-negative");
+  }
+  if (!(options.shard_backoff_cap_ms >= options.shard_backoff_base_ms) ||
+      !std::isfinite(options.shard_backoff_cap_ms)) {
+    Err("shard_backoff_cap_ms",
+        "must be finite and at least shard_backoff_base_ms");
+  }
   if (options.mem_soft_limit_bytes != 0 && options.mem_hard_limit_bytes != 0 &&
       options.mem_soft_limit_bytes > options.mem_hard_limit_bytes) {
     Err("mem_soft_limit_bytes", "must not exceed mem_hard_limit_bytes");
@@ -329,6 +355,11 @@ uint64_t ConfigFingerprint(const CatapultOptions& options,
   fp.MixDouble(options.lazy.z);
   fp.MixDouble(options.lazy.e);
   fp.Mix(options.lazy.min_cluster_size_to_sample);
+
+  // `processes` and the supervision knobs (retries, heartbeat, backoff) are
+  // excluded for the same reason as `threads`: shard boundaries and retry
+  // timing never affect the output, so checkpoints resume across process
+  // counts.
 
   // The ingestion quarantine digest: database ids are dense over the
   // *kept* graphs, so two ingestions of the same file that quarantined
@@ -392,13 +423,23 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   // options don't ask for a specific count; otherwise the run owns a pool
   // sized by options.threads (a 1-thread pool spawns no threads and executes
   // inline, so the default path stays exactly sequential).
+  //
+  // Sharded mode (processes > 1) forces a 1-thread supervisor pool instead:
+  // forking a multithreaded process is undefined behaviour territory (only
+  // the forking thread survives in the child), so the supervisor stays
+  // single-threaded until every fork is behind it; each worker builds its
+  // own `threads`-sized pool after the fork, and selection swaps in a real
+  // pool once the sharded phase is over.
+  const bool dist_mode = options.processes > 1;
   std::unique_ptr<ThreadPool> owned_pool;
-  if (run_ctx.pool() == nullptr || options.threads != 0) {
+  if (dist_mode) {
+    owned_pool = std::make_unique<ThreadPool>(1);
+    run_ctx = run_ctx.WithPool(owned_pool.get());
+  } else if (run_ctx.pool() == nullptr || options.threads != 0) {
     owned_pool =
         std::make_unique<ThreadPool>(ResolveThreadCount(options.threads));
     run_ctx = run_ctx.WithPool(owned_pool.get());
   }
-  ThreadPool& pool = *run_ctx.pool();
   const MemoryBudget& memory = run_ctx.memory();
   // Observability: install the calling thread's metrics shard for the whole
   // run (worker threads install theirs per parallel region inside the
@@ -407,22 +448,32 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   // traced run stays bit-identical to an untraced one.
   obs::ScopedMetricsScope metrics_scope(run_ctx.metrics());
   obs::Span run_span(run_ctx.tracer(), "catapult.run");
-  obs::SetGaugeMax(obs::Gauge::kPoolThreads, pool.num_threads());
+  obs::SetGaugeMax(obs::Gauge::kPoolThreads, run_ctx.pool()->num_threads());
   ExecutionReport& exec = result.execution;
   exec.deadline_set = !run_ctx.Unlimited();
-  exec.threads = pool.num_threads();
+  // In sharded mode the supervisor pool is deliberately 1-thread; report
+  // the worker-side thread count, which is what sizes the actual compute.
+  exec.threads = dist_mode ? ResolveThreadCount(options.threads)
+                           : run_ctx.pool()->num_threads();
   exec.mem_budget_set = memory.limited();
   exec.mem_soft_limit = memory.soft_limit();
   exec.mem_hard_limit = memory.hard_limit();
   // Aggregates each phase's pool activity into its PhaseParallelStats.
-  auto FinishPhase = [&pool](const ThreadPool::Stats& before, double wall,
-                             PhaseParallelStats& out) {
-    ThreadPool::Stats after = pool.stats();
+  // Reads the pool through run_ctx: sharded runs swap in a fresh pool for
+  // selection, and stats baselines always come from the then-active pool.
+  auto FinishPhase = [&run_ctx](const ThreadPool::Stats& before, double wall,
+                                PhaseParallelStats& out) {
+    ThreadPool::Stats after = run_ctx.pool()->stats();
     out.wall_seconds = wall;
     out.busy_seconds = after.busy_seconds - before.busy_seconds;
     out.parallel_items = after.items - before.items;
   };
   Rng rng(options.seed);
+
+  // Computed once for both the checkpoint store and the shard artifacts.
+  const bool need_fingerprint = !options.checkpoint_dir.empty() || dist_mode;
+  const uint64_t fingerprint =
+      need_fingerprint ? ConfigFingerprint(options, db) : 0;
 
   // Durability: open the checkpoint store and, when resuming, restore the
   // longest valid phase chain (recovery ladder; DESIGN.md Section 8). Every
@@ -431,7 +482,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   CheckpointStore::Recovery recovery;
   if (!options.checkpoint_dir.empty()) {
     store = std::make_unique<CheckpointStore>(options.checkpoint_dir,
-                                              ConfigFingerprint(options, db));
+                                              fingerprint);
     if (options.resume) {
       recovery = store->Recover(db, options.selector.budget);
       for (CheckpointEvent& event : recovery.events) {
@@ -458,9 +509,16 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   // time. Span objects are inert (and free) when the context has no tracer.
   std::optional<obs::Span> phase_span;
 
+  // Sharded mode computes CSGs inside the clustering phase's sharded
+  // executor (fine clustering + folding are one unit of per-cluster work);
+  // the CSG phase then adopts them instead of re-folding.
+  std::vector<ClusterSummaryGraph> dist_csgs;
+  size_t dist_degraded_csgs = 0;
+  bool have_dist_csgs = false;
+
   // --- Clustering ---
   WallTimer clustering_timer;
-  ThreadPool::Stats clustering_pool_stats = pool.stats();
+  ThreadPool::Stats clustering_pool_stats = run_ctx.pool()->stats();
   phase_span.emplace(run_ctx.tracer(), "clustering", run_span.id());
   if (recovery.clustering.has_value()) {
     result.clusters = std::move(recovery.clustering->clusters);
@@ -479,10 +537,46 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     // honours the overall deadline (a slice can never exceed it).
     RunContext clustering_ctx = run_ctx.Slice(options.clustering_time_share);
     ClusteringResult clustering =
-        options.use_sampling
-            ? ClusterWithSampling(db, options, rng, clustering_ctx)
-            : SmallGraphClustering(db, options.clustering, rng,
-                                   clustering_ctx);
+        RunCoarseStages(db, options, rng, clustering_ctx);
+    bool fine_enabled =
+        options.use_sampling ||
+        options.clustering.mode != ClusteringMode::kCoarseOnly;
+    if (dist_mode) {
+      // Mirror FineClusteringStage's soft-pressure shed before any stream
+      // is split, so sharded and in-process runs degrade at the same point.
+      if (fine_enabled && run_ctx.memory().SoftExceeded()) {
+        fine_enabled = false;
+        clustering.fine_complete = false;
+      }
+      dist::DistOptions dopts;
+      dopts.processes = options.processes;
+      dopts.max_shard_retries = options.max_shard_retries;
+      dopts.heartbeat_timeout_ms = options.shard_heartbeat_timeout_ms;
+      dopts.backoff_base_ms = options.shard_backoff_base_ms;
+      dopts.backoff_cap_ms = options.shard_backoff_cap_ms;
+      dopts.worker_threads = ResolveThreadCount(options.threads);
+      dopts.fine_enabled = fine_enabled;
+      dopts.fine.max_cluster_size = options.clustering.max_cluster_size;
+      dopts.fine.mcs = options.clustering.fine_mcs;
+      dopts.checkpoint_dir = options.checkpoint_dir;
+      dopts.fingerprint = fingerprint;
+      dopts.mem_soft_limit_bytes = options.mem_soft_limit_bytes;
+      dopts.mem_hard_limit_bytes = options.mem_hard_limit_bytes;
+      // The sharded phase spans fine clustering and CSG folding, so its
+      // slice covers both phases' shares.
+      RunContext dist_ctx = run_ctx.Slice(std::min(
+          0.95, options.clustering_time_share + options.csg_time_share));
+      dist::ShardedPhasesResult sharded = dist::RunShardedClusterPhases(
+          db, clustering.clusters, dopts, rng, dist_ctx, &exec.dist);
+      clustering.clusters = std::move(sharded.fine_clusters);
+      if (!sharded.fine_complete) clustering.fine_complete = false;
+      dist_csgs = std::move(sharded.csgs);
+      dist_degraded_csgs = sharded.degraded_csgs;
+      have_dist_csgs = true;
+    } else if (fine_enabled) {
+      FineClusteringStage(db, options.clustering, &clustering, rng,
+                          clustering_ctx);
+    }
     result.clusters = std::move(clustering.clusters);
     result.features = std::move(clustering.features);
     exec.clustering_complete = clustering.Complete();
@@ -515,7 +609,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
 
   // --- CSG generation ---
   WallTimer csg_timer;
-  ThreadPool::Stats csg_pool_stats = pool.stats();
+  ThreadPool::Stats csg_pool_stats = run_ctx.pool()->stats();
   phase_span.emplace(run_ctx.tracer(), "csg", run_span.id());
   if (recovery.csgs.has_value()) {
     result.csgs = std::move(recovery.csgs->csgs);
@@ -524,6 +618,28 @@ CatapultResult RunCatapult(const GraphDatabase& db,
     exec.checkpoint_events.push_back(
         {CheckpointEvent::Kind::kResumedFromPhase, "csgs",
          std::to_string(result.csgs.size()) + " summaries"});
+  } else if (have_dist_csgs) {
+    // Sharded mode already folded the CSGs alongside fine clustering; adopt
+    // them here so the checkpoint ladder (and its rng position) matches the
+    // in-process path byte for byte.
+    result.csgs = std::move(dist_csgs);
+    exec.degraded_csgs = dist_degraded_csgs;
+    exec.csg_complete = exec.degraded_csgs == 0;
+    if (write_checkpoints) {
+      if (exec.csg_complete) {
+        CsgArtifact artifact;
+        artifact.csgs = result.csgs;
+        artifact.rng_after = rng.SaveState();
+        RecordPhaseSave("csgs", store->SaveCsgs(artifact));
+        if (CATAPULT_FAILPOINT("catapult.crash_after_csg_checkpoint")) {
+          run_ctx.Cancel();
+        }
+      } else {
+        exec.checkpoint_events.push_back(
+            {CheckpointEvent::Kind::kCheckpointSkipped, "csgs",
+             "phase incomplete under deadline"});
+      }
+    }
   } else {
     RunContext csg_ctx = run_ctx.Slice(options.csg_time_share);
     result.csgs =
@@ -550,8 +666,18 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   FinishPhase(csg_pool_stats, result.csg_seconds, exec.csg_parallel);
 
   // --- Selection ---
+  // Sharded mode ran the supervisor on a 1-thread pool so no pool threads
+  // existed across fork(); all forks are behind us now, so selection gets a
+  // real multi-thread pool (same size the in-process run would have used).
+  std::unique_ptr<ThreadPool> selection_pool;
+  if (dist_mode) {
+    selection_pool =
+        std::make_unique<ThreadPool>(ResolveThreadCount(options.threads));
+    run_ctx = run_ctx.WithPool(selection_pool.get());
+    obs::SetGaugeMax(obs::Gauge::kPoolThreads, selection_pool->num_threads());
+  }
   WallTimer selection_timer;
-  ThreadPool::Stats selection_pool_stats = pool.stats();
+  ThreadPool::Stats selection_pool_stats = run_ctx.pool()->stats();
   phase_span.emplace(run_ctx.tracer(), "selection", run_span.id());
   SelectorCheckpointHooks hooks;
   if (recovery.selection.has_value()) {

@@ -7,6 +7,7 @@
 #include "src/cluster/pipeline.h"
 #include "src/core/selector.h"
 #include "src/csg/csg.h"
+#include "src/dist/dist_report.h"
 #include "src/graph/graph_database.h"
 #include "src/obs/metrics.h"
 #include "src/persist/checkpoint.h"
@@ -81,6 +82,27 @@ struct CatapultOptions {
   // memory budget is expected.
   size_t mem_soft_limit_bytes = 0;
   size_t mem_hard_limit_bytes = 0;
+
+  // Sharded multi-process execution (DESIGN.md §12). With `processes` > 1
+  // the fine-clustering and CSG phases are partitioned by coarse cluster
+  // across that many forked worker processes, supervised for crashes and
+  // hangs; 0 or 1 keeps everything in-process. Worker failures are retried
+  // up to `max_shard_retries` times per shard under deterministic capped
+  // exponential backoff, then the shard is quarantined and executed
+  // in-process. Like `threads`, `processes` and the supervision knobs are
+  // excluded from ConfigFingerprint: the task decomposition pre-splits rng
+  // streams per coarse cluster and merges in cluster order, so a P-process
+  // run is bit-identical to a 1-process run (asserted down to checkpoint
+  // bytes by tests/dist_test.cc) and checkpoints resume across process
+  // counts.
+  size_t processes = 0;
+  size_t max_shard_retries = 2;
+  // A worker silent on its heartbeat pipe for this long is declared hung
+  // and killed (its shard retries from the last durable artifact).
+  double shard_heartbeat_timeout_ms = 2000.0;
+  // Retry backoff: delay before retry k is min(base * 2^(k-1), cap).
+  double shard_backoff_base_ms = 25.0;
+  double shard_backoff_cap_ms = 1000.0;
 
   // Quarantine digest of the ingestion that produced the database
   // (IngestReport::quarantine_digest; 0 = nothing quarantined). Folded into
@@ -182,6 +204,11 @@ struct ExecutionReport {
   // present; `metrics.enabled` is false when the run carried no registry,
   // in which case every counter is zero.
   obs::MetricsSnapshot metrics;
+
+  // Sharded-execution supervision report (DESIGN.md §12): worker spawns,
+  // deaths, hangs, retries, backoff waits, quarantines and fallbacks, plus
+  // the ordered event log. `dist.enabled` is false for in-process runs.
+  dist::DistReport dist;
 
   bool Resumed() const { return !resumed_from.empty(); }
 

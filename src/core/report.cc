@@ -33,6 +33,29 @@ void WriteSelectionReport(const CatapultResult& result,
   obs::RenderMetricsFields(result.execution.metrics, w);
   w.EndObject();
 
+  // Sharded-execution supervision summary (DESIGN.md §12); "enabled" is
+  // false — with all counts zero — for in-process runs.
+  const dist::DistReport& d = result.execution.dist;
+  w.Key("dist").BeginObject();
+  w.Key("enabled").Value(d.enabled);
+  w.Key("processes").Value(static_cast<uint64_t>(d.processes));
+  w.Key("shards").Value(static_cast<uint64_t>(d.shards));
+  w.Key("workers_spawned").Value(static_cast<uint64_t>(d.workers_spawned));
+  w.Key("worker_deaths").Value(static_cast<uint64_t>(d.worker_deaths));
+  w.Key("worker_hangs").Value(static_cast<uint64_t>(d.worker_hangs));
+  w.Key("shard_retries").Value(static_cast<uint64_t>(d.shard_retries));
+  w.Key("backoff_waits").Value(static_cast<uint64_t>(d.backoff_waits));
+  w.Key("backoff_total_ms").Value(d.backoff_total_ms);
+  w.Key("quarantined_shards").Value(
+      static_cast<uint64_t>(d.quarantined_shards));
+  w.Key("inprocess_fallbacks").Value(
+      static_cast<uint64_t>(d.inprocess_fallbacks));
+  w.Key("artifacts_reused").Value(static_cast<uint64_t>(d.artifacts_reused));
+  w.Key("artifacts_rejected").Value(
+      static_cast<uint64_t>(d.artifacts_rejected));
+  w.Key("heartbeats").Value(static_cast<uint64_t>(d.heartbeats));
+  w.EndObject();
+
   w.Key("patterns").BeginArray();
   for (size_t i = 0; i < result.selection.patterns.size(); ++i) {
     const SelectedPattern& p = result.selection.patterns[i];

@@ -26,6 +26,12 @@ namespace catapult {
 //               "histograms": {"vf2.nodes_per_call":
 //                  {"count": n, "sum": n, "min": n, "max": n,
 //                   "buckets": [...]}, ...}},
+//   "dist": {"enabled": b, "processes": n, "shards": n,
+//            "workers_spawned": n, "worker_deaths": n, "worker_hangs": n,
+//            "shard_retries": n, "backoff_waits": n, "backoff_total_ms": x,
+//            "quarantined_shards": n, "inprocess_fallbacks": n,
+//            "artifacts_reused": n, "artifacts_rejected": n,
+//            "heartbeats": n},
 //   "patterns": [
 //     {"id": i, "score": s, "ccov": c, "lcov": l, "div": d, "cog": g,
 //      "vertices": [{"id": v, "label": "C"}, ...],

@@ -1,0 +1,62 @@
+#ifndef CATAPULT_DIST_DIST_REPORT_H_
+#define CATAPULT_DIST_DIST_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+// Supervision diagnostics for sharded multi-process execution (DESIGN.md
+// §12). Std-only includes: this header is embedded in ExecutionReport
+// (src/core/catapult.h) and must not pull the dist machinery with it.
+
+namespace catapult::dist {
+
+// One supervision event, in the order the supervisor observed it.
+struct ShardEvent {
+  enum class Kind {
+    kWorkerSpawned,      // fork succeeded; detail = "pid=... attempt=..."
+    kWorkerExited,       // clean exit accepted
+    kWorkerDied,         // abnormal exit / nonzero status / poisoned pipe
+    kWorkerHung,         // heartbeat deadline missed; worker killed
+    kShardRetried,       // shard requeued after a failure
+    kBackoffWait,        // retry delayed; detail = "delay_ms=..."
+    kShardQuarantined,   // failure budget exhausted
+    kInProcessFallback,  // quarantined shard executed in the supervisor
+    kShardCompleted,     // shard results merged
+    kArtifactReused,     // worker resumed from a prior attempt's checkpoint
+    kArtifactRejected,   // shard artifact failed validation; recomputed
+  };
+
+  Kind kind = Kind::kWorkerSpawned;
+  size_t shard = 0;
+  std::string detail;
+};
+
+const char* ToString(ShardEvent::Kind kind);
+std::string ToString(const ShardEvent& event);
+
+// Aggregated supervision report for one run. All counts are zero (and
+// `enabled` false) for in-process runs.
+struct DistReport {
+  bool enabled = false;
+  size_t processes = 0;  // requested worker process count
+  size_t shards = 0;     // planned shards (<= processes)
+
+  size_t workers_spawned = 0;
+  size_t worker_deaths = 0;  // abnormal worker exits observed via waitpid
+  size_t worker_hangs = 0;   // heartbeat deadline misses (worker killed)
+  size_t shard_retries = 0;
+  size_t backoff_waits = 0;
+  double backoff_total_ms = 0.0;
+  size_t quarantined_shards = 0;
+  size_t inprocess_fallbacks = 0;
+  size_t artifacts_reused = 0;
+  size_t artifacts_rejected = 0;
+  size_t heartbeats = 0;
+
+  std::vector<ShardEvent> events;
+};
+
+}  // namespace catapult::dist
+
+#endif  // CATAPULT_DIST_DIST_REPORT_H_

@@ -1,0 +1,40 @@
+#include "src/dist/shard_plan.h"
+
+#include <algorithm>
+
+namespace catapult::dist {
+
+ShardPlan PlanShards(const std::vector<size_t>& cluster_sizes,
+                     size_t num_shards) {
+  ShardPlan plan;
+  if (cluster_sizes.empty() || num_shards == 0) return plan;
+  num_shards = std::min(num_shards, cluster_sizes.size());
+
+  std::vector<size_t> order(cluster_sizes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cluster_sizes[a] > cluster_sizes[b];
+  });
+
+  plan.shards.assign(num_shards, {});
+  std::vector<size_t> load(num_shards, 0);
+  for (size_t idx : order) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    plan.shards[lightest].push_back(idx);
+    // Weight-0 clusters still cost a unit of bookkeeping; count at least 1
+    // so they spread across shards instead of piling onto shard 0.
+    load[lightest] += std::max<size_t>(cluster_sizes[idx], 1);
+  }
+
+  for (auto& shard : plan.shards) std::sort(shard.begin(), shard.end());
+  plan.shards.erase(
+      std::remove_if(plan.shards.begin(), plan.shards.end(),
+                     [](const auto& s) { return s.empty(); }),
+      plan.shards.end());
+  return plan;
+}
+
+}  // namespace catapult::dist

@@ -1,0 +1,74 @@
+#ifndef CATAPULT_DIST_SUPERVISOR_H_
+#define CATAPULT_DIST_SUPERVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fine_clustering.h"
+#include "src/csg/csg.h"
+#include "src/dist/dist_report.h"
+#include "src/graph/graph_database.h"
+#include "src/util/deadline.h"
+#include "src/util/rng.h"
+
+// The supervisor half of sharded multi-process execution (DESIGN.md §12).
+// The supervisor plans shards over the coarse partition, forks one worker
+// per shard (at most `processes` concurrently), and supervises them:
+// worker death is detected via waitpid, hangs via a heartbeat deadline on
+// the worker's pipe; failed shards are retried under deterministic capped
+// exponential backoff (src/util/backoff.h), each retry resuming from the
+// shard's durable per-cluster artifacts; a shard exhausting its failure
+// budget is quarantined and executed in-process as the final rung of the
+// degradation ladder. The merged result is bit-identical to a 1-process
+// run: each coarse cluster's work depends only on its pre-split rng stream
+// and the supervisor concatenates results in coarse-cluster order.
+
+namespace catapult::dist {
+
+struct DistOptions {
+  size_t processes = 2;        // concurrent worker process budget
+  size_t max_shard_retries = 2;  // failures tolerated per shard
+  double heartbeat_timeout_ms = 2000.0;
+  double heartbeat_interval_ms = 0.0;  // 0 = heartbeat_timeout_ms / 4
+  double backoff_base_ms = 25.0;
+  double backoff_cap_ms = 1000.0;
+  size_t worker_threads = 1;  // threads inside each worker process
+
+  bool fine_enabled = true;
+  FineClusteringOptions fine;
+
+  // Directory of the run's checkpoint store; shard artifacts live in its
+  // "shards/" namespace. Empty = a private temporary directory, removed
+  // when the phase finishes (artifacts then only serve same-run retries).
+  std::string checkpoint_dir;
+  uint64_t fingerprint = 0;
+
+  // Per-worker memory limits (each worker charges its own ledger).
+  size_t mem_soft_limit_bytes = 0;
+  size_t mem_hard_limit_bytes = 0;
+};
+
+// The sharded fine-clustering + CSG phase's merged output, in coarse
+// cluster order (identical to the in-process pipeline's output order).
+struct ShardedPhasesResult {
+  std::vector<std::vector<GraphId>> fine_clusters;
+  std::vector<ClusterSummaryGraph> csgs;  // 1:1 with fine_clusters
+  bool fine_complete = true;
+  size_t degraded_csgs = 0;
+};
+
+// Runs fine clustering + CSG folding over `coarse` across worker
+// processes. Consumes exactly `coarse.size()` splits of `rng` when fine
+// clustering is enabled (none otherwise) — the same draws as the
+// in-process path, so the parent stream's position after this call is
+// mode-independent. `report` (required) receives supervision diagnostics.
+// On non-POSIX platforms every shard executes in-process.
+ShardedPhasesResult RunShardedClusterPhases(
+    const GraphDatabase& db, const std::vector<std::vector<GraphId>>& coarse,
+    const DistOptions& options, Rng& rng, const RunContext& ctx,
+    DistReport* report);
+
+}  // namespace catapult::dist
+
+#endif  // CATAPULT_DIST_SUPERVISOR_H_

@@ -1,0 +1,205 @@
+#include "src/dist/wire.h"
+
+#include <cstring>
+
+#include "src/persist/record_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <errno.h>
+#include <unistd.h>
+#endif
+
+namespace catapult::dist {
+
+namespace {
+
+using persist::BinaryReader;
+using persist::BinaryWriter;
+using persist::Crc32;
+
+void PutLeU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetLeU32(const char* data) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+bool ValidFrameType(uint32_t raw) {
+  return raw >= static_cast<uint32_t>(FrameType::kHello) &&
+         raw <= static_cast<uint32_t>(FrameType::kShardError);
+}
+
+constexpr size_t kHeaderBytes = 16;
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  PutLeU32(&out, kFrameMagic);
+  PutLeU32(&out, static_cast<uint32_t>(type));
+  PutLeU32(&out, static_cast<uint32_t>(payload.size()));
+  PutLeU32(&out, Crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::Feed(const char* data, size_t size) {
+  if (corrupt_) return;
+  buffer_.append(data, size);
+}
+
+std::optional<Frame> FrameReader::Next() {
+  if (corrupt_) return std::nullopt;
+  if (buffer_.size() - offset_ < kHeaderBytes) return std::nullopt;
+  const char* header = buffer_.data() + offset_;
+  if (GetLeU32(header) != kFrameMagic) {
+    corrupt_ = true;
+    error_ = "bad frame magic";
+    return std::nullopt;
+  }
+  uint32_t raw_type = GetLeU32(header + 4);
+  if (!ValidFrameType(raw_type)) {
+    corrupt_ = true;
+    error_ = "unknown frame type";
+    return std::nullopt;
+  }
+  uint32_t payload_size = GetLeU32(header + 8);
+  if (payload_size > kMaxFramePayload) {
+    corrupt_ = true;
+    error_ = "frame payload too large";
+    return std::nullopt;
+  }
+  if (buffer_.size() - offset_ < kHeaderBytes + payload_size) {
+    return std::nullopt;  // incomplete; wait for more bytes
+  }
+  uint32_t expected_crc = GetLeU32(header + 12);
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.assign(buffer_, offset_ + kHeaderBytes, payload_size);
+  if (Crc32(frame.payload.data(), frame.payload.size()) != expected_crc) {
+    corrupt_ = true;
+    error_ = "frame checksum mismatch";
+    return std::nullopt;
+  }
+  offset_ += kHeaderBytes + payload_size;
+  // Compact once the consumed prefix dominates, so a long-lived reader does
+  // not grow without bound.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  return frame;
+}
+
+std::string Encode(const HelloFrame& f) {
+  BinaryWriter w;
+  w.PutU64(f.shard);
+  w.PutU64(f.attempt);
+  w.PutU64(f.pid);
+  return w.TakeBuffer();
+}
+
+std::string Encode(const HeartbeatFrame& f) {
+  BinaryWriter w;
+  w.PutU64(f.shard);
+  w.PutU64(f.seq);
+  w.PutU64(f.clusters_done);
+  return w.TakeBuffer();
+}
+
+std::string Encode(const ClusterDoneFrame& f) {
+  BinaryWriter w;
+  w.PutU64(f.shard);
+  w.PutU64(f.cluster_index);
+  w.PutU8(f.reused ? 1 : 0);
+  return w.TakeBuffer();
+}
+
+std::string Encode(const ShardDoneFrame& f) {
+  BinaryWriter w;
+  w.PutU64(f.shard);
+  w.PutU64(f.clusters_done);
+  w.PutU64(f.counters.size());
+  for (uint64_t c : f.counters) w.PutU64(c);
+  return w.TakeBuffer();
+}
+
+std::string Encode(const ShardErrorFrame& f) {
+  BinaryWriter w;
+  w.PutU64(f.shard);
+  w.PutString(f.message);
+  return w.TakeBuffer();
+}
+
+bool Decode(const std::string& payload, HelloFrame* f) {
+  BinaryReader r(payload);
+  f->shard = r.GetU64();
+  f->attempt = r.GetU64();
+  f->pid = r.GetU64();
+  return r.ok() && r.AtEnd();
+}
+
+bool Decode(const std::string& payload, HeartbeatFrame* f) {
+  BinaryReader r(payload);
+  f->shard = r.GetU64();
+  f->seq = r.GetU64();
+  f->clusters_done = r.GetU64();
+  return r.ok() && r.AtEnd();
+}
+
+bool Decode(const std::string& payload, ClusterDoneFrame* f) {
+  BinaryReader r(payload);
+  f->shard = r.GetU64();
+  f->cluster_index = r.GetU64();
+  f->reused = r.GetU8() != 0;
+  return r.ok() && r.AtEnd();
+}
+
+bool Decode(const std::string& payload, ShardDoneFrame* f) {
+  BinaryReader r(payload);
+  f->shard = r.GetU64();
+  f->clusters_done = r.GetU64();
+  uint64_t count = r.GetU64();
+  if (!r.ok() || count > obs::kNumCounters) return false;
+  f->counters.assign(count, 0);
+  for (uint64_t i = 0; i < count; ++i) f->counters[i] = r.GetU64();
+  return r.ok() && r.AtEnd();
+}
+
+bool Decode(const std::string& payload, ShardErrorFrame* f) {
+  BinaryReader r(payload);
+  f->shard = r.GetU64();
+  f->message = r.GetString();
+  return r.ok() && r.AtEnd();
+}
+
+void FrameSender::SendEncoded(const std::string& bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) return;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;  // supervisor gone; keep working, exit status suffices
+      return;
+    }
+    written += static_cast<size_t>(n);
+  }
+#else
+  (void)bytes;
+  failed_ = true;
+#endif
+}
+
+}  // namespace catapult::dist

@@ -1,0 +1,151 @@
+#ifndef CATAPULT_DIST_WIRE_H_
+#define CATAPULT_DIST_WIRE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+// Length-prefixed CRC-framed messages on the worker -> supervisor pipe
+// (DESIGN.md §12). A frame is
+//
+//   offset  size  field
+//        0     4  magic "CTWF" (little-endian u32 0x46575443)
+//        4     4  frame type (FrameType)
+//        8     4  payload size in bytes
+//       12     4  CRC32 of the payload (persist::Crc32, same polynomial as
+//                 the checkpoint records)
+//       16     -  payload
+//
+// The reader is incremental (pipes deliver arbitrary byte chunks) and
+// treats any malformed header or checksum mismatch as a poisoned stream:
+// framing is lost, so the supervisor kills the worker and retries the
+// shard rather than attempting resynchronisation. A frame truncated by a
+// worker death simply stays incomplete in the buffer — that is not
+// corruption, just a dead peer.
+
+namespace catapult::dist {
+
+inline constexpr uint32_t kFrameMagic = 0x46575443u;  // "CTWF"
+// Frames are tiny (heartbeats, per-cluster completions, one counter
+// array); a larger size field is corruption, not data.
+inline constexpr uint32_t kMaxFramePayload = 4u << 20;
+
+enum class FrameType : uint32_t {
+  kHello = 1,        // worker came up (shard, attempt, pid)
+  kHeartbeat = 2,    // liveness (shard, seq, clusters_done)
+  kClusterDone = 3,  // one coarse cluster durable (index, reused flag)
+  kShardDone = 4,    // all clusters done + the worker's counter deltas
+  kShardError = 5,   // structured failure report before a nonzero exit
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+// One encoded frame (header + payload), ready for a single write().
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+// Incremental frame decoder over a byte stream.
+class FrameReader {
+ public:
+  void Feed(const char* data, size_t size);
+
+  // The next complete frame, or nullopt when the buffer holds none (or the
+  // stream is poisoned). Never blocks.
+  std::optional<Frame> Next();
+
+  // True once a malformed header or checksum mismatch was seen; the stream
+  // cannot be re-synchronised and the peer should be treated as failed.
+  bool corrupt() const { return corrupt_; }
+  const std::string& error() const { return error_; }
+
+  // Externally poisons the stream (a frame whose CRC passed but whose
+  // payload failed to decode — same verdict as header corruption).
+  void Poison(const std::string& why) {
+    corrupt_ = true;
+    error_ = why;
+  }
+
+ private:
+  std::string buffer_;
+  size_t offset_ = 0;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+// --- frame payloads ---------------------------------------------------------
+
+struct HelloFrame {
+  uint64_t shard = 0;
+  uint64_t attempt = 0;
+  uint64_t pid = 0;
+};
+
+struct HeartbeatFrame {
+  uint64_t shard = 0;
+  uint64_t seq = 0;
+  uint64_t clusters_done = 0;
+};
+
+struct ClusterDoneFrame {
+  uint64_t shard = 0;
+  uint64_t cluster_index = 0;
+  bool reused = false;  // restored from a prior attempt's shard artifact
+};
+
+struct ShardDoneFrame {
+  uint64_t shard = 0;
+  uint64_t clusters_done = 0;
+  // The worker's obs counter deltas, merged into the supervisor's registry
+  // so a sharded run's metrics cover the work wherever it ran.
+  std::vector<uint64_t> counters;  // size obs::kNumCounters
+};
+
+struct ShardErrorFrame {
+  uint64_t shard = 0;
+  std::string message;
+};
+
+std::string Encode(const HelloFrame& f);
+std::string Encode(const HeartbeatFrame& f);
+std::string Encode(const ClusterDoneFrame& f);
+std::string Encode(const ShardDoneFrame& f);
+std::string Encode(const ShardErrorFrame& f);
+bool Decode(const std::string& payload, HelloFrame* f);
+bool Decode(const std::string& payload, HeartbeatFrame* f);
+bool Decode(const std::string& payload, ClusterDoneFrame* f);
+bool Decode(const std::string& payload, ShardDoneFrame* f);
+bool Decode(const std::string& payload, ShardErrorFrame* f);
+
+// Serialised frame writer over a file descriptor, shared by the worker's
+// main thread and its heartbeat thread. Each frame is assembled into one
+// buffer and written under a mutex so frames never interleave. Write
+// errors (supervisor gone) are remembered and further sends no-op: a
+// worker that outlives its supervisor just runs to completion and exits.
+class FrameSender {
+ public:
+  explicit FrameSender(int fd) : fd_(fd) {}
+
+  template <typename F>
+  void Send(const F& frame_payload, FrameType type) {
+    SendEncoded(EncodeFrame(type, Encode(frame_payload)));
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  void SendEncoded(const std::string& bytes);
+
+  int fd_;
+  std::mutex mutex_;
+  bool failed_ = false;
+};
+
+}  // namespace catapult::dist
+
+#endif  // CATAPULT_DIST_WIRE_H_

@@ -1,0 +1,130 @@
+#ifndef CATAPULT_DIST_WORKER_H_
+#define CATAPULT_DIST_WORKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fine_clustering.h"
+#include "src/csg/csg.h"
+#include "src/graph/graph_database.h"
+#include "src/util/deadline.h"
+#include "src/util/rng.h"
+
+// The worker half of sharded multi-process execution (DESIGN.md §12). A
+// worker owns a subset of the coarse clusters and carries each through fine
+// clustering (under that cluster's pre-split rng stream) and CSG folding,
+// checkpointing every finished cluster as one shard artifact so a retry —
+// on any worker, at any attempt — resumes from the last durable cluster
+// instead of recomputing the shard. Everything here also runs unforked:
+// the supervisor calls ComputeShardCluster directly for the in-process
+// fallback of quarantined shards, which is what guarantees fallback output
+// is bit-identical to worker output (same code, same stream, same inputs).
+
+namespace catapult::dist {
+
+// Failpoint kill sites evaluated inside the worker process. The armed
+// table is fork-inherited from the supervisor, and a child's hit-count
+// consumption never propagates back, so sites that should fail *once* are
+// additionally gated on attempt == 0 — the retry attempt sees the site
+// armed but does not evaluate it. `worker.fail_always` has no gate and
+// drives the quarantine path.
+inline constexpr char kFailpointKillBeforeCheckpoint[] =
+    "worker.kill_before_checkpoint";
+inline constexpr char kFailpointKillAfterCheckpoint[] =
+    "worker.kill_after_checkpoint";
+inline constexpr char kFailpointHangHeartbeat[] = "worker.hang_heartbeat";
+inline constexpr char kFailpointCorruptShardArtifact[] =
+    "worker.corrupt_shard_artifact";
+inline constexpr char kFailpointExitNonzero[] = "worker.exit_nonzero";
+inline constexpr char kFailpointFailAlways[] = "worker.fail_always";
+
+// Worker exit codes (also produced by the supervisor's interpretation).
+inline constexpr int kWorkerExitOk = 0;
+inline constexpr int kWorkerExitShardFailed = 10;   // incomplete/degraded work
+inline constexpr int kWorkerExitInjected = 12;      // worker.fail_always
+inline constexpr int kWorkerExitInjectedExit = 13;  // worker.exit_nonzero
+
+// Everything a worker (or the in-process fallback) needs to execute shard
+// work. Pointers reference supervisor-owned state; in a forked child they
+// stay valid via copy-on-write.
+struct ShardExecutionSpec {
+  const GraphDatabase* db = nullptr;
+  // The coarse partition, indexed by the cluster indices in the shard plan.
+  const std::vector<std::vector<GraphId>>* coarse = nullptr;
+  // Pre-split fine-clustering streams, index-aligned with `coarse` (empty
+  // when fine clustering is disabled for the run).
+  std::vector<RngState> streams;
+  bool fine_enabled = true;
+  FineClusteringOptions fine;
+
+  // Directory holding per-cluster shard artifacts (`cluster-<idx>.ckpt`).
+  // Namespaced by coarse cluster index, not by shard or attempt, so any
+  // retry finds every prior attempt's durable clusters.
+  std::string shard_dir;
+  uint64_t fingerprint = 0;  // run config fingerprint stamped on artifacts
+
+  size_t worker_threads = 1;
+  // Memory limits for the worker's own budget ledger (0 = unlimited).
+  // Budgets are per-process: a forked worker charges its own allocations.
+  size_t mem_soft_limit_bytes = 0;
+  size_t mem_hard_limit_bytes = 0;
+  // Absolute deadline; steady_clock is system-wide on the supported
+  // platforms, so the value is meaningful across fork.
+  Deadline deadline;
+  double heartbeat_interval_ms = 500.0;
+};
+
+// One coarse cluster's results: its fine clusters and their CSGs (1:1).
+struct ShardClusterResult {
+  std::vector<std::vector<GraphId>> fine_clusters;
+  std::vector<ClusterSummaryGraph> csgs;
+  // Degradation markers, mirroring the in-process pipeline's diagnostics:
+  // fine_complete=false when a stop left clusters unsplit; degraded_csgs
+  // counts partially folded summaries. Degraded results are never persisted
+  // as shard artifacts (workers fail the shard instead; only the in-process
+  // fallback, which runs under the supervisor's own context, may keep them).
+  bool fine_complete = true;
+  size_t degraded_csgs = 0;
+  bool Complete() const { return fine_complete && degraded_csgs == 0; }
+};
+
+// Path of cluster `cluster_index`'s shard artifact under `shard_dir`.
+std::string ShardArtifactPath(const std::string& shard_dir,
+                              size_t cluster_index);
+
+// Runs cluster `cluster_index` through fine clustering + CSG folding. All
+// internal work is inline (pool-less): callers parallelise across clusters,
+// so per-cluster work must not re-enter the pool.
+ShardClusterResult ComputeShardCluster(const ShardExecutionSpec& spec,
+                                       size_t cluster_index,
+                                       const RunContext& ctx);
+
+// Atomically persists a complete result as cluster `cluster_index`'s shard
+// artifact (RecordType::kShard). Returns "" on success, else the error.
+std::string SaveShardArtifact(const ShardExecutionSpec& spec,
+                              size_t cluster_index,
+                              const ShardClusterResult& result);
+
+// Loads and validates cluster `cluster_index`'s shard artifact. Beyond the
+// record envelope (magic/CRCs/fingerprint) this cross-checks the binding:
+// the stored coarse member list must equal the current cluster, the fine
+// clusters must partition it, and each CSG's cluster_size must match its
+// fine cluster. Returns "" and fills `out` on success, else the rejection
+// reason (missing file included) and leaves `out` untouched.
+std::string LoadShardArtifact(const ShardExecutionSpec& spec,
+                              size_t cluster_index, ShardClusterResult* out);
+
+// Body of a forked worker process: processes `clusters` (reusing valid
+// artifacts, computing + checkpointing the rest), heartbeating on `pipe_fd`
+// from a dedicated thread, and reporting per-cluster completions plus a
+// final ShardDone/ShardError frame. Returns the exit code; the caller
+// _exit()s with it (never returning into the forked copy of the caller's
+// stack). POSIX-only; on other platforms returns kWorkerExitShardFailed.
+int RunShardWorker(const ShardExecutionSpec& spec, size_t shard_index,
+                   size_t attempt, const std::vector<size_t>& clusters,
+                   int pipe_fd);
+
+}  // namespace catapult::dist
+
+#endif  // CATAPULT_DIST_WORKER_H_

@@ -40,6 +40,16 @@ constexpr const char* kCounterNames[] = {
     "mem.charge_refused",
     "mem.soft_pressure",
     "failpoint.fires",
+    "dist.workers_spawned",
+    "dist.worker_deaths",
+    "dist.worker_hangs",
+    "dist.shard_retries",
+    "dist.backoff_waits",
+    "dist.quarantines",
+    "dist.inprocess_fallbacks",
+    "dist.heartbeats",
+    "dist.artifacts_reused",
+    "dist.artifacts_rejected",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
               "counter name table out of sync with the Counter enum");

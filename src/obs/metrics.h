@@ -66,6 +66,16 @@ enum class Counter : uint32_t {
   kMemChargeRefused,     // charges refused by the hard limit
   kMemSoftPressure,      // charges that crossed the soft limit
   kFailpointFires,       // armed failpoints that actually fired
+  kDistWorkersSpawned,   // shard worker processes forked
+  kDistWorkerDeaths,     // abnormal worker exits observed via waitpid
+  kDistWorkerHangs,      // heartbeat deadline misses (worker killed)
+  kDistShardRetries,     // shards requeued after a worker failure
+  kDistBackoffWaits,     // retry launches delayed by the backoff policy
+  kDistQuarantines,      // shards that exhausted their failure budget
+  kDistFallbacks,        // quarantined shards executed in-process
+  kDistHeartbeats,       // heartbeat frames received by the supervisor
+  kDistArtifactsReused,  // clusters restored from prior-attempt artifacts
+  kDistArtifactsRejected,  // shard artifacts that failed validation
   kCount
 };
 

@@ -1,0 +1,50 @@
+#ifndef CATAPULT_PERSIST_CODEC_H_
+#define CATAPULT_PERSIST_CODEC_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/selector.h"
+#include "src/csg/csg.h"
+#include "src/graph/graph_database.h"
+#include "src/mining/subtree_miner.h"
+#include "src/persist/record_io.h"
+#include "src/util/rng.h"
+
+// Domain-object encode/decode shared by every durable artifact: the phase
+// checkpoints (checkpoint.cc) and the per-cluster shard artifacts of the
+// sharded executor (src/dist/worker.cc). Encoders use only public
+// accessors; decoders validate every structural invariant (index ranges,
+// universe sizes, no duplicate edges) and report corruption by returning
+// false/nullopt — a corrupt payload must never reach a CATAPULT_CHECK.
+// Keeping one codec means a CSG checkpointed by a worker process is byte-
+// identical to the same CSG checkpointed by an in-process run, which is
+// what lets the chaos suite assert recovery down to checkpoint bytes.
+
+namespace catapult::persist {
+
+void EncodeGraph(const Graph& g, BinaryWriter& out);
+bool DecodeGraph(BinaryReader& in, Graph* g);
+
+void EncodeRngState(const RngState& state, BinaryWriter& out);
+// Rejects the all-zero state (xoshiro's absorbing fixed point): it can
+// never be produced by a healthy run, so it is treated as corruption.
+bool DecodeRngState(BinaryReader& in, RngState* state);
+
+void EncodeClusters(const std::vector<std::vector<GraphId>>& clusters,
+                    BinaryWriter& out);
+bool DecodeClusters(BinaryReader& in,
+                    std::vector<std::vector<GraphId>>* clusters);
+
+void EncodeFeature(const FrequentSubtree& feature, BinaryWriter& out);
+bool DecodeFeature(BinaryReader& in, FrequentSubtree* feature);
+
+void EncodeCsg(const ClusterSummaryGraph& csg, BinaryWriter& out);
+std::optional<ClusterSummaryGraph> DecodeCsg(BinaryReader& in);
+
+void EncodePattern(const SelectedPattern& p, BinaryWriter& out);
+bool DecodePattern(BinaryReader& in, SelectedPattern* p);
+
+}  // namespace catapult::persist
+
+#endif  // CATAPULT_PERSIST_CODEC_H_

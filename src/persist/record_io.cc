@@ -70,6 +70,8 @@ const char* RecordTypeName(RecordType type) {
       return "csgs";
     case RecordType::kSelection:
       return "selection";
+    case RecordType::kShard:
+      return "shard";
   }
   return "unknown";
 }

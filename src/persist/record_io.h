@@ -38,6 +38,9 @@ enum class RecordType : uint32_t {
   kClustering = 2,
   kCsgs = 3,
   kSelection = 4,
+  // One coarse cluster's fine clusters + CSGs, written by a shard worker
+  // into the run's shard-scoped checkpoint namespace (src/dist/).
+  kShard = 5,
 };
 
 // The printable name of a record type ("manifest", "clustering", ...).

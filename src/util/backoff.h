@@ -1,0 +1,51 @@
+#ifndef CATAPULT_UTIL_BACKOFF_H_
+#define CATAPULT_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstddef>
+
+// Deterministic capped exponential backoff for shard retries (DESIGN.md
+// §12). Unlike the jittered backoff of networked retry loops, the schedule
+// here is a pure function of the attempt number: the sharded executor's
+// whole recovery sequence must replay identically under the chaos suite's
+// fixed kill-site seeds, so randomised jitter is deliberately absent.
+// Thundering-herd concerns do not apply — at most `processes` workers of
+// one supervisor ever back off, against local fork(), not a shared service.
+
+namespace catapult {
+
+class ExponentialBackoff {
+ public:
+  // `base_ms` is the delay after the first failure; each further failure
+  // doubles it (times `multiplier`) up to `cap_ms`. Non-positive inputs are
+  // clamped so a zero-configured policy degrades to "retry immediately"
+  // instead of dividing by zero or sleeping forever.
+  ExponentialBackoff(double base_ms, double cap_ms, double multiplier = 2.0)
+      : base_ms_(std::max(0.0, base_ms)),
+        cap_ms_(std::max(0.0, cap_ms)),
+        multiplier_(std::max(1.0, multiplier)) {}
+
+  // Delay before retry number `attempt` (1-based: attempt 1 follows the
+  // first failure). attempt 0 returns 0 (no failure yet, no wait).
+  double DelayMs(size_t attempt) const {
+    if (attempt == 0) return 0.0;
+    double delay = base_ms_;
+    for (size_t i = 1; i < attempt; ++i) {
+      delay *= multiplier_;
+      if (delay >= cap_ms_) return cap_ms_;
+    }
+    return std::min(delay, cap_ms_);
+  }
+
+  double base_ms() const { return base_ms_; }
+  double cap_ms() const { return cap_ms_; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  double multiplier_;
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_UTIL_BACKOFF_H_
