@@ -64,7 +64,6 @@
 // Codes 4-6 still write the output pattern file before exiting nonzero:
 // the result is valid, the code only flags how it was obtained.
 
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,6 +81,7 @@
 #include "src/obs/trace.h"
 #include "src/search/search_engine.h"
 #include "src/util/rng.h"
+#include "src/util/signal.h"
 #include "src/util/thread_pool.h"
 
 namespace {
@@ -97,23 +97,6 @@ constexpr int kExitResourceBreach = 4;
 constexpr int kExitDeadlineDegraded = 5;
 constexpr int kExitShardQuarantine = 6;
 constexpr int kExitInterrupted = 130;  // shell convention: 128 + SIGINT
-
-// Graceful shutdown: SIGINT/SIGTERM trip the run's cancellation token, the
-// pipeline winds down cooperatively (workers reaped, partial results
-// returned), and the driver still prints its report before exiting 130.
-// The handler only stores into pre-constructed atomics — async-signal-safe.
-CancelToken g_cancel_token;                     // shared with the run context
-std::sig_atomic_t volatile g_signal_received = 0;
-
-extern "C" void HandleShutdownSignal(int signum) {
-  g_signal_received = signum;
-  g_cancel_token.Cancel();
-}
-
-void InstallShutdownHandlers() {
-  std::signal(SIGINT, HandleShutdownSignal);
-  std::signal(SIGTERM, HandleShutdownSignal);
-}
 
 // Minimal flag parser: --name value pairs after the subcommand.
 class Flags {
@@ -288,10 +271,10 @@ int CmdMine(const Flags& flags) {
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   bool observe = trace_out || metrics_out || print_stats;
-  // The run shares the process-wide cancellation token so SIGINT/SIGTERM
-  // wind it down cooperatively (see InstallShutdownHandlers).
+  // The run shares the process-wide shutdown token so SIGINT/SIGTERM wind
+  // it down cooperatively (src/util/signal.h).
   RunContext ctx =
-      RunContext(Deadline::Infinite(), g_cancel_token)
+      RunContext(Deadline::Infinite(), ShutdownSignals::Instance().token())
           .WithObservability(observe ? &registry : nullptr,
                              trace_out ? &tracer : nullptr);
   CatapultResult result = RunCatapult(*db, options, ctx);
@@ -408,9 +391,9 @@ int CmdMine(const Flags& flags) {
   // Failure-class exit code, most severe first. The output file and every
   // report above were already written: the code flags *how* the patterns
   // were obtained, not whether they exist.
-  if (g_signal_received != 0) {
+  if (ShutdownSignals::Instance().Received()) {
     std::fprintf(stderr, "interrupted by signal %d; partial results written\n",
-                 static_cast<int>(g_signal_received));
+                 ShutdownSignals::Instance().last_signal());
     return kExitInterrupted;
   }
   if (exec.mem_hard_breached) return kExitResourceBreach;
@@ -478,7 +461,9 @@ int CmdSearch(const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  InstallShutdownHandlers();
+  // Installs the async-signal-safe SIGINT/SIGTERM bridge (src/util/signal.h)
+  // up front, so an early ^C is latched even before a run context exists.
+  ShutdownSignals::Instance();
   Flags flags(argc, argv, 2);
   std::string command = argv[1];
   if (command == "generate") return CmdGenerate(flags);

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Stress + drain smoke for the resident pattern-selection service
+# (DESIGN.md §13), run by the chaos-smoke CI job:
+#
+#   1. generate a database, compute the reference panel with a one-shot
+#      `catapult_cli mine` run;
+#   2. start catapult_serve on it and fan concurrent catapult_client
+#      requests at it (cached and --bypass-cache alike) — every served
+#      panel must be byte-identical to the one-shot reference;
+#   3. kill -TERM the server while a background client loop keeps it under
+#      load, and assert the drain contract: exit status 0, valid metrics
+#      JSON with the serve.* block, and the socket file unlinked.
+#
+# Usage: scripts/serve_stress.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+CLI=$BUILD_DIR/examples/catapult_cli
+SERVE=$BUILD_DIR/examples/catapult_serve
+CLIENT=$BUILD_DIR/examples/catapult_client
+for bin in "$CLI" "$SERVE" "$CLIENT"; do
+  [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
+done
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK=$WORK/serve.sock
+
+echo "== reference: one-shot CLI run"
+"$CLI" generate --out "$WORK/db.txt" --graphs 60 --seed 11
+"$CLI" mine --db "$WORK/db.txt" --out "$WORK/one_shot.txt" > /dev/null
+
+echo "== start catapult_serve"
+"$SERVE" --db "$WORK/db.txt" --socket "$SOCK" --workers 2 --max-queue 8 \
+  --metrics-out "$WORK/metrics.json" \
+  > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+for _ in $(seq 1 300); do
+  grep -q "listening on" "$WORK/serve.out" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "server died during startup:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+grep -q "listening on" "$WORK/serve.out"
+
+echo "== liveness probe"
+"$CLIENT" ping --socket "$SOCK"
+
+echo "== concurrent clients (cached and bypass-cache)"
+CLIENT_PIDS=()
+for i in $(seq 1 6); do
+  flags=()
+  if [ $((i % 2)) -eq 0 ]; then flags+=(--bypass-cache); fi
+  "$CLIENT" mine --socket "$SOCK" --out "$WORK/panel_$i.txt" "${flags[@]}" \
+    > "$WORK/client_$i.log" 2>&1 &
+  CLIENT_PIDS+=("$!")
+done
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+for i in $(seq 1 6); do
+  # The acceptance bar: a served panel is byte-identical to the one-shot
+  # CLI panel for the same database, seed, and budget.
+  diff "$WORK/one_shot.txt" "$WORK/panel_$i.txt"
+done
+echo "   6/6 panels bit-identical to the one-shot run"
+
+echo "== kill -TERM under load, assert clean drain"
+(
+  # Keep requests arriving while the server drains; sheds (exit 3) and
+  # connection failures (exit 1) are the expected outcome here.
+  for _ in $(seq 1 50); do
+    "$CLIENT" mine --socket "$SOCK" > /dev/null 2>&1 || true
+  done
+) &
+LOAD_PID=$!
+sleep 0.3
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=
+wait "$LOAD_PID" 2>/dev/null || true
+
+[ "$SERVER_RC" -eq 0 ] || {
+  echo "server exited $SERVER_RC after SIGTERM (want 0):" >&2
+  cat "$WORK/serve.err" >&2
+  exit 1
+}
+python3 -m json.tool "$WORK/metrics.json" > /dev/null
+grep -q '"serve.responses"' "$WORK/metrics.json"
+grep -q '"serve.accepted"' "$WORK/metrics.json"
+[ ! -e "$SOCK" ] || { echo "socket not unlinked on drain" >&2; exit 1; }
+
+echo "serve stress: OK (clean drain, metrics valid, socket unlinked)"

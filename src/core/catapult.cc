@@ -186,6 +186,35 @@ ClusteringResult RunCoarseStages(const GraphDatabase& db,
   return CoarseClusteringStage(db, all, options.clustering, rng, ctx);
 }
 
+// Context merge shared by the prepared-corpus entry points: the effective
+// deadline is the earlier of the caller's and options.deadline_ms, option
+// memory limits supersede the caller's ledger, and a pool is owned when the
+// caller brought none (or asked for a specific thread count). Mirrors the
+// merge at the top of RunCatapult.
+RunContext MergeOptionsContext(const CatapultOptions& options,
+                               const RunContext& ctx,
+                               std::unique_ptr<ThreadPool>* owned_pool) {
+  RunContext run_ctx = ctx;
+  if (options.deadline_ms > 0.0) {
+    run_ctx =
+        RunContext(Deadline::Earliest(ctx.deadline(),
+                                      Deadline::AfterMillis(options.deadline_ms)),
+                   ctx.cancel_token(), ctx.memory())
+            .WithPool(ctx.pool())
+            .WithObservability(ctx.metrics(), ctx.tracer());
+  }
+  if (options.mem_hard_limit_bytes != 0 || options.mem_soft_limit_bytes != 0) {
+    run_ctx = run_ctx.WithMemory(MemoryBudget::Limited(
+        options.mem_soft_limit_bytes, options.mem_hard_limit_bytes));
+  }
+  if (run_ctx.pool() == nullptr || options.threads != 0) {
+    *owned_pool =
+        std::make_unique<ThreadPool>(ResolveThreadCount(options.threads));
+    run_ctx = run_ctx.WithPool(owned_pool->get());
+  }
+  return run_ctx;
+}
+
 }  // namespace
 
 std::vector<OptionsError> ValidateCatapultOptions(
@@ -741,6 +770,108 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   // Safe here: every parallel region has joined, so worker writes
   // happen-before this read.
   run_span.Close();
+  if (run_ctx.metrics() != nullptr) {
+    exec.metrics = run_ctx.metrics()->Snapshot();
+  }
+  return result;
+}
+
+PreparedCorpus PrepareCorpus(const GraphDatabase& db,
+                             const CatapultOptions& options,
+                             const RunContext& ctx) {
+  PreparedCorpus corpus;
+  corpus.option_errors = ValidateCatapultOptions(options);
+  if (!corpus.ok()) return corpus;
+  if (db.empty()) {
+    corpus.complete = true;
+    corpus.rng_after_csg = Rng(options.seed).SaveState();
+    return corpus;
+  }
+  std::unique_ptr<ThreadPool> owned_pool;
+  RunContext run_ctx = MergeOptionsContext(options, ctx, &owned_pool);
+  obs::ScopedMetricsScope metrics_scope(run_ctx.metrics());
+  obs::Span prepare_span(run_ctx.tracer(), "catapult.prepare");
+  Rng rng(options.seed);
+
+  // Exactly RunCatapult's in-process clustering phase: one deadline slice
+  // covers the coarse stages and the fine splits, so a later selection on
+  // this corpus matches the one-shot run draw for draw.
+  WallTimer clustering_timer;
+  std::optional<obs::Span> phase_span;
+  phase_span.emplace(run_ctx.tracer(), "clustering", prepare_span.id());
+  RunContext clustering_ctx = run_ctx.Slice(options.clustering_time_share);
+  ClusteringResult clustering =
+      RunCoarseStages(db, options, rng, clustering_ctx);
+  if (options.use_sampling ||
+      options.clustering.mode != ClusteringMode::kCoarseOnly) {
+    FineClusteringStage(db, options.clustering, &clustering, rng,
+                        clustering_ctx);
+  }
+  corpus.clusters = std::move(clustering.clusters);
+  corpus.features = std::move(clustering.features);
+  phase_span.reset();
+  corpus.clustering_seconds = clustering_timer.ElapsedSeconds();
+
+  WallTimer csg_timer;
+  phase_span.emplace(run_ctx.tracer(), "csg", prepare_span.id());
+  size_t degraded_csgs = 0;
+  corpus.csgs = BuildCsgs(db, corpus.clusters,
+                          run_ctx.Slice(options.csg_time_share),
+                          &degraded_csgs);
+  phase_span.reset();
+  corpus.csg_seconds = csg_timer.ElapsedSeconds();
+
+  corpus.rng_after_csg = rng.SaveState();
+  corpus.complete = clustering.Complete() && degraded_csgs == 0;
+  return corpus;
+}
+
+CatapultResult RunCatapultSelection(const GraphDatabase& db,
+                                    const PreparedCorpus& corpus,
+                                    const CatapultOptions& options,
+                                    const RunContext& ctx) {
+  CatapultResult result;
+  result.option_errors = ValidateCatapultOptions(options);
+  if (!result.ok()) return result;
+  if (db.empty()) return result;
+  std::unique_ptr<ThreadPool> owned_pool;
+  RunContext run_ctx = MergeOptionsContext(options, ctx, &owned_pool);
+  obs::ScopedMetricsScope metrics_scope(run_ctx.metrics());
+  obs::Span selection_span(run_ctx.tracer(), "selection");
+  ExecutionReport& exec = result.execution;
+  exec.deadline_set = !run_ctx.Unlimited();
+  exec.threads = run_ctx.pool()->num_threads();
+  const MemoryBudget& memory = run_ctx.memory();
+  exec.mem_budget_set = memory.limited();
+  exec.mem_soft_limit = memory.soft_limit();
+  exec.mem_hard_limit = memory.hard_limit();
+  exec.clustering_complete = corpus.complete;
+  exec.csg_complete = corpus.complete;
+
+  WallTimer selection_timer;
+  ThreadPool::Stats pool_stats = run_ctx.pool()->stats();
+  // Resume the seed stream exactly where the prepared corpus's CSG phase
+  // left it — the invariant that makes this path bit-identical to the
+  // uninterrupted RunCatapult.
+  Rng rng(options.seed);
+  rng.RestoreState(corpus.rng_after_csg);
+  result.selection = FindCannedPatternSet(db, corpus.clusters, corpus.csgs,
+                                          options.selector, rng, run_ctx);
+  result.selection_seconds = selection_timer.ElapsedSeconds();
+  ThreadPool::Stats after = run_ctx.pool()->stats();
+  exec.selection_parallel.wall_seconds = result.selection_seconds;
+  exec.selection_parallel.busy_seconds =
+      after.busy_seconds - pool_stats.busy_seconds;
+  exec.selection_parallel.parallel_items = after.items - pool_stats.items;
+  exec.selection_complete = result.selection.complete;
+  exec.fallback_patterns = result.selection.fallback_patterns;
+  exec.iso_budget_exhausted = result.selection.iso_budget_exhausted;
+  exec.mem_peak_bytes = memory.peak();
+  exec.mem_soft_exceeded =
+      memory.soft_limit() != 0 && memory.peak() >= memory.soft_limit();
+  exec.mem_hard_breached = memory.HardBreached();
+  if (exec.mem_hard_breached) exec.resource_error = memory.error();
+  selection_span.Close();
   if (run_ctx.metrics() != nullptr) {
     exec.metrics = run_ctx.metrics()->Snapshot();
   }

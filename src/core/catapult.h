@@ -258,6 +258,50 @@ CatapultResult RunCatapult(const GraphDatabase& db,
                            const CatapultOptions& options,
                            const RunContext& ctx);
 
+// Clustering + CSG artifacts of a database, computed once and reused across
+// many selection calls — the serving path (DESIGN.md §13). The artifacts
+// depend only on the clustering/sampling options and the seed, never on the
+// selection budget, so one prepared corpus answers any (eta_min, eta_max,
+// gamma) request; the rng stream position captured after CSG folding makes
+// RunCatapultSelection bit-identical to a full one-shot RunCatapult with
+// the same options (asserted by tests/serve_test.cc).
+struct PreparedCorpus {
+  std::vector<std::vector<GraphId>> clusters;
+  std::vector<ClusterSummaryGraph> csgs;
+  std::vector<FrequentSubtree> features;
+  RngState rng_after_csg;  // stream position selection resumes from
+
+  // False when a deadline/cancellation/memory breach degraded clustering or
+  // CSG folding; selections on a degraded corpus are flagged degraded.
+  bool complete = false;
+
+  double clustering_seconds = 0.0;
+  double csg_seconds = 0.0;
+
+  // Non-empty when the options were rejected (see ValidateCatapultOptions);
+  // every other field is then default-constructed.
+  std::vector<OptionsError> option_errors;
+  bool ok() const { return option_errors.empty(); }
+};
+
+// Runs the clustering and CSG phases of RunCatapult (in-process, no
+// checkpointing or sharding) and captures their artifacts for reuse.
+PreparedCorpus PrepareCorpus(const GraphDatabase& db,
+                             const CatapultOptions& options,
+                             const RunContext& ctx);
+
+// Selection-only run against a prepared corpus: restores the corpus's rng
+// position and executes FindCannedPatternSet under `ctx` merged with
+// `options` (deadline, memory budget, threads — exactly like RunCatapult).
+// `options` must share the clustering/sampling options and seed the corpus
+// was prepared with; only the selector options (budget, walks, decay) may
+// differ. The result's clusters/csgs/features are left empty — the corpus
+// already holds them, and serving must not copy them per request.
+CatapultResult RunCatapultSelection(const GraphDatabase& db,
+                                    const PreparedCorpus& corpus,
+                                    const CatapultOptions& options,
+                                    const RunContext& ctx);
+
 }  // namespace catapult
 
 #endif  // CATAPULT_CORE_CATAPULT_H_

@@ -34,7 +34,7 @@ uint32_t GetLeU32(const char* data) {
 
 bool ValidFrameType(uint32_t raw) {
   return raw >= static_cast<uint32_t>(FrameType::kHello) &&
-         raw <= static_cast<uint32_t>(FrameType::kShardError);
+         raw <= static_cast<uint32_t>(FrameType::kServePong);
 }
 
 constexpr size_t kHeaderBytes = 16;

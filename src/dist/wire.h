@@ -9,8 +9,9 @@
 
 #include "src/obs/metrics.h"
 
-// Length-prefixed CRC-framed messages on the worker -> supervisor pipe
-// (DESIGN.md §12). A frame is
+// Length-prefixed CRC-framed messages, shared by the worker -> supervisor
+// pipes (DESIGN.md §12) and the pattern-selection service's client/server
+// sockets (DESIGN.md §13). A frame is
 //
 //   offset  size  field
 //        0     4  magic "CTWF" (little-endian u32 0x46575443)
@@ -20,11 +21,12 @@
 //                 the checkpoint records)
 //       16     -  payload
 //
-// The reader is incremental (pipes deliver arbitrary byte chunks) and
-// treats any malformed header or checksum mismatch as a poisoned stream:
-// framing is lost, so the supervisor kills the worker and retries the
-// shard rather than attempting resynchronisation. A frame truncated by a
-// worker death simply stays incomplete in the buffer — that is not
+// The reader is incremental (pipes and sockets deliver arbitrary byte
+// chunks) and treats any malformed header or checksum mismatch as a
+// poisoned stream: framing is lost, so the receiver drops the peer — the
+// supervisor kills the worker and retries the shard, the server disconnects
+// the client — rather than attempting resynchronisation. A frame truncated
+// by a peer death simply stays incomplete in the buffer — that is not
 // corruption, just a dead peer.
 
 namespace catapult::dist {
@@ -40,6 +42,13 @@ enum class FrameType : uint32_t {
   kClusterDone = 3,  // one coarse cluster durable (index, reused flag)
   kShardDone = 4,    // all clusters done + the worker's counter deltas
   kShardError = 5,   // structured failure report before a nonzero exit
+  // Pattern-selection service (src/serve/, payloads in serve/protocol.h).
+  kServeRequest = 6,   // client -> server: panel request for a budget
+  kServeResponse = 7,  // server -> client: panel (complete or degraded)
+  kServeShed = 8,      // server -> client: admission refused, retry later
+  kServeError = 9,     // server -> client: request rejected (bad options)
+  kServePing = 10,     // client -> server: liveness/status probe
+  kServePong = 11,     // server -> client: probe reply
 };
 
 struct Frame {

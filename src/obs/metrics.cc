@@ -50,6 +50,18 @@ constexpr const char* kCounterNames[] = {
     "dist.heartbeats",
     "dist.artifacts_reused",
     "dist.artifacts_rejected",
+    "serve.accepted",
+    "serve.disconnects",
+    "serve.requests",
+    "serve.responses",
+    "serve.shed",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.degraded",
+    "serve.poisoned_streams",
+    "serve.idle_reaped",
+    "serve.write_timeouts",
+    "serve.accept_failures",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
               "counter name table out of sync with the Counter enum");
@@ -58,6 +70,8 @@ constexpr const char* kGaugeNames[] = {
     "mem.peak_bytes",
     "selector.cache_peak",
     "pool.threads",
+    "serve.queue_depth_peak",
+    "serve.sessions_peak",
 };
 static_assert(sizeof(kGaugeNames) / sizeof(kGaugeNames[0]) == kNumGauges,
               "gauge name table out of sync with the Gauge enum");
@@ -67,6 +81,7 @@ constexpr const char* kHistNames[] = {
     "ged.matrix_dim",
     "walk.pcp_edges",
     "ckpt.record_bytes",
+    "serve.request_millis",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) == kNumHists,
               "histogram name table out of sync with the Hist enum");

@@ -76,6 +76,18 @@ enum class Counter : uint32_t {
   kDistHeartbeats,       // heartbeat frames received by the supervisor
   kDistArtifactsReused,  // clusters restored from prior-attempt artifacts
   kDistArtifactsRejected,  // shard artifacts that failed validation
+  kServeAccepted,          // client connections accepted by the server
+  kServeDisconnects,       // client connections closed (any reason)
+  kServeRequests,          // well-formed selection requests received
+  kServeResponses,         // panel responses handed to the write path
+  kServeShed,              // requests refused with an explicit retry-after
+  kServeCacheHits,         // panels served from the keyed result cache
+  kServeCacheMisses,       // panels computed by a fresh selection run
+  kServeDegraded,          // responses whose panel was deadline/limit degraded
+  kServePoisonedStreams,   // clients dropped for torn/corrupt frames
+  kServeIdleReaped,        // idle sessions closed by the reaper
+  kServeWriteTimeouts,     // slow clients dropped mid-write
+  kServeAcceptFailures,    // accept() errors survived (EMFILE & friends)
   kCount
 };
 
@@ -85,6 +97,8 @@ enum class Gauge : uint32_t {
   kMemPeakBytes = 0,     // peak concurrent MemoryBudget usage observed
   kSelectorCachePeak,    // peak coverage-cache entry count
   kPoolThreads,          // resolved worker-thread count of the run
+  kServeQueueDepthPeak,  // peak admission-queue depth observed
+  kServeSessionsPeak,    // peak concurrent client sessions
   kCount
 };
 
@@ -95,6 +109,7 @@ enum class Hist : uint32_t {
   kGedMatrixDim,         // bipartite cost-matrix dimension (na + nb)
   kPcpEdges,             // edge count of emitted candidate patterns
   kCheckpointRecordBytes,  // payload size of checkpoint records written
+  kServeRequestMillis,   // admission-to-response latency per served request
   kCount
 };
 

@@ -1,0 +1,215 @@
+#include "src/serve/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CATAPULT_SERVE_POSIX 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace catapult::serve {
+
+#if defined(CATAPULT_SERVE_POSIX)
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+}  // namespace
+
+ServeClient::~ServeClient() { Close(); }
+
+std::string ServeClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return "connect: socket path too long for AF_UNIX";
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return std::string("socket: ") + std::strerror(errno);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    return "connect: " + reason;
+  }
+  fd_ = fd;
+  reader_ = dist::FrameReader();
+  return "";
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServeClient::SendRawBytes(const std::string& bytes) {
+  if (fd_ < 0) return false;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, kSendFlags);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string ServeClient::ReadFrame(dist::Frame* frame, double timeout_ms) {
+  if (fd_ < 0) return "not connected";
+  const bool bounded = timeout_ms > 0.0;
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  char buf[16384];
+  for (;;) {
+    if (reader_.corrupt()) return "stream corrupt: " + reader_.error();
+    std::optional<dist::Frame> next = reader_.Next();
+    if (next.has_value()) {
+      *frame = std::move(*next);
+      return "";
+    }
+    int wait_ms = -1;
+    if (bounded) {
+      const double remaining =
+          std::chrono::duration<double, std::milli>(give_up - Clock::now())
+              .count();
+      if (remaining <= 0.0) return "timed out waiting for reply";
+      wait_ms = static_cast<int>(remaining) + 1;
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return std::string("poll: ") + std::strerror(errno);
+    }
+    if (ready == 0) return "timed out waiting for reply";
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return "connection closed by server";
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return std::string("recv: ") + std::strerror(errno);
+  }
+}
+
+ServeClient::MineOutcome ServeClient::Mine(const MineRequest& request,
+                                           double timeout_ms) {
+  MineOutcome outcome;
+  if (!SendRawBytes(
+          dist::EncodeFrame(dist::FrameType::kServeRequest, Encode(request)))) {
+    outcome.error = "send failed";
+    return outcome;
+  }
+  dist::Frame frame;
+  const std::string read_error = ReadFrame(&frame, timeout_ms);
+  if (!read_error.empty()) {
+    outcome.error = read_error;
+    return outcome;
+  }
+  switch (frame.type) {
+    case dist::FrameType::kServeResponse:
+      if (!Decode(frame.payload, &outcome.reply) ||
+          !DecodePanel(outcome.reply.panel, &outcome.panel)) {
+        outcome.error = "undecodable panel reply";
+        return outcome;
+      }
+      outcome.kind = MineOutcome::Kind::kPanel;
+      return outcome;
+    case dist::FrameType::kServeShed:
+      if (!Decode(frame.payload, &outcome.shed)) {
+        outcome.error = "undecodable shed reply";
+        return outcome;
+      }
+      outcome.kind = MineOutcome::Kind::kShed;
+      return outcome;
+    case dist::FrameType::kServeError: {
+      ErrorReply err;
+      if (!Decode(frame.payload, &err)) {
+        outcome.error = "undecodable error reply";
+        return outcome;
+      }
+      outcome.kind = MineOutcome::Kind::kError;
+      outcome.error = err.message;
+      return outcome;
+    }
+    default:
+      outcome.error = "unexpected reply frame type";
+      return outcome;
+  }
+}
+
+ServeClient::MineOutcome ServeClient::MineWithRetry(const MineRequest& request,
+                                                    size_t max_attempts,
+                                                    double timeout_ms) {
+  MineOutcome outcome;
+  for (size_t attempt = 0; attempt + 1 < max_attempts; ++attempt) {
+    outcome = Mine(request, timeout_ms);
+    if (outcome.kind != MineOutcome::Kind::kShed) return outcome;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        outcome.shed.retry_after_ms));
+  }
+  return max_attempts == 0 ? outcome : Mine(request, timeout_ms);
+}
+
+std::string ServeClient::Ping(PongReply* pong, double timeout_ms) {
+  PingRequest ping;
+  ping.nonce = 0x70696e67u;  // "ping"
+  if (!SendRawBytes(
+          dist::EncodeFrame(dist::FrameType::kServePing, Encode(ping)))) {
+    return "send failed";
+  }
+  dist::Frame frame;
+  const std::string read_error = ReadFrame(&frame, timeout_ms);
+  if (!read_error.empty()) return read_error;
+  if (frame.type != dist::FrameType::kServePong ||
+      !Decode(frame.payload, pong)) {
+    return "undecodable pong reply";
+  }
+  return "";
+}
+
+#else  // !CATAPULT_SERVE_POSIX
+
+ServeClient::~ServeClient() = default;
+std::string ServeClient::Connect(const std::string&) {
+  return "unsupported platform";
+}
+void ServeClient::Close() {}
+bool ServeClient::SendRawBytes(const std::string&) { return false; }
+std::string ServeClient::ReadFrame(dist::Frame*, double) {
+  return "unsupported platform";
+}
+ServeClient::MineOutcome ServeClient::Mine(const MineRequest&, double) {
+  MineOutcome outcome;
+  outcome.error = "unsupported platform";
+  return outcome;
+}
+ServeClient::MineOutcome ServeClient::MineWithRetry(const MineRequest&, size_t,
+                                                    double) {
+  return Mine(MineRequest{}, 0.0);
+}
+std::string ServeClient::Ping(PongReply*, double) {
+  return "unsupported platform";
+}
+
+#endif  // CATAPULT_SERVE_POSIX
+
+}  // namespace catapult::serve

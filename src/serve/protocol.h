@@ -1,0 +1,116 @@
+#ifndef CATAPULT_SERVE_PROTOCOL_H_
+#define CATAPULT_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/selector.h"
+
+// Payloads of the pattern-selection service's wire protocol (DESIGN.md
+// §13). Frames reuse the CRC-checked CTWF framing of src/dist/wire.h over a
+// SOCK_STREAM socket; the payload encodings reuse the persist BinaryWriter/
+// BinaryReader, so every decoder inherits the sticky-fail contract: any byte
+// string either decodes fully or is rejected with `false`, never a crash or
+// out-of-bounds read. A payload that fails to decode poisons the stream
+// exactly like a bad frame header — the peer is dropped, never the process.
+
+namespace catapult::serve {
+
+// Bumped when an encoding changes shape. Carried in every request so a
+// server can reject clients from a different build instead of mis-decoding.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Client -> server: one canned-pattern panel request. The server owns the
+// database and the clustering options; a request only picks the pattern
+// budget (the paper's eta_min/eta_max/gamma), an optional per-request
+// deadline, and whether the keyed result cache may answer.
+struct MineRequest {
+  uint32_t protocol_version = kProtocolVersion;
+  uint64_t eta_min = 3;
+  uint64_t eta_max = 8;
+  uint64_t gamma = 12;
+  // Wall-clock allowance measured from admission (0 = server default,
+  // capped by the server's max). On expiry the reply carries a degraded but
+  // valid anytime panel instead of an error.
+  double deadline_ms = 0.0;
+  // Skip the result cache and recompute (bit-identity audits; the recomputed
+  // panel must byte-match the cached one).
+  bool bypass_cache = false;
+};
+
+// The deterministic panel section of a response: label names (so a client
+// can render/write the panel without the database), the selected patterns,
+// and the degradation verdict. Encoded once and byte-compared by the
+// cached-vs-recomputed and server-vs-CLI identity tests, so it must never
+// contain timing or other volatile fields.
+struct Panel {
+  bool degraded = false;  // deadline/memory cut selection short (anytime)
+  std::vector<std::string> labels;
+  std::vector<SelectedPattern> patterns;
+};
+
+// Server -> client: a panel reply. `panel` is the encoded Panel bytes kept
+// opaque so cache hits replay the exact bytes the original computation
+// produced.
+struct MineReply {
+  bool cache_hit = false;
+  std::string panel;
+};
+
+// Server -> client: the request was refused by admission control. The
+// client should back off for `retry_after_ms` and retry; the connection
+// stays healthy.
+enum class ShedReason : uint32_t {
+  kQueueFull = 1,       // admission queue at capacity
+  kMemoryPressure = 2,  // MemoryBudget soft limit exceeded
+  kDraining = 3,        // server is shutting down gracefully
+  kSessionLimit = 4,    // concurrent-session cap reached
+};
+const char* ToString(ShedReason reason);
+
+struct ShedReply {
+  ShedReason reason = ShedReason::kQueueFull;
+  double retry_after_ms = 100.0;
+  uint64_t queue_depth = 0;
+};
+
+// Server -> client: the request was understood but invalid (e.g. a budget
+// violating Definition 3.1). The connection stays healthy.
+struct ErrorReply {
+  std::string message;
+};
+
+// Liveness/status probe and its echo.
+struct PingRequest {
+  uint64_t nonce = 0;
+};
+struct PongReply {
+  uint64_t nonce = 0;
+  uint64_t sessions = 0;
+  uint64_t queue_depth = 0;
+  bool draining = false;
+};
+
+std::string Encode(const MineRequest& m);
+std::string Encode(const MineReply& m);
+std::string Encode(const ShedReply& m);
+std::string Encode(const ErrorReply& m);
+std::string Encode(const PingRequest& m);
+std::string Encode(const PongReply& m);
+bool Decode(const std::string& payload, MineRequest* m);
+bool Decode(const std::string& payload, MineReply* m);
+bool Decode(const std::string& payload, ShedReply* m);
+bool Decode(const std::string& payload, ErrorReply* m);
+bool Decode(const std::string& payload, PingRequest* m);
+bool Decode(const std::string& payload, PongReply* m);
+
+// Panel <-> bytes. EncodePanel is deterministic in its inputs; DecodePanel
+// validates structure (pattern count cap, label references) and rejects
+// with false instead of crashing.
+std::string EncodePanel(const Panel& panel);
+bool DecodePanel(const std::string& bytes, Panel* panel);
+
+}  // namespace catapult::serve
+
+#endif  // CATAPULT_SERVE_PROTOCOL_H_

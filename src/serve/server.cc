@@ -1,0 +1,898 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dist/wire.h"
+#include "src/serve/protocol.h"
+#include "src/util/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CATAPULT_SERVE_POSIX 1
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace catapult::serve {
+
+#if defined(CATAPULT_SERVE_POSIX)
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+double MillisSince(Clock::time_point since, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// accept() errno values that mean "descriptor pressure / transient": back
+// off for accept_retry_ms instead of spinning on a hot error.
+bool TransientAcceptError(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+         err == ECONNABORTED || err == EINTR;
+}
+
+// Adds `from` into `into`: counters sum, gauges take the running max
+// (every gauge in the registry is a SetGaugeMax peak), histograms merge.
+void MergeSnapshot(const obs::MetricsSnapshot& from,
+                   obs::MetricsSnapshot* into) {
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    into->counters[i] += from.counters[i];
+  }
+  for (size_t i = 0; i < obs::kNumGauges; ++i) {
+    into->gauges[i] = std::max(into->gauges[i], from.gauges[i]);
+  }
+  for (size_t i = 0; i < obs::kNumHists; ++i) {
+    into->hists[i].MergeFrom(from.hists[i]);
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // One connected client. Owned and touched exclusively by the event-loop
+  // thread; workers refer to sessions only by (fd, generation).
+  struct Session {
+    uint64_t generation = 0;
+    dist::FrameReader reader;
+    std::string outbuf;  // encoded reply frames not yet written
+    size_t out_off = 0;
+    size_t in_flight = 0;  // admitted jobs not yet replied to
+    // Cancels this session's in-flight jobs when it disconnects.
+    CancelToken cancel;
+    bool close_after_flush = false;
+    Clock::time_point last_activity;
+    Clock::time_point last_write_progress;
+  };
+
+  // One admitted selection request, queued for a worker.
+  struct Job {
+    int fd = -1;
+    uint64_t generation = 0;
+    MineRequest request;
+    Deadline deadline;
+    CancelToken cancel;  // the owning session's token
+    Clock::time_point admitted;
+  };
+
+  // A worker's finished reply travelling back to the event loop.
+  struct Completed {
+    int fd = -1;
+    uint64_t generation = 0;
+    std::string bytes;  // encoded frame; empty = job abandoned, no reply
+  };
+
+  struct CacheEntry {
+    uint64_t eta_min = 0, eta_max = 0, gamma = 0;
+    std::string panel;
+    uint64_t last_used = 0;
+  };
+
+  Server* self = nullptr;
+  const GraphDatabase* db = nullptr;
+  ServeOptions options;
+  PreparedCorpus owned_corpus;
+  const PreparedCorpus* corpus = nullptr;
+  MemoryBudget memory;  // shared across all requests
+  std::vector<std::string> label_names;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  Clock::time_point accept_cooldown_until{};
+
+  std::unordered_map<int, Session> sessions;  // event-loop thread only
+  uint64_t next_generation = 1;
+  std::atomic<size_t> session_count{0};
+  std::atomic<uint64_t> pending_out_bytes{0};
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Job> queue;
+  size_t active_jobs = 0;                // guarded by queue_mutex
+  std::vector<CancelToken> running;      // guarded by queue_mutex
+  std::atomic<bool> workers_stop{false};
+
+  std::mutex completed_mutex;
+  std::vector<Completed> completed;
+
+  std::mutex cache_mutex;
+  std::vector<CacheEntry> cache;  // linear LRU; capacity is small
+  uint64_t cache_tick = 0;
+
+  // Live-readable metrics. Registry shard writes are deliberately
+  // lock-free plain stores (obs contract: snapshot only after the writing
+  // threads joined), so Metrics() must never walk a registry that serve
+  // threads still record into. Instead every serve thread records into its
+  // own private registry and publishes finished deltas here — the event
+  // loop once per tick, each worker after every completed job — and
+  // Metrics() copies the aggregate under the same mutex.
+  mutable std::mutex metrics_mutex;
+  obs::MetricsSnapshot published;
+
+  std::atomic<bool> loop_stop{false};
+  bool stopped = false;  // Stop() ran to completion (main thread only)
+  std::thread event_thread;
+  std::vector<std::thread> workers;
+
+  ~Impl() { CloseStartupFds(); }
+
+  void CloseStartupFds() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+    listen_fd = wake_read = wake_write = -1;
+  }
+
+  void Wake() {
+    char byte = 'w';
+    if (wake_write >= 0) {
+      [[maybe_unused]] ssize_t n = ::write(wake_write, &byte, 1);
+    }
+  }
+
+  size_t QueueDepth() {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    return queue.size();
+  }
+
+  // Folds everything `local` accumulated since its last publish into the
+  // shared aggregate and clears it. Only the owning thread may call this
+  // (and only while no parallel region is recording into `local`), which
+  // is exactly the obs snapshot contract.
+  void PublishMetrics(obs::MetricsRegistry& local) {
+    const obs::MetricsSnapshot delta = local.Snapshot();
+    local.Reset();
+    std::lock_guard<std::mutex> lock(metrics_mutex);
+    published.enabled = true;
+    MergeSnapshot(delta, &published);
+  }
+
+  bool CacheLookup(const MineRequest& req, std::string* panel) {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    for (CacheEntry& e : cache) {
+      if (e.eta_min == req.eta_min && e.eta_max == req.eta_max &&
+          e.gamma == req.gamma) {
+        e.last_used = ++cache_tick;
+        *panel = e.panel;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void CacheInsert(const MineRequest& req, const std::string& panel) {
+    if (options.cache_capacity == 0) return;
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    for (CacheEntry& e : cache) {
+      if (e.eta_min == req.eta_min && e.eta_max == req.eta_max &&
+          e.gamma == req.gamma) {
+        e.last_used = ++cache_tick;
+        return;  // a concurrent worker already filled this key
+      }
+    }
+    if (cache.size() >= options.cache_capacity) {
+      size_t victim = 0;
+      for (size_t i = 1; i < cache.size(); ++i) {
+        if (cache[i].last_used < cache[victim].last_used) victim = i;
+      }
+      cache.erase(cache.begin() + static_cast<long>(victim));
+    }
+    cache.push_back(
+        {req.eta_min, req.eta_max, req.gamma, panel, ++cache_tick});
+  }
+
+  // --- event-loop side -------------------------------------------------------
+
+  void QueueFrame(Session& s, dist::FrameType type,
+                  const std::string& payload) {
+    const bool was_empty = s.out_off >= s.outbuf.size();
+    s.outbuf += dist::EncodeFrame(type, payload);
+    if (was_empty) s.last_write_progress = Clock::now();
+  }
+
+  void QueueShed(Session& s, ShedReason reason) {
+    ShedReply shed;
+    shed.reason = reason;
+    shed.retry_after_ms = options.retry_after_ms;
+    shed.queue_depth = QueueDepth();
+    QueueFrame(s, dist::FrameType::kServeShed, Encode(shed));
+    obs::Count(obs::Counter::kServeShed);
+  }
+
+  void CloseSession(int fd) {
+    auto it = sessions.find(fd);
+    if (it == sessions.end()) return;
+    // In-flight work for a vanished client is wasted; cancel it. Workers
+    // deliver to (fd, generation), so a recycled fd cannot receive the dead
+    // session's replies.
+    it->second.cancel.Cancel();
+    sessions.erase(it);
+    ::close(fd);
+    session_count.store(sessions.size(), std::memory_order_relaxed);
+    obs::Count(obs::Counter::kServeDisconnects);
+  }
+
+  // Writes as much pending reply data as the socket accepts. Returns false
+  // when the session must be closed (fatal write error or flushed a doomed
+  // session).
+  bool FlushSession(int fd, Session& s) {
+    while (s.out_off < s.outbuf.size()) {
+      if (CATAPULT_FAILPOINT("serve.write_stall")) return true;  // no progress
+      const ssize_t n = ::send(fd, s.outbuf.data() + s.out_off,
+                               s.outbuf.size() - s.out_off, kSendFlags);
+      if (n > 0) {
+        s.out_off += static_cast<size_t>(n);
+        s.last_write_progress = Clock::now();
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer gone or fatal error
+    }
+    s.outbuf.clear();
+    s.out_off = 0;
+    return !s.close_after_flush;
+  }
+
+  void Accept() {
+    for (;;) {
+      if (CATAPULT_FAILPOINT("serve.accept_fail")) {
+        obs::Count(obs::Counter::kServeAcceptFailures);
+        accept_cooldown_until =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   options.accept_retry_ms));
+        return;
+      }
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (TransientAcceptError(errno)) {
+          obs::Count(obs::Counter::kServeAcceptFailures);
+          accept_cooldown_until =
+              Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     options.accept_retry_ms));
+        }
+        return;
+      }
+      if (!SetNonBlocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      Session& s = sessions[fd];
+      s.generation = next_generation++;
+      s.last_activity = Clock::now();
+      s.last_write_progress = s.last_activity;
+      session_count.store(sessions.size(), std::memory_order_relaxed);
+      if (sessions.size() > options.max_sessions) {
+        // Over the cap: tell the client to retry, then hang up. The cap
+        // counts this doomed session too, so a connect storm cannot hold
+        // unbounded descriptors.
+        s.close_after_flush = true;
+        QueueShed(s, ShedReason::kSessionLimit);
+        if (!FlushSession(fd, s)) CloseSession(fd);
+        continue;
+      }
+      obs::Count(obs::Counter::kServeAccepted);
+      obs::SetGaugeMax(obs::Gauge::kServeSessionsPeak, sessions.size());
+    }
+  }
+
+  // Handles one decoded frame. Returns false when the stream must be
+  // poisoned (the caller disconnects the client).
+  bool HandleFrame(int fd, Session& s, const dist::Frame& frame) {
+    switch (frame.type) {
+      case dist::FrameType::kServePing: {
+        PingRequest ping;
+        if (!Decode(frame.payload, &ping)) return false;
+        PongReply pong;
+        pong.nonce = ping.nonce;
+        pong.sessions = sessions.size();
+        pong.queue_depth = QueueDepth();
+        pong.draining = self->draining();
+        QueueFrame(s, dist::FrameType::kServePong, Encode(pong));
+        return true;
+      }
+      case dist::FrameType::kServeRequest: {
+        MineRequest req;
+        if (!Decode(frame.payload, &req)) return false;
+        HandleMineRequest(fd, s, req);
+        return true;
+      }
+      default:
+        // Clients have no business sending worker-pipe or server->client
+        // frames; framing discipline is gone.
+        return false;
+    }
+  }
+
+  void HandleMineRequest(int fd, Session& s, const MineRequest& req) {
+    obs::Count(obs::Counter::kServeRequests);
+    if (req.protocol_version != kProtocolVersion) {
+      ErrorReply err;
+      err.message = "protocol version mismatch";
+      QueueFrame(s, dist::FrameType::kServeError, Encode(err));
+      return;
+    }
+    CatapultOptions opts = RequestOptions(req);
+    const std::vector<OptionsError> errors = ValidateCatapultOptions(opts);
+    if (!errors.empty()) {
+      ErrorReply err;
+      err.message = errors.front().field + ": " + errors.front().message;
+      QueueFrame(s, dist::FrameType::kServeError, Encode(err));
+      return;
+    }
+    if (self->draining()) {
+      QueueShed(s, ShedReason::kDraining);
+      return;
+    }
+    if (!req.bypass_cache) {
+      std::string panel;
+      if (CacheLookup(req, &panel)) {
+        obs::Count(obs::Counter::kServeCacheHits);
+        obs::Count(obs::Counter::kServeResponses);
+        MineReply reply;
+        reply.cache_hit = true;
+        reply.panel = std::move(panel);
+        QueueFrame(s, dist::FrameType::kServeResponse, Encode(reply));
+        return;
+      }
+      obs::Count(obs::Counter::kServeCacheMisses);
+    }
+    // Admission decision under the queue lock, shed reply outside it
+    // (QueueShed re-locks for the depth stamp).
+    enum class Admit { kEnqueued, kShedQueue, kShedMemory };
+    Admit verdict = Admit::kEnqueued;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (CATAPULT_FAILPOINT("serve.overload") ||
+          queue.size() >= options.max_queue_depth) {
+        verdict = Admit::kShedQueue;
+      } else if (CATAPULT_FAILPOINT("serve.memory_pressure") ||
+                 memory.SoftExceeded()) {
+        verdict = Admit::kShedMemory;
+      } else {
+        Job job;
+        job.fd = fd;
+        job.generation = s.generation;
+        job.request = req;
+        double deadline_ms = req.deadline_ms > 0.0
+                                 ? req.deadline_ms
+                                 : options.default_deadline_ms;
+        if (options.max_deadline_ms > 0.0 &&
+            (deadline_ms <= 0.0 || deadline_ms > options.max_deadline_ms)) {
+          deadline_ms = options.max_deadline_ms;
+        }
+        job.deadline = deadline_ms > 0.0 ? Deadline::AfterMillis(deadline_ms)
+                                         : Deadline::Infinite();
+        job.cancel = s.cancel;
+        job.admitted = Clock::now();
+        queue.push_back(std::move(job));
+        s.in_flight++;
+        obs::SetGaugeMax(obs::Gauge::kServeQueueDepthPeak, queue.size());
+        queue_cv.notify_one();
+      }
+    }
+    if (verdict == Admit::kShedQueue) QueueShed(s, ShedReason::kQueueFull);
+    if (verdict == Admit::kShedMemory) {
+      QueueShed(s, ShedReason::kMemoryPressure);
+    }
+  }
+
+  CatapultOptions RequestOptions(const MineRequest& req) const {
+    CatapultOptions opts = options.pipeline;
+    opts.selector.budget.eta_min = static_cast<size_t>(req.eta_min);
+    opts.selector.budget.eta_max = static_cast<size_t>(req.eta_max);
+    opts.selector.budget.gamma = static_cast<size_t>(req.gamma);
+    // A custom size distribution is corpus configuration, not something a
+    // request can express; budgets from the wire use the uniform default.
+    opts.selector.budget.size_distribution.clear();
+    // Deadline and memory come from the job's RunContext (per-request
+    // deadline, shared server-wide ledger), and serving neither checkpoints
+    // nor shards per request.
+    opts.deadline_ms = 0.0;
+    opts.mem_soft_limit_bytes = 0;
+    opts.mem_hard_limit_bytes = 0;
+    opts.checkpoint_dir.clear();
+    opts.resume = false;
+    opts.processes = 0;
+    return opts;
+  }
+
+  void DeliverCompleted() {
+    std::vector<Completed> batch;
+    {
+      std::lock_guard<std::mutex> lock(completed_mutex);
+      batch.swap(completed);
+    }
+    for (Completed& c : batch) {
+      auto it = sessions.find(c.fd);
+      if (it == sessions.end() || it->second.generation != c.generation) {
+        continue;  // session died while the job ran; reply has no reader
+      }
+      Session& s = it->second;
+      if (s.in_flight > 0) s.in_flight--;
+      if (!c.bytes.empty()) {
+        const bool was_empty = s.out_off >= s.outbuf.size();
+        s.outbuf += c.bytes;
+        if (was_empty) s.last_write_progress = Clock::now();
+        if (!FlushSession(c.fd, s)) CloseSession(c.fd);
+      }
+    }
+  }
+
+  void SweepSessions(Clock::time_point now) {
+    std::vector<int> doomed;
+    for (auto& [fd, s] : sessions) {
+      const bool has_pending = s.out_off < s.outbuf.size();
+      if (has_pending &&
+          MillisSince(s.last_write_progress, now) > options.write_timeout_ms) {
+        obs::Count(obs::Counter::kServeWriteTimeouts);
+        doomed.push_back(fd);
+        continue;
+      }
+      if (!has_pending && s.in_flight == 0 && options.idle_timeout_ms > 0.0 &&
+          MillisSince(s.last_activity, now) > options.idle_timeout_ms) {
+        obs::Count(obs::Counter::kServeIdleReaped);
+        doomed.push_back(fd);
+      }
+    }
+    for (int fd : doomed) CloseSession(fd);
+  }
+
+  void HandleReadable(int fd) {
+    auto it = sessions.find(fd);
+    if (it == sessions.end()) return;
+    Session& s = it->second;
+    char buf[16384];
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        s.reader.Feed(buf, static_cast<size_t>(n));
+        s.last_activity = Clock::now();
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_closed = true;
+      break;
+    }
+    while (!s.reader.corrupt()) {
+      std::optional<dist::Frame> frame = s.reader.Next();
+      if (!frame.has_value()) break;
+      s.last_activity = Clock::now();
+      if (!HandleFrame(fd, s, *frame)) {
+        s.reader.Poison("undecodable or unexpected frame payload");
+        break;
+      }
+      // HandleFrame may have doomed the session (close_after_flush); stop
+      // consuming further frames from it.
+      if (s.close_after_flush) break;
+    }
+    if (s.reader.corrupt()) {
+      obs::Count(obs::Counter::kServePoisonedStreams);
+      CloseSession(fd);
+      return;
+    }
+    if (!FlushSession(fd, s)) {
+      CloseSession(fd);
+      return;
+    }
+    if (peer_closed) CloseSession(fd);
+  }
+
+  void EventLoop() {
+    // Private registry: this thread is its only writer, so the per-tick
+    // PublishMetrics snapshot below never races a live shard.
+    obs::MetricsRegistry loop_metrics;
+    obs::ScopedMetricsScope metrics_scope(&loop_metrics);
+    std::vector<pollfd> fds;
+    std::vector<int> session_fds;
+    std::vector<uint64_t> session_gens;
+    bool listen_open = true;
+    while (!loop_stop.load(std::memory_order_relaxed)) {
+      const Clock::time_point now = Clock::now();
+      if (listen_open && self->draining()) {
+        // Drain begins: stop accepting. Unlinking the path now makes new
+        // connect() attempts fail fast instead of queueing in the backlog.
+        ::close(listen_fd);
+        listen_fd = -1;
+        ::unlink(options.socket_path.c_str());
+        listen_open = false;
+      }
+      fds.clear();
+      session_fds.clear();
+      session_gens.clear();
+      fds.push_back({wake_read, POLLIN, 0});
+      const bool accept_ready = listen_open && now >= accept_cooldown_until;
+      if (accept_ready) fds.push_back({listen_fd, POLLIN, 0});
+      for (auto& [fd, s] : sessions) {
+        short events = POLLIN;
+        if (s.out_off < s.outbuf.size()) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+        session_fds.push_back(fd);
+        session_gens.push_back(s.generation);
+      }
+      ::poll(fds.data(), fds.size(), /*timeout_ms=*/20);
+
+      if (fds[0].revents & POLLIN) {
+        char drain[64];
+        while (::read(wake_read, drain, sizeof(drain)) > 0) {
+        }
+      }
+      DeliverCompleted();
+      size_t idx = 1;
+      if (accept_ready) {
+        if (fds[idx].revents & (POLLIN | POLLERR)) Accept();
+        ++idx;
+      }
+      for (size_t i = 0; i < session_fds.size(); ++i) {
+        const pollfd& p = fds[idx + i];
+        const int fd = p.fd;
+        // The session may have been closed this tick — and a fresh accept
+        // may have recycled its fd number. Only the session the revents
+        // were polled for may act on them.
+        auto live = sessions.find(fd);
+        if (live == sessions.end() ||
+            live->second.generation != session_gens[i]) {
+          continue;
+        }
+        if (p.revents & (POLLERR | POLLNVAL)) {
+          CloseSession(fd);
+          continue;
+        }
+        if (p.revents & POLLOUT) {
+          auto it = sessions.find(fd);
+          if (it != sessions.end() && !FlushSession(fd, it->second)) {
+            CloseSession(fd);
+            continue;
+          }
+        }
+        if (p.revents & (POLLIN | POLLHUP)) HandleReadable(fd);
+      }
+      SweepSessions(Clock::now());
+
+      uint64_t pending = 0;
+      for (auto& [fd, s] : sessions) {
+        pending += s.outbuf.size() - s.out_off;
+      }
+      pending_out_bytes.store(pending, std::memory_order_relaxed);
+      PublishMetrics(loop_metrics);
+    }
+    PublishMetrics(loop_metrics);
+    // Shutdown: drop every session and the listening socket.
+    for (auto& [fd, s] : sessions) {
+      s.cancel.Cancel();
+      ::close(fd);
+    }
+    sessions.clear();
+    session_count.store(0, std::memory_order_relaxed);
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    ::unlink(options.socket_path.c_str());
+  }
+
+  // --- worker side -----------------------------------------------------------
+
+  void WorkerLoop(size_t worker_index) {
+    // Private registry, same discipline as the event loop's: the selection
+    // pipeline's ParallelFor threads record into it too, but they join
+    // before RunCatapultSelection returns, so publishing after each job
+    // observes fully-quiesced shards.
+    obs::MetricsRegistry worker_metrics;
+    obs::ScopedMetricsScope metrics_scope(&worker_metrics);
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [this] {
+          return !queue.empty() || workers_stop.load(std::memory_order_relaxed);
+        });
+        if (queue.empty()) return;  // workers_stop and nothing left
+        job = std::move(queue.front());
+        queue.pop_front();
+        active_jobs++;
+        running[worker_index] = job.cancel;
+      }
+      RunJob(job, worker_metrics);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        active_jobs--;
+        running[worker_index] = CancelToken();
+      }
+    }
+  }
+
+  void RunJob(const Job& job, obs::MetricsRegistry& metrics) {
+    // Test hook: hold the job so chaos tests can pile up the queue or
+    // disconnect the client mid-request.
+    while (CATAPULT_FAILPOINT("serve.worker_hold") && !job.cancel.Cancelled() &&
+           !workers_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Completed done;
+    done.fd = job.fd;
+    done.generation = job.generation;
+    if (!job.cancel.Cancelled() &&
+        !workers_stop.load(std::memory_order_relaxed)) {
+      const CatapultOptions opts = RequestOptions(job.request);
+      RunContext ctx(job.deadline, job.cancel, memory);
+      ctx = ctx.WithObservability(&metrics, nullptr);
+      const CatapultResult result =
+          RunCatapultSelection(*db, *corpus, opts, ctx);
+
+      Panel panel;
+      panel.degraded = result.execution.Degraded();
+      panel.labels = label_names;
+      panel.patterns = result.selection.patterns;
+      const std::string panel_bytes = EncodePanel(panel);
+      // Degraded panels are one deadline's best effort, not the answer for
+      // this budget; caching them would freeze the degradation.
+      if (!panel.degraded) CacheInsert(job.request, panel_bytes);
+
+      MineReply reply;
+      reply.cache_hit = false;
+      reply.panel = panel_bytes;
+      done.bytes =
+          dist::EncodeFrame(dist::FrameType::kServeResponse, Encode(reply));
+      obs::Count(obs::Counter::kServeResponses);
+      if (panel.degraded) obs::Count(obs::Counter::kServeDegraded);
+      obs::Observe(obs::Hist::kServeRequestMillis,
+                   static_cast<uint64_t>(
+                       MillisSince(job.admitted, Clock::now())));
+    }
+    // Publish before queueing the completion: once a client can observe
+    // the reply, this job's counters are already visible in Metrics().
+    PublishMetrics(metrics);
+    {
+      std::lock_guard<std::mutex> lock(completed_mutex);
+      completed.push_back(std::move(done));
+    }
+    Wake();
+  }
+
+  // True when no work is queued, running, or waiting to be written.
+  bool Quiesced() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (!queue.empty() || active_jobs != 0) return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(completed_mutex);
+      if (!completed.empty()) return false;
+    }
+    return pending_out_bytes.load(std::memory_order_relaxed) == 0;
+  }
+};
+
+Server::Server() = default;
+
+Server::~Server() { Stop(); }
+
+std::string Server::Start(const GraphDatabase& db, const ServeOptions& options,
+                          const PreparedCorpus* prepared) {
+  if (started_) return "already started";
+  if (options.socket_path.empty()) return "options: socket_path is required";
+  {
+    const std::vector<OptionsError> errors =
+        ValidateCatapultOptions(options.pipeline);
+    if (!errors.empty()) {
+      return "options: " + errors.front().field + ": " +
+             errors.front().message;
+    }
+  }
+
+  auto impl = std::make_unique<Impl>();
+  impl->self = this;
+  impl->db = &db;
+  impl->options = options;
+  if (impl->options.worker_threads == 0) impl->options.worker_threads = 1;
+  if (impl->options.max_queue_depth == 0) impl->options.max_queue_depth = 1;
+  if (impl->options.max_sessions == 0) impl->options.max_sessions = 1;
+
+  sockaddr_un addr{};
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return "options: socket_path too long for AF_UNIX";
+  }
+
+  if (options.pipeline.mem_hard_limit_bytes != 0 ||
+      options.pipeline.mem_soft_limit_bytes != 0) {
+    impl->memory = MemoryBudget::Limited(options.pipeline.mem_soft_limit_bytes,
+                                         options.pipeline.mem_hard_limit_bytes);
+  }
+
+  if (prepared != nullptr) {
+    if (!prepared->ok()) return "options: prepared corpus carries errors";
+    impl->corpus = prepared;
+  } else {
+    RunContext prepare_ctx(Deadline::Infinite(), CancelToken(), impl->memory);
+    prepare_ctx = prepare_ctx.WithObservability(&metrics_, nullptr);
+    impl->owned_corpus = PrepareCorpus(db, options.pipeline, prepare_ctx);
+    if (!impl->owned_corpus.ok()) {
+      return "options: " + impl->owned_corpus.option_errors.front().field +
+             ": " + impl->owned_corpus.option_errors.front().message;
+    }
+    impl->corpus = &impl->owned_corpus;
+  }
+
+  const LabelMap& labels = db.labels();
+  impl->label_names.reserve(labels.size());
+  for (size_t l = 0; l < labels.size(); ++l) {
+    impl->label_names.push_back(labels.Name(static_cast<Label>(l)));
+  }
+
+  impl->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl->listen_fd < 0) return std::string("socket: ") + std::strerror(errno);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
+  ::unlink(options.socket_path.c_str());  // replace a stale socket file
+  if (::bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return std::string("bind: ") + std::strerror(errno);
+  }
+  if (::listen(impl->listen_fd, 64) != 0) {
+    return std::string("listen: ") + std::strerror(errno);
+  }
+  if (!SetNonBlocking(impl->listen_fd)) {
+    return std::string("fcntl: ") + std::strerror(errno);
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return std::string("pipe: ") + std::strerror(errno);
+  }
+  impl->wake_read = pipe_fds[0];
+  impl->wake_write = pipe_fds[1];
+  SetNonBlocking(impl->wake_read);
+  SetNonBlocking(impl->wake_write);
+
+  socket_path_ = options.socket_path;
+  impl_ = std::move(impl);
+  impl_->running.resize(impl_->options.worker_threads);
+  impl_->event_thread = std::thread([this] { impl_->EventLoop(); });
+  impl_->workers.reserve(impl_->options.worker_threads);
+  for (size_t i = 0; i < impl_->options.worker_threads; ++i) {
+    impl_->workers.emplace_back([this, i] { impl_->WorkerLoop(i); });
+  }
+  started_ = true;
+  return "";
+}
+
+void Server::BeginDrain() {
+  if (impl_ == nullptr) return;
+  draining_.store(true, std::memory_order_relaxed);
+  impl_->Wake();
+}
+
+void Server::Stop() {
+  if (impl_ == nullptr || impl_->stopped) return;
+  BeginDrain();
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             impl_->options.drain_timeout_ms));
+  while (Clock::now() < give_up && !impl_->Quiesced()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Whatever survived the drain window is cancelled, not awaited.
+  impl_->workers_stop.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    for (Impl::Job& job : impl_->queue) job.cancel.Cancel();
+    impl_->queue.clear();
+    for (CancelToken& token : impl_->running) token.Cancel();
+  }
+  impl_->queue_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  impl_->loop_stop.store(true, std::memory_order_relaxed);
+  impl_->Wake();
+  impl_->event_thread.join();
+  impl_->stopped = true;
+}
+
+size_t Server::active_sessions() const {
+  return impl_ ? impl_->session_count.load(std::memory_order_relaxed) : 0;
+}
+
+size_t Server::queue_depth() const {
+  return impl_ ? impl_->QueueDepth() : 0;
+}
+
+obs::MetricsSnapshot Server::Metrics() const {
+  // metrics_ holds only what corpus preparation recorded, single-threaded
+  // inside Start; nothing writes it once the serve threads exist, so this
+  // Snapshot honours the registry's quiescence contract. Everything the
+  // serve threads record arrives via their published deltas.
+  obs::MetricsSnapshot out = metrics_.Snapshot();
+  if (impl_ != nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->metrics_mutex);
+    MergeSnapshot(impl_->published, &out);
+  }
+  return out;
+}
+
+const PreparedCorpus& Server::corpus() const {
+  static const PreparedCorpus kEmpty;
+  return impl_ && impl_->corpus ? *impl_->corpus : kEmpty;
+}
+
+#else  // !CATAPULT_SERVE_POSIX
+
+struct Server::Impl {};
+
+Server::Server() = default;
+Server::~Server() = default;
+
+std::string Server::Start(const GraphDatabase&, const ServeOptions&,
+                          const PreparedCorpus*) {
+  return "unsupported platform: the pattern-selection service needs POSIX "
+         "sockets";
+}
+
+void Server::BeginDrain() {}
+void Server::Stop() {}
+size_t Server::active_sessions() const { return 0; }
+size_t Server::queue_depth() const { return 0; }
+obs::MetricsSnapshot Server::Metrics() const { return metrics_.Snapshot(); }
+
+const PreparedCorpus& Server::corpus() const {
+  static const PreparedCorpus kEmpty;
+  return kEmpty;
+}
+
+#endif  // CATAPULT_SERVE_POSIX
+
+}  // namespace catapult::serve

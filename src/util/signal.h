@@ -1,0 +1,66 @@
+#ifndef CATAPULT_UTIL_SIGNAL_H_
+#define CATAPULT_UTIL_SIGNAL_H_
+
+#include <csignal>
+
+#include "src/util/deadline.h"
+
+// Self-pipe shutdown-signal bridge shared by the CLI and the server
+// (DESIGN.md §13). SIGINT/SIGTERM must wind a run down cooperatively, but a
+// signal handler may only touch async-signal-safe state: no mutexes, no
+// allocation, no condition variables. The handler here does exactly two
+// POSIX-blessed things — store the signal number into a sig_atomic_t and
+// write() one byte to a private non-blocking pipe — and a background watcher
+// thread does everything else outside signal context: it cancels the shared
+// CancelToken (so RunContext::StopRequested observes the shutdown) and
+// forwards one byte to every subscribed pipe (so poll()-driven event loops
+// like catapult_serve wake immediately).
+//
+// This replaces the CLI's previous std::signal handler, which cancelled a
+// global CancelToken directly from signal context — benign on the platforms
+// we run on, but outside the async-signal-safety contract — and gives the
+// server a fd it can fold into its poll set.
+
+namespace catapult {
+
+class ShutdownSignals {
+ public:
+  // The process-wide instance. The first call installs sigaction handlers
+  // (SA_RESTART) for SIGINT and SIGTERM and starts the watcher thread; the
+  // instance is intentionally never destroyed so a signal arriving during
+  // static destruction still has valid state to land in.
+  static ShutdownSignals& Instance();
+
+  // Cancelled by the watcher as soon as a shutdown signal arrives. Hand it
+  // (or a copy) into RunContext so the pipeline winds down cooperatively.
+  CancelToken token() const;
+
+  // The last shutdown signal received, 0 if none yet. A plain read of a
+  // sig_atomic_t, safe from any thread.
+  int last_signal() const;
+  bool Received() const { return last_signal() != 0; }
+
+  // Registers and returns the read end of a fresh pipe that becomes
+  // readable (one byte, the signal number) when a shutdown signal arrives.
+  // Poll loops fold it into their fd set; the caller owns the returned fd
+  // and closes it when done. A signal already received is reported
+  // immediately (the byte is pre-written), so subscribing is race-free.
+  int SubscribeFd();
+
+  // Test hook: re-arms the bridge as if no signal had been seen — installs
+  // a fresh token and clears the latched signal number. Previously
+  // subscribed fds are dropped (tests close them). Not for production use:
+  // a real shutdown request must stay latched.
+  void ResetForTest();
+
+  ShutdownSignals(const ShutdownSignals&) = delete;
+  ShutdownSignals& operator=(const ShutdownSignals&) = delete;
+
+ private:
+  ShutdownSignals();
+  void WatcherLoop();
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_UTIL_SIGNAL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -10,8 +11,14 @@
 #include "src/util/failpoint.h"
 #include "src/util/mem_budget.h"
 #include "src/util/rng.h"
+#include "src/util/signal.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <unistd.h>
+#endif
 
 namespace catapult {
 namespace {
@@ -401,6 +408,88 @@ TEST(FailpointTest, ConcurrentArmDisarmDoesNotWedgeEvaluate) {
   for (auto& th : evaluators) th.join();
   EXPECT_FALSE(CATAPULT_FAILPOINT("test.churn"));
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// The self-pipe signal bridge (src/util/signal.h). raise() delivers to this
+// process; the sigaction handlers installed by Instance() catch it, so these
+// tests never die to the default disposition. Every test re-arms the bridge
+// afterwards so a latched signal cannot leak into another test.
+
+namespace {
+// The watcher thread cancels the token asynchronously; poll for it.
+bool TokenCancelledWithin(const CancelToken& token, int millis) {
+  for (int i = 0; i < millis; ++i) {
+    if (token.Cancelled()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return token.Cancelled();
+}
+}  // namespace
+
+TEST(ShutdownSignalsTest, SignalLatchesAndCancelsToken) {
+  ShutdownSignals& signals = ShutdownSignals::Instance();
+  signals.ResetForTest();
+  const CancelToken token = signals.token();
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_FALSE(signals.Received());
+
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(TokenCancelledWithin(token, 2000));
+  EXPECT_EQ(signals.last_signal(), SIGTERM);
+  EXPECT_TRUE(signals.Received());
+  signals.ResetForTest();
+}
+
+TEST(ShutdownSignalsTest, SubscribedFdWakesOnSignal) {
+  ShutdownSignals& signals = ShutdownSignals::Instance();
+  signals.ResetForTest();
+  const int fd = signals.SubscribeFd();
+  ASSERT_GE(fd, 0);
+
+  // Not readable before any signal.
+  pollfd idle{fd, POLLIN, 0};
+  EXPECT_EQ(::poll(&idle, 1, 0), 0);
+
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  pollfd woken{fd, POLLIN, 0};
+  EXPECT_EQ(::poll(&woken, 1, 2000), 1);
+  char byte = 0;
+  EXPECT_EQ(::read(fd, &byte, 1), 1);
+  EXPECT_EQ(static_cast<int>(byte), SIGINT);
+  ::close(fd);
+  signals.ResetForTest();
+}
+
+TEST(ShutdownSignalsTest, SubscribingAfterSignalIsRaceFree) {
+  ShutdownSignals& signals = ShutdownSignals::Instance();
+  signals.ResetForTest();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  ASSERT_TRUE(TokenCancelledWithin(signals.token(), 2000));
+
+  // A subscriber arriving late still sees the byte immediately.
+  const int fd = signals.SubscribeFd();
+  ASSERT_GE(fd, 0);
+  pollfd p{fd, POLLIN, 0};
+  EXPECT_EQ(::poll(&p, 1, 2000), 1);
+  ::close(fd);
+  signals.ResetForTest();
+}
+
+TEST(ShutdownSignalsTest, ResetForTestRearmsTheBridge) {
+  ShutdownSignals& signals = ShutdownSignals::Instance();
+  signals.ResetForTest();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  ASSERT_TRUE(TokenCancelledWithin(signals.token(), 2000));
+
+  signals.ResetForTest();
+  EXPECT_FALSE(signals.Received());
+  EXPECT_EQ(signals.last_signal(), 0);
+  // A fresh token is installed; the old cancellation does not bleed over.
+  EXPECT_FALSE(signals.token().Cancelled());
+}
+
+#endif  // __unix__ || __APPLE__
 
 }  // namespace
 }  // namespace catapult
