@@ -5,7 +5,7 @@
 //       Write a synthetic molecule-like database in gSpan text format.
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
 //        [--seed S] [--sampling] [--deadline-ms MS] [--threads N]
-//        [--processes N] [--max-shard-retries N]
+//        [--processes N] [--max-shard-retries N] [--listen ADDR]
 //        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
 //        [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
 //        [--mem-budget-mb MB] [--strict-parse]
@@ -36,6 +36,16 @@
 //       --max-shard-retries failures per shard before the shard is
 //       quarantined and executed in-process. Output stays bit-identical to
 //       a single-process run for the same seed.
+//       --listen ADDR ("unix:PATH" or "tcp:HOST:PORT") runs the shards on
+//       a remote worker fleet instead of forked children (DESIGN.md
+//       Section 14): the supervisor listens on ADDR and catapult_worker
+//       processes dial in, handshake (protocol + config fingerprint), and
+//       carry shards over the socket. Dead, hung, or fenced workers are
+//       survived exactly like crashed forks; if the whole fleet is lost
+//       the shards fall back in-process and the run exits with code 7.
+//       --join-timeout-ms bounds how long the supervisor waits for a
+//       (re)joining fleet before declaring it lost (default 10000).
+//       Requires --processes > 1; output stays bit-identical.
 //       Observability (DESIGN.md Section 11): --trace-out writes a Chrome
 //       trace-event JSON file of the run's phase spans (open it in
 //       chrome://tracing or https://ui.perfetto.dev), --metrics-out writes
@@ -60,8 +70,11 @@
 //   5  deadline expiry degraded the result (partial patterns written)
 //   6  sharded execution quarantined at least one shard (patterns written;
 //      bit-identical, but the process-level fault tolerance was exhausted)
+//   7  remote worker fleet lost; the run completed only via the in-process
+//      fallback (patterns written and bit-identical, but no remote worker
+//      contributed a cluster)
 //   130  interrupted by SIGINT/SIGTERM (partial report printed)
-// Codes 4-6 still write the output pattern file before exiting nonzero:
+// Codes 4-7 still write the output pattern file before exiting nonzero:
 // the result is valid, the code only flags how it was obtained.
 
 #include <cstdio>
@@ -96,6 +109,7 @@ constexpr int kExitOptionsError = 3;
 constexpr int kExitResourceBreach = 4;
 constexpr int kExitDeadlineDegraded = 5;
 constexpr int kExitShardQuarantine = 6;
+constexpr int kExitRemoteFallback = 7;
 constexpr int kExitInterrupted = 130;  // shell convention: 128 + SIGINT
 
 // Minimal flag parser: --name value pairs after the subcommand.
@@ -258,6 +272,10 @@ int CmdMine(const Flags& flags) {
   options.max_shard_retries = static_cast<size_t>(
       flags.GetInt("max-shard-retries",
                    static_cast<long>(options.max_shard_retries)));
+  if (auto listen = flags.Get("listen")) options.dist_listen = *listen;
+  options.dist_join_timeout_ms = static_cast<double>(
+      flags.GetInt("join-timeout-ms",
+                   static_cast<long>(options.dist_join_timeout_ms)));
   if (auto dir = flags.Get("checkpoint-dir")) options.checkpoint_dir = *dir;
   options.resume = flags.GetBool("resume");
   options.checkpoint_every_phase =
@@ -348,6 +366,15 @@ int CmdMine(const Flags& flags) {
         d.shards, d.processes, d.workers_spawned, d.worker_deaths,
         d.worker_hangs, d.shard_retries, d.backoff_total_ms,
         d.quarantined_shards, d.inprocess_fallbacks);
+    if (d.remote) {
+      std::printf(
+          "remote: listen=%s joined=%zu rejected=%zu reconnects=%zu "
+          "fenced-frames=%zu remote-clusters=%zu fleet-lost=%zu%s\n",
+          d.listen_address.c_str(), d.workers_joined, d.workers_rejected,
+          d.reconnects, d.fenced_frames, d.remote_clusters,
+          d.fleet_lost_fallbacks,
+          d.remote_fallback_only ? " [fallback-only]" : "");
+    }
     // The full event log only matters when supervision actually had to act.
     if (d.worker_deaths + d.worker_hangs + d.shard_retries +
             d.quarantined_shards >
@@ -397,6 +424,7 @@ int CmdMine(const Flags& flags) {
     return kExitInterrupted;
   }
   if (exec.mem_hard_breached) return kExitResourceBreach;
+  if (exec.dist.remote_fallback_only) return kExitRemoteFallback;
   if (exec.dist.quarantined_shards > 0) return kExitShardQuarantine;
   if (exec.deadline_set && exec.Degraded()) return kExitDeadlineDegraded;
   return kExitOk;

@@ -1,0 +1,148 @@
+// catapult_worker - standalone remote shard worker (DESIGN.md Section 14).
+//
+// Dials a supervising catapult_cli (started with `mine --processes N
+// --listen ADDR`), completes the versioned handshake, and carries shard
+// assignments over the socket until the supervisor says the run is over.
+//
+//   catapult_worker --db FILE --connect ADDR [--name NAME]
+//                   [--gamma N] [--min-size K] [--max-size K] [--seed S]
+//                   [--sampling] [--max-graph-vertices N]
+//                   [--max-graph-edges N] [--max-graphs N] [--strict-parse]
+//                   [--dial-timeout-ms MS] [--max-dial-attempts N]
+//
+// The worker must be launched against the SAME database file and the SAME
+// mining options as the supervisor: the handshake carries a
+// ConfigFingerprint of (options, database) and the supervisor rejects any
+// worker whose fingerprint differs — a fleet silently mixing configs could
+// never be bit-identical. The mining flags here therefore mirror the
+// defaults of `catapult_cli mine` exactly; pass the same values you passed
+// to the supervisor.
+//
+// Exit status:
+//   0   run completed (supervisor sent an orderly shutdown)
+//   1   usage or I/O error
+//   2   database parse error
+//   20  could not reach the supervisor within the dial budget
+//   21  supervisor rejected the handshake (version/fingerprint/namespace)
+//   22  supervisor spoke an unintelligible protocol
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/core/catapult.h"
+#include "src/dist/net_worker.h"
+#include "src/graph/io.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using namespace catapult;
+
+// Minimal flag parser: --name value pairs (same shape as catapult_cli).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_.emplace_back(argv[i] + 2, argv[i + 1]);
+      }
+    }
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 &&
+          (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0)) {
+        values_.emplace_back(argv[i] + 2, "true");
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return value;
+    }
+    return std::nullopt;
+  }
+
+  long GetInt(const std::string& name, long fallback) const {
+    auto v = Get(name);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+
+  bool GetBool(const std::string& name) const { return Get(name).has_value(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: catapult_worker --db FILE --connect ADDR [--flags]\n"
+               "(see the header of examples/catapult_worker.cpp)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  auto db_path = flags.Get("db");
+  auto connect = flags.Get("connect");
+  if (!db_path || !connect) return Usage();
+
+  IngestOptions ingest;
+  ingest.limits.max_vertices_per_graph = static_cast<size_t>(flags.GetInt(
+      "max-graph-vertices",
+      static_cast<long>(ingest.limits.max_vertices_per_graph)));
+  ingest.limits.max_edges_per_graph = static_cast<size_t>(flags.GetInt(
+      "max-graph-edges",
+      static_cast<long>(ingest.limits.max_edges_per_graph)));
+  ingest.limits.max_graphs =
+      static_cast<size_t>(flags.GetInt("max-graphs", 0));
+  ingest.strict = flags.GetBool("strict-parse");
+
+  IngestReport report;
+  ParseError error;
+  auto db = ReadDatabaseFromFile(*db_path, ingest, &report, &error);
+  if (!db) {
+    std::fprintf(stderr, "%s: %s\n", db_path->c_str(),
+                 error.message.empty() ? "cannot read" : error.message.c_str());
+    return error.line > 0 ? 2 : 1;
+  }
+  if (db->size() == 0) {
+    std::fprintf(stderr, "%s: no graphs ingested\n", db_path->c_str());
+    return 2;
+  }
+
+  // Mirror the `catapult_cli mine` option construction exactly: the
+  // handshake fingerprint must match the supervisor's.
+  CatapultOptions options;
+  options.ingest_digest = report.quarantine_digest;
+  options.selector.budget.gamma =
+      static_cast<size_t>(flags.GetInt("gamma", 12));
+  options.selector.budget.eta_min =
+      static_cast<size_t>(flags.GetInt("min-size", 3));
+  options.selector.budget.eta_max =
+      static_cast<size_t>(flags.GetInt("max-size", 8));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.clustering.fine_mcs.node_budget = 5000;
+  options.use_sampling = flags.GetBool("sampling");
+
+  dist::RemoteWorkerOptions worker;
+  worker.address = *connect;
+  worker.fingerprint = ConfigFingerprint(options, *db);
+  if (auto name = flags.Get("name")) worker.worker_name = *name;
+  worker.dial_timeout_ms =
+      static_cast<double>(flags.GetInt("dial-timeout-ms", 2000));
+  worker.max_dial_attempts = static_cast<size_t>(
+      flags.GetInt("max-dial-attempts",
+                   static_cast<long>(worker.max_dial_attempts)));
+
+  int code = dist::RunRemoteWorker(*db, worker);
+  if (code == 0) {
+    std::fprintf(stderr, "catapult_worker: run complete\n");
+  } else {
+    std::fprintf(stderr, "catapult_worker: exiting with code %d\n", code);
+  }
+  return code;
+}

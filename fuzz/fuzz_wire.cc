@@ -10,7 +10,8 @@
 //   - the low bit picks the chunking discipline (one Feed vs byte-at-a-time,
 //     which is what shakes out header-reassembly bugs);
 //   - the rest selects which typed decoder additionally sees the raw
-//     remainder directly (worker frames and every serve/protocol.h payload),
+//     remainder directly (worker frames, every serve/protocol.h payload,
+//     and the remote-fleet handshake/assignment frames of DESIGN.md §14),
 //     so one corpus covers the framing and all payload codecs.
 // Every complete frame the reader yields is also dispatched to the decoder
 // matching its frame type, mirroring what the real consumers do.
@@ -91,6 +92,36 @@ void DispatchFrame(const Frame& frame) {
       (void)catapult::serve::Decode(frame.payload, &f);
       break;
     }
+    case FrameType::kJoinRequest: {
+      catapult::dist::JoinRequestFrame f;
+      (void)Decode(frame.payload, &f);
+      break;
+    }
+    case FrameType::kJoinAccept: {
+      catapult::dist::JoinAcceptFrame f;
+      (void)Decode(frame.payload, &f);
+      break;
+    }
+    case FrameType::kJoinReject: {
+      catapult::dist::JoinRejectFrame f;
+      (void)Decode(frame.payload, &f);
+      break;
+    }
+    case FrameType::kShardAssign: {
+      catapult::dist::ShardAssignFrame f;
+      (void)Decode(frame.payload, &f);
+      break;
+    }
+    case FrameType::kClusterResult: {
+      catapult::dist::ClusterResultFrame f;
+      (void)Decode(frame.payload, &f);
+      break;
+    }
+    case FrameType::kShutdown: {
+      catapult::dist::ShutdownFrame f;
+      (void)Decode(frame.payload, &f);
+      break;
+    }
   }
 }
 
@@ -128,7 +159,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // the framing — reachable in production whenever a frame's CRC passes but
   // its payload is hostile.
   const std::string payload(bytes, n);
-  switch ((selector >> 1) % 7) {
+  switch ((selector >> 1) % 11) {
     case 0: {
       catapult::dist::ShardDoneFrame f;
       (void)Decode(payload, &f);
@@ -162,6 +193,28 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     case 6: {
       catapult::serve::PongReply f;
       (void)catapult::serve::Decode(payload, &f);
+      break;
+    }
+    case 7: {
+      catapult::dist::JoinRequestFrame f;
+      (void)Decode(payload, &f);
+      break;
+    }
+    case 8: {
+      // The hostile-count decoder: member/cluster counts must be capped
+      // against the payload size, never trusted into an allocation.
+      catapult::dist::ShardAssignFrame f;
+      (void)Decode(payload, &f);
+      break;
+    }
+    case 9: {
+      catapult::dist::ClusterResultFrame f;
+      (void)Decode(payload, &f);
+      break;
+    }
+    case 10: {
+      catapult::dist::JoinAcceptFrame f;
+      (void)Decode(payload, &f);
       break;
     }
   }

@@ -336,6 +336,22 @@ std::vector<OptionsError> ValidateCatapultOptions(
       options.mem_soft_limit_bytes > options.mem_hard_limit_bytes) {
     Err("mem_soft_limit_bytes", "must not exceed mem_hard_limit_bytes");
   }
+  const bool remote = !options.dist_listen.empty() ||
+                      options.dist_listen_fd >= 0;
+  if (remote && options.processes <= 1) {
+    Err("dist_listen", "requires processes > 1 (sharded execution)");
+  }
+  if (!options.dist_listen.empty() && options.dist_listen_fd >= 0) {
+    Err("dist_listen", "mutually exclusive with dist_listen_fd");
+  }
+  if (!(options.dist_join_timeout_ms > 0.0) ||
+      !std::isfinite(options.dist_join_timeout_ms)) {
+    Err("dist_join_timeout_ms", "must be positive and finite");
+  }
+  if (!(options.dist_write_stall_timeout_ms > 0.0) ||
+      !std::isfinite(options.dist_write_stall_timeout_ms)) {
+    Err("dist_write_stall_timeout_ms", "must be positive and finite");
+  }
   return errors;
 }
 
@@ -591,6 +607,10 @@ CatapultResult RunCatapult(const GraphDatabase& db,
       dopts.fingerprint = fingerprint;
       dopts.mem_soft_limit_bytes = options.mem_soft_limit_bytes;
       dopts.mem_hard_limit_bytes = options.mem_hard_limit_bytes;
+      dopts.listen_address = options.dist_listen;
+      dopts.listen_fd = options.dist_listen_fd;
+      dopts.join_timeout_ms = options.dist_join_timeout_ms;
+      dopts.write_stall_timeout_ms = options.dist_write_stall_timeout_ms;
       // The sharded phase spans fine clustering and CSG folding, so its
       // slice covers both phases' shares.
       RunContext dist_ctx = run_ctx.Slice(std::min(

@@ -100,6 +100,21 @@ struct CatapultOptions {
   // A worker silent on its heartbeat pipe for this long is declared hung
   // and killed (its shard retries from the last durable artifact).
   double shard_heartbeat_timeout_ms = 2000.0;
+  // Network-transparent sharding (DESIGN.md §14). A non-empty listen
+  // address ("unix:PATH" or "tcp:HOST:PORT") — or an adopted listening fd
+  // — makes the sharded phases supervise remote catapult_worker processes
+  // that dial in, instead of forking workers. Requires processes > 1.
+  // Remote supervision knobs are, like the rest, fingerprint-excluded:
+  // transport never changes results, only where the work runs.
+  std::string dist_listen;
+  int dist_listen_fd = -1;  // already-listening fd to adopt (tests); not owned
+  // With work pending and no member joined (or rejoined) for this long,
+  // the fleet is declared lost and the run completes via the in-process
+  // fallback (reported as remote_fallback_only, CLI exit code 7).
+  double dist_join_timeout_ms = 10000.0;
+  // A remote send stuck for this long marks the connection half-open and
+  // fences the member.
+  double dist_write_stall_timeout_ms = 5000.0;
   // Retry backoff: delay before retry k is min(base * 2^(k-1), cap).
   double shard_backoff_base_ms = 25.0;
   double shard_backoff_cap_ms = 1000.0;

@@ -54,6 +54,21 @@ void WriteSelectionReport(const CatapultResult& result,
   w.Key("artifacts_rejected").Value(
       static_cast<uint64_t>(d.artifacts_rejected));
   w.Key("heartbeats").Value(static_cast<uint64_t>(d.heartbeats));
+  // Network-transparent membership (DESIGN.md §14); all-zero/false for
+  // fork-mode and in-process runs.
+  w.Key("remote").Value(d.remote);
+  w.Key("listen_address").Value(d.listen_address);
+  w.Key("workers_joined").Value(static_cast<uint64_t>(d.workers_joined));
+  w.Key("workers_rejected").Value(static_cast<uint64_t>(d.workers_rejected));
+  w.Key("reconnects").Value(static_cast<uint64_t>(d.reconnects));
+  w.Key("fenced_frames").Value(static_cast<uint64_t>(d.fenced_frames));
+  w.Key("duplicate_clusters").Value(
+      static_cast<uint64_t>(d.duplicate_clusters));
+  w.Key("write_stalls").Value(static_cast<uint64_t>(d.write_stalls));
+  w.Key("remote_clusters").Value(static_cast<uint64_t>(d.remote_clusters));
+  w.Key("fleet_lost_fallbacks").Value(
+      static_cast<uint64_t>(d.fleet_lost_fallbacks));
+  w.Key("remote_fallback_only").Value(d.remote_fallback_only);
   w.EndObject();
 
   w.Key("patterns").BeginArray();

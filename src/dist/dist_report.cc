@@ -26,6 +26,18 @@ const char* ToString(ShardEvent::Kind kind) {
       return "artifact_reused";
     case ShardEvent::Kind::kArtifactRejected:
       return "artifact_rejected";
+    case ShardEvent::Kind::kWorkerJoined:
+      return "worker_joined";
+    case ShardEvent::Kind::kWorkerRejected:
+      return "worker_rejected";
+    case ShardEvent::Kind::kWorkerReconnected:
+      return "worker_reconnected";
+    case ShardEvent::Kind::kWorkerFenced:
+      return "worker_fenced";
+    case ShardEvent::Kind::kShardAssigned:
+      return "shard_assigned";
+    case ShardEvent::Kind::kFleetLost:
+      return "fleet_lost";
   }
   return "unknown";
 }

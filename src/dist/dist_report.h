@@ -25,6 +25,13 @@ struct ShardEvent {
     kShardCompleted,     // shard results merged
     kArtifactReused,     // worker resumed from a prior attempt's checkpoint
     kArtifactRejected,   // shard artifact failed validation; recomputed
+    // Remote-fleet membership (DESIGN.md §14).
+    kWorkerJoined,       // handshake admitted a fresh member
+    kWorkerRejected,     // handshake refused; detail = typed reason
+    kWorkerReconnected,  // known identity rejoined at a bumped generation
+    kWorkerFenced,       // member declared dead; old generation retired
+    kShardAssigned,      // shard's missing clusters sent to a member
+    kFleetLost,          // no members left; remaining shards fall back
   };
 
   Kind kind = Kind::kWorkerSpawned;
@@ -53,6 +60,22 @@ struct DistReport {
   size_t artifacts_reused = 0;
   size_t artifacts_rejected = 0;
   size_t heartbeats = 0;
+
+  // Remote fleet (socket transport); all zero / false for fork-mode runs.
+  bool remote = false;
+  std::string listen_address;     // resolved listener endpoint
+  size_t workers_joined = 0;      // admissions (fresh joins + reconnects)
+  size_t workers_rejected = 0;    // typed handshake refusals
+  size_t reconnects = 0;          // rejoins of a fenced identity
+  size_t fenced_frames = 0;       // stale-generation frames discarded
+  size_t duplicate_clusters = 0;  // re-delivered results ignored
+  size_t write_stalls = 0;        // sends that hit the stall deadline
+  size_t remote_clusters = 0;     // cluster results accepted over sockets
+  size_t fleet_lost_fallbacks = 0;  // shards abandoned to fallback on loss
+  // True when the remote fleet was lost entirely and the run completed
+  // only via the in-process fallback — degraded-but-correct; surfaced as
+  // a distinct CLI exit code.
+  bool remote_fallback_only = false;
 
   std::vector<ShardEvent> events;
 };

@@ -1,0 +1,616 @@
+#include "src/dist/membership.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/dist/channel.h"
+#include "src/dist/registry.h"
+#include "src/dist/wire.h"
+#include "src/obs/metrics.h"
+#include "src/util/backoff.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <errno.h>
+#include <poll.h>
+#define CATAPULT_DIST_NET_POSIX 1
+#endif
+
+namespace catapult::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+Clock::time_point AfterMillis(Clock::time_point from, double ms) {
+  return from + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+#if defined(CATAPULT_DIST_NET_POSIX)
+
+RemoteFleetOutcome RunRemoteFleet(
+    const ShardExecutionSpec& spec, const ShardPlan& plan,
+    const DistOptions& options, const RunContext& ctx, DistReport* report,
+    std::vector<std::optional<ShardClusterResult>>* cluster_results) {
+  RemoteFleetOutcome outcome;
+
+  Listener listener;
+  if (options.listen_fd >= 0) {
+    listener.Adopt(options.listen_fd);
+  } else {
+    Address addr;
+    std::string err;
+    if (!ParseAddress(options.listen_address, &addr, &err) ||
+        !(err = listener.Listen(addr)).empty()) {
+      // An unusable listener is fleet loss before the fleet existed; the
+      // caller's fallback rungs finish the run.
+      report->events.push_back(ShardEvent{ShardEvent::Kind::kFleetLost, 0,
+                                          "listener: " + err});
+      outcome.fleet_lost = true;
+      return outcome;
+    }
+  }
+  report->listen_address = listener.address();
+
+  const double hb_interval_ms =
+      options.heartbeat_interval_ms > 0.0
+          ? options.heartbeat_interval_ms
+          : std::max(options.heartbeat_timeout_ms / 4.0, 1.0);
+
+  struct ShardState {
+    enum class Phase { kPending, kAssigned, kDone, kQuarantined };
+    Phase phase = Phase::kPending;
+    size_t attempt = 0;  // failures so far
+    Clock::time_point retry_after{};
+    std::string last_error;
+  };
+  using ShardPhase = ShardState::Phase;
+
+  struct Conn {
+    enum class State { kHandshaking, kActive, kFenced };
+    std::unique_ptr<Channel> channel;
+    FrameReader reader;
+    State state = State::kHandshaking;
+    uint64_t worker_id = 0;
+    uint64_t generation = 0;
+    Clock::time_point last_heartbeat{};
+    Clock::time_point handshake_deadline{};
+    // Index into plan.shards, or npos when idle.
+    size_t assigned_shard = static_cast<size_t>(-1);
+    std::vector<uint64_t> worker_counters;
+    bool got_done = false;
+  };
+  using ConnState = Conn::State;
+  constexpr size_t kNone = static_cast<size_t>(-1);
+
+  std::vector<ShardState> shards(plan.shards.size());
+  std::vector<std::unique_ptr<Conn>> conns;
+  WorkerRegistry registry;
+  ExponentialBackoff backoff(options.backoff_base_ms, options.backoff_cap_ms);
+
+  // Shards whose every cluster already has a result (prior-run artifacts
+  // pre-loaded by the caller) are complete before any worker joins.
+  auto shard_missing = [&](size_t s) {
+    std::vector<size_t> missing;
+    for (size_t idx : plan.shards[s]) {
+      if (!(*cluster_results)[idx].has_value()) missing.push_back(idx);
+    }
+    return missing;
+  };
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shard_missing(s).empty()) shards[s].phase = ShardPhase::kDone;
+  }
+
+  auto event = [&](ShardEvent::Kind kind, size_t shard,
+                   std::string detail = "") {
+    report->events.push_back(ShardEvent{kind, shard, std::move(detail)});
+  };
+
+  auto quarantine = [&](size_t s, const std::string& reason) {
+    shards[s].phase = ShardPhase::kQuarantined;
+    shards[s].last_error = reason;
+    ++report->quarantined_shards;
+    obs::Count(obs::Counter::kDistQuarantines);
+    event(ShardEvent::Kind::kShardQuarantined, s, reason);
+  };
+
+  auto fail_shard = [&](size_t s, const std::string& reason) {
+    ShardState& st = shards[s];
+    st.last_error = reason;
+    st.phase = ShardPhase::kPending;
+    ++st.attempt;
+    if (st.attempt > options.max_shard_retries) {
+      quarantine(s, "failure budget exhausted after " +
+                        std::to_string(st.attempt) + " attempts: " + reason);
+      return;
+    }
+    ++report->shard_retries;
+    obs::Count(obs::Counter::kDistShardRetries);
+    event(ShardEvent::Kind::kShardRetried, s,
+          "attempt=" + std::to_string(st.attempt) + ": " + reason);
+    double delay_ms = backoff.DelayMs(st.attempt);
+    st.retry_after = AfterMillis(Clock::now(), delay_ms);
+    if (delay_ms > 0.0) {
+      ++report->backoff_waits;
+      report->backoff_total_ms += delay_ms;
+      obs::Count(obs::Counter::kDistBackoffWaits);
+      char detail[48];
+      std::snprintf(detail, sizeof(detail), "delay_ms=%.0f", delay_ms);
+      event(ShardEvent::Kind::kBackoffWait, s, detail);
+    }
+  };
+
+  // Declares a member dead and retires its generation. The connection is
+  // kept in a draining state: any frame the zombie still sends is counted
+  // as fenced and never applied; the (best-effort) kFenced shutdown tells
+  // a live-but-slow worker to reconnect and rejoin.
+  auto fence = [&](Conn& c, const std::string& reason) {
+    if (c.state == ConnState::kFenced) return;
+    if (c.state == ConnState::kActive) {
+      registry.MarkDead(c.worker_id, Clock::now());
+      if (c.channel->write_stalled()) ++report->write_stalls;
+      event(ShardEvent::Kind::kWorkerFenced,
+            c.assigned_shard == kNone ? 0 : c.assigned_shard,
+            "worker=" + std::to_string(c.worker_id) +
+                " gen=" + std::to_string(c.generation) + ": " + reason);
+      c.channel->Send(ShutdownFrame{static_cast<uint32_t>(
+                                        ShutdownCode::kFenced),
+                                    reason},
+                      FrameType::kShutdown);
+      ++report->worker_deaths;
+      obs::Count(obs::Counter::kDistWorkerDeaths);
+      if (c.assigned_shard != kNone) {
+        fail_shard(c.assigned_shard, reason);
+        c.assigned_shard = kNone;
+      }
+    }
+    c.state = ConnState::kFenced;
+  };
+
+  auto complete_shard = [&](Conn& c) {
+    size_t s = c.assigned_shard;
+    shards[s].phase = ShardPhase::kDone;
+    for (size_t i = 0;
+         i < c.worker_counters.size() && i < obs::kNumCounters; ++i) {
+      if (c.worker_counters[i] != 0) {
+        obs::Count(static_cast<obs::Counter>(i), c.worker_counters[i]);
+      }
+    }
+    event(ShardEvent::Kind::kShardCompleted, s,
+          "clusters=" + std::to_string(plan.shards[s].size()) +
+              " worker=" + std::to_string(c.worker_id));
+    c.assigned_shard = kNone;
+    c.worker_counters.clear();
+    c.got_done = false;
+  };
+
+  auto handle_frame = [&](Conn& c, const Frame& frame) {
+    // Anything a fenced connection still delivers — or a stale-generation
+    // echo racing a reassignment — is observed but never applied.
+    bool fenced = c.state == ConnState::kFenced;
+    if (!fenced && frame.type == FrameType::kClusterResult) {
+      ClusterResultFrame probe;
+      if (Decode(frame.payload, &probe) &&
+          (probe.generation != c.generation ||
+           !registry.IsCurrent(c.worker_id, c.generation))) {
+        fenced = true;
+      }
+    }
+    if (fenced) {
+      ++report->fenced_frames;
+      obs::Count(obs::Counter::kDistNetFencedFrames);
+      return;
+    }
+
+    if (c.state == ConnState::kHandshaking) {
+      if (frame.type != FrameType::kJoinRequest) {
+        c.reader.Poison("frame before handshake");
+        return;
+      }
+      JoinRequestFrame req;
+      if (!Decode(frame.payload, &req)) {
+        c.reader.Poison("bad join-request");
+        return;
+      }
+      JoinRejectFrame reject;
+      if (req.protocol != kDistProtocolVersion) {
+        reject.code = static_cast<uint32_t>(JoinRejectCode::kProtocolMismatch);
+        reject.message = "protocol " + std::to_string(req.protocol) +
+                         " != " + std::to_string(kDistProtocolVersion);
+      } else if (req.fingerprint != spec.fingerprint) {
+        reject.code =
+            static_cast<uint32_t>(JoinRejectCode::kFingerprintMismatch);
+        reject.message = "config/database fingerprint mismatch";
+      } else if (req.shard_namespace != kShardNamespace) {
+        reject.code = static_cast<uint32_t>(JoinRejectCode::kNamespaceMismatch);
+        reject.message = "shard namespace '" + req.shard_namespace +
+                         "' != '" + kShardNamespace + "'";
+      }
+      if (reject.code != 0) {
+        ++report->workers_rejected;
+        obs::Count(obs::Counter::kDistNetRejects);
+        event(ShardEvent::Kind::kWorkerRejected, 0,
+              "name=" + req.worker_name + ": " + reject.message);
+        c.channel->Send(reject, FrameType::kJoinReject);
+        c.channel->Close();
+        c.state = ConnState::kFenced;  // closed; reaped by the cleanup pass
+        return;
+      }
+      WorkerRegistry::Admission adm =
+          registry.Join(req.prev_worker_id, req.prev_generation, Clock::now());
+      c.state = ConnState::kActive;
+      c.worker_id = adm.worker_id;
+      c.generation = adm.generation;
+      c.last_heartbeat = Clock::now();
+      ++report->workers_joined;
+      obs::Count(obs::Counter::kDistNetJoins);
+      obs::SetGaugeMax(obs::Gauge::kDistWorkersPeak, registry.alive());
+      if (adm.reconnect) {
+        ++report->reconnects;
+        obs::Count(obs::Counter::kDistNetReconnects);
+        obs::Observe(obs::Hist::kDistReconnectMillis,
+                     static_cast<uint64_t>(adm.down_ms));
+        event(ShardEvent::Kind::kWorkerReconnected, 0,
+              "worker=" + std::to_string(adm.worker_id) +
+                  " gen=" + std::to_string(adm.generation) +
+                  " name=" + req.worker_name);
+      } else {
+        event(ShardEvent::Kind::kWorkerJoined, 0,
+              "worker=" + std::to_string(adm.worker_id) +
+                  " name=" + req.worker_name);
+      }
+      JoinAcceptFrame accept;
+      accept.worker_id = adm.worker_id;
+      accept.generation = adm.generation;
+      accept.heartbeat_interval_ms = hb_interval_ms;
+      accept.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
+      if (!c.channel->Send(accept, FrameType::kJoinAccept)) {
+        fence(c, "join-accept send failed: " + c.channel->error());
+      }
+      return;
+    }
+
+    c.last_heartbeat = Clock::now();  // any live-generation frame is liveness
+    switch (frame.type) {
+      case FrameType::kHeartbeat: {
+        HeartbeatFrame f;
+        if (!Decode(frame.payload, &f)) {
+          c.reader.Poison("bad heartbeat");
+          break;
+        }
+        ++report->heartbeats;
+        obs::Count(obs::Counter::kDistHeartbeats);
+        break;
+      }
+      case FrameType::kClusterResult: {
+        ClusterResultFrame f;
+        if (!Decode(frame.payload, &f)) {
+          c.reader.Poison("bad cluster-result");
+          break;
+        }
+        if (c.assigned_shard == kNone || f.shard != c.assigned_shard ||
+            std::find(plan.shards[f.shard].begin(), plan.shards[f.shard].end(),
+                      static_cast<size_t>(f.cluster_index)) ==
+                plan.shards[f.shard].end()) {
+          c.reader.Poison("cluster-result for unassigned work");
+          break;
+        }
+        size_t idx = static_cast<size_t>(f.cluster_index);
+        if ((*cluster_results)[idx].has_value()) {
+          // Re-delivery (retry crossing a reassignment, or an injected
+          // duplicate): results are idempotent by construction.
+          ++report->duplicate_clusters;
+          obs::Count(obs::Counter::kDistNetDuplicateClusters);
+          break;
+        }
+        // Persist the payload under the same envelope a forked worker
+        // writes, then re-validate through the same loader: the supervisor
+        // side of the trust boundary never believes a remote result it
+        // cannot re-derive the binding of.
+        std::string err = SaveShardArtifactPayload(spec, idx, f.payload);
+        ShardClusterResult result;
+        if (err.empty()) err = LoadShardArtifact(spec, idx, &result);
+        if (!err.empty()) {
+          ++report->artifacts_rejected;
+          obs::Count(obs::Counter::kDistArtifactsRejected);
+          event(ShardEvent::Kind::kArtifactRejected, f.shard,
+                "cluster=" + std::to_string(idx) + ": " + err);
+          fence(c, "cluster " + std::to_string(idx) + " rejected: " + err);
+          break;
+        }
+        (*cluster_results)[idx] = std::move(result);
+        ++outcome.remote_clusters;
+        ++report->remote_clusters;
+        obs::Count(obs::Counter::kDistNetRemoteClusters);
+        break;
+      }
+      case FrameType::kShardDone: {
+        ShardDoneFrame f;
+        if (!Decode(frame.payload, &f)) {
+          c.reader.Poison("bad shard-done");
+          break;
+        }
+        if (c.assigned_shard == kNone || f.shard != c.assigned_shard) break;
+        c.got_done = true;
+        c.worker_counters = std::move(f.counters);
+        if (shard_missing(c.assigned_shard).empty()) {
+          complete_shard(c);
+        } else {
+          fence(c, "shard-done with clusters still missing");
+        }
+        break;
+      }
+      case FrameType::kShardError: {
+        ShardErrorFrame f;
+        if (Decode(frame.payload, &f) && c.assigned_shard != kNone) {
+          fence(c, "worker reported: " + f.message);
+        }
+        break;
+      }
+      default:
+        // Hello/ClusterDone and the serve frames have no meaning on a
+        // membership connection.
+        c.reader.Poison("unexpected frame type");
+        break;
+    }
+  };
+
+  Clock::time_point no_fleet_since = Clock::now();
+  bool had_fleet_gap_timer = true;
+
+  for (;;) {
+    Clock::time_point now = Clock::now();
+
+    // Work left?
+    bool work_left = false;
+    for (const ShardState& st : shards) {
+      if (st.phase == ShardPhase::kPending ||
+          st.phase == ShardPhase::kAssigned) {
+        work_left = true;
+        break;
+      }
+    }
+    if (!work_left) {
+      for (auto& c : conns) {
+        if (c->state == ConnState::kActive) {
+          c->channel->Send(ShutdownFrame{static_cast<uint32_t>(
+                                             ShutdownCode::kDone),
+                                         "run complete"},
+                           FrameType::kShutdown);
+        }
+      }
+      break;
+    }
+
+    if (ctx.StopRequested("dist.net.supervise")) {
+      for (auto& c : conns) {
+        if (c->state == ConnState::kActive) {
+          c->channel->Send(ShutdownFrame{static_cast<uint32_t>(
+                                             ShutdownCode::kCancelled),
+                                         "run stop requested"},
+                           FrameType::kShutdown);
+        }
+      }
+      break;
+    }
+
+    // Assignment: pending shards (past their backoff) to idle members, in
+    // worker-id admission order — deterministic given the same fleet.
+    for (size_t s = 0; s < shards.size(); ++s) {
+      ShardState& st = shards[s];
+      if (st.phase != ShardPhase::kPending || now < st.retry_after) continue;
+      Conn* idle = nullptr;
+      for (auto& c : conns) {
+        if (c->state == ConnState::kActive && c->assigned_shard == kNone &&
+            !c->channel->failed()) {
+          if (idle == nullptr || c->worker_id < idle->worker_id) {
+            idle = c.get();
+          }
+        }
+      }
+      if (idle == nullptr) break;
+      ShardAssignFrame assign;
+      assign.shard = s;
+      assign.attempt = st.attempt;
+      assign.generation = idle->generation;
+      assign.fine_enabled = spec.fine_enabled;
+      assign.fine_max_cluster_size = spec.fine.max_cluster_size;
+      assign.mcs_connected = spec.fine.mcs.connected;
+      assign.mcs_match_edge_labels = spec.fine.mcs.match_edge_labels;
+      assign.mcs_node_budget = spec.fine.mcs.node_budget;
+      assign.deadline_remaining_ms =
+          spec.deadline.infinite() ? 0.0
+                                   : spec.deadline.RemainingSeconds() * 1e3;
+      assign.mem_soft_limit_bytes = spec.mem_soft_limit_bytes;
+      assign.mem_hard_limit_bytes = spec.mem_hard_limit_bytes;
+      for (size_t idx : shard_missing(s)) {
+        ClusterWork work;
+        work.index = idx;
+        work.members = (*spec.coarse)[idx];
+        if (spec.fine_enabled) work.stream = spec.streams[idx];
+        assign.clusters.push_back(std::move(work));
+      }
+      if (!idle->channel->Send(assign, FrameType::kShardAssign)) {
+        fence(*idle, "assign send failed: " + idle->channel->error());
+        continue;  // shard stays pending; try the next idle member
+      }
+      idle->assigned_shard = s;
+      idle->got_done = false;
+      st.phase = ShardPhase::kAssigned;
+      event(ShardEvent::Kind::kShardAssigned, s,
+            "worker=" + std::to_string(idle->worker_id) +
+                " gen=" + std::to_string(idle->generation) + " clusters=" +
+                std::to_string(assign.clusters.size()) +
+                " attempt=" + std::to_string(st.attempt));
+    }
+
+    // Fleet-loss detection: pending work, nobody alive, nobody knocking.
+    bool prospects = false;
+    for (const auto& c : conns) {
+      if (c->state != ConnState::kFenced) {
+        prospects = true;
+        break;
+      }
+    }
+    if (prospects) {
+      had_fleet_gap_timer = false;
+    } else {
+      if (!had_fleet_gap_timer) {
+        no_fleet_since = now;
+        had_fleet_gap_timer = true;
+      }
+      if (MillisBetween(no_fleet_since, now) >= options.join_timeout_ms) {
+        size_t lost = 0;
+        for (const ShardState& st : shards) {
+          if (st.phase == ShardPhase::kPending ||
+              st.phase == ShardPhase::kAssigned) {
+            ++lost;
+          }
+        }
+        report->fleet_lost_fallbacks += lost;
+        event(ShardEvent::Kind::kFleetLost, 0,
+              "no members for " +
+                  std::to_string(static_cast<long>(options.join_timeout_ms)) +
+                  "ms; " + std::to_string(lost) + " shards fall back");
+        outcome.fleet_lost = true;
+        break;
+      }
+    }
+
+    // Poll: listener + every connection, until the nearest deadline.
+    double timeout_ms = 50.0;
+    for (const auto& c : conns) {
+      if (c->state == ConnState::kActive) {
+        double until = options.heartbeat_timeout_ms -
+                       MillisBetween(c->last_heartbeat, now);
+        timeout_ms = std::min(timeout_ms, std::max(until, 0.0));
+      } else if (c->state == ConnState::kHandshaking) {
+        double until = MillisBetween(now, c->handshake_deadline);
+        timeout_ms = std::min(timeout_ms, std::max(until, 0.0));
+      }
+    }
+    for (const ShardState& st : shards) {
+      if (st.phase == ShardPhase::kPending) {
+        double until = MillisBetween(now, st.retry_after);
+        if (until > 0.0) timeout_ms = std::min(timeout_ms, until);
+      }
+    }
+
+    std::vector<struct pollfd> poll_fds;
+    std::vector<Conn*> poll_conns;
+    if (listener.open()) {
+      poll_fds.push_back({listener.fd(), POLLIN, 0});
+      poll_conns.push_back(nullptr);
+    }
+    for (auto& c : conns) {
+      if (c->channel->fd() >= 0) {
+        poll_fds.push_back({c->channel->fd(), POLLIN, 0});
+        poll_conns.push_back(c.get());
+      }
+    }
+    if (!poll_fds.empty()) {
+      int rc = ::poll(poll_fds.data(), poll_fds.size(),
+                      std::max(1, static_cast<int>(std::ceil(timeout_ms))));
+      (void)rc;
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::max(timeout_ms, 1.0)));
+    }
+
+    for (size_t i = 0; i < poll_fds.size(); ++i) {
+      if (poll_fds[i].revents == 0) continue;
+      if (poll_conns[i] == nullptr) {
+        // Listener readable: accept everything pending.
+        for (;;) {
+          int fd = listener.Accept();
+          if (fd < 0) break;
+          auto conn = std::make_unique<Conn>();
+          conn->channel = std::make_unique<Channel>(
+              fd, options.write_stall_timeout_ms);
+          conn->handshake_deadline =
+              AfterMillis(Clock::now(), options.heartbeat_timeout_ms);
+          conns.push_back(std::move(conn));
+        }
+        continue;
+      }
+      Conn& c = *poll_conns[i];
+      Channel::DrainStatus status = c.channel->DrainInto(&c.reader);
+      while (std::optional<Frame> frame = c.reader.Next()) {
+        handle_frame(c, *frame);
+        if (c.reader.corrupt() || c.channel->fd() < 0) break;
+      }
+      if (c.reader.corrupt()) {
+        fence(c, "poisoned stream: " + c.reader.error());
+        c.channel->Close();
+      } else if (status != Channel::DrainStatus::kOk) {
+        // EOF or read error: a handshake that never happened just goes
+        // away; an active member's disappearance fences it.
+        fence(c, status == Channel::DrainStatus::kEof
+                     ? "connection closed"
+                     : "read error: " + c.channel->error());
+        c.channel->Close();
+      }
+    }
+
+    now = Clock::now();
+    for (auto& c : conns) {
+      if (c->state == ConnState::kActive) {
+        if (c->channel->failed()) {
+          fence(*c, "send failed: " + c->channel->error());
+        } else if (MillisBetween(c->last_heartbeat, now) >
+                   options.heartbeat_timeout_ms) {
+          ++report->worker_hangs;
+          obs::Count(obs::Counter::kDistWorkerHangs);
+          char detail[64];
+          std::snprintf(detail, sizeof(detail), "no heartbeat for %.0fms",
+                        MillisBetween(c->last_heartbeat, now));
+          event(ShardEvent::Kind::kWorkerHung,
+                c->assigned_shard == kNone ? 0 : c->assigned_shard, detail);
+          fence(*c, "heartbeat deadline missed");
+        }
+      } else if (c->state == ConnState::kHandshaking &&
+                 now >= c->handshake_deadline) {
+        c->channel->Close();
+        c->state = ConnState::kFenced;  // drained no more; drop below
+      }
+    }
+
+    // Drop connections that are fenced and fully closed.
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::unique_ptr<Conn>& c) {
+                                 return c->state == ConnState::kFenced &&
+                                        c->channel->fd() < 0;
+                               }),
+                conns.end());
+  }
+
+  return outcome;
+}
+
+#else  // !CATAPULT_DIST_NET_POSIX
+
+RemoteFleetOutcome RunRemoteFleet(
+    const ShardExecutionSpec&, const ShardPlan&, const DistOptions&,
+    const RunContext&, DistReport* report,
+    std::vector<std::optional<ShardClusterResult>>*) {
+  report->events.push_back(ShardEvent{ShardEvent::Kind::kFleetLost, 0,
+                                      "sockets unsupported on this platform"});
+  RemoteFleetOutcome outcome;
+  outcome.fleet_lost = true;
+  return outcome;
+}
+
+#endif  // CATAPULT_DIST_NET_POSIX
+
+}  // namespace catapult::dist

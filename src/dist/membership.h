@@ -1,0 +1,48 @@
+#ifndef CATAPULT_DIST_MEMBERSHIP_H_
+#define CATAPULT_DIST_MEMBERSHIP_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/dist/dist_report.h"
+#include "src/dist/shard_plan.h"
+#include "src/dist/supervisor.h"
+#include "src/dist/worker.h"
+#include "src/util/deadline.h"
+
+// The remote-fleet membership manager (DESIGN.md §14): the supervisor's
+// event loop when workers are separate catapult_worker processes dialing
+// in over sockets rather than forked children. Liveness is tracked purely
+// in-band — heartbeat deadlines and write-stall timeouts on the connection
+// — because there is no pid to waitpid and no SIGCHLD: a SIGKILLed remote
+// worker, a severed cable and a wedged peer all look the same from here
+// and are all handled the same way (fence the generation, reassign the
+// shard's still-missing clusters to a survivor, count the zombie's late
+// frames without applying them).
+
+namespace catapult::dist {
+
+struct RemoteFleetOutcome {
+  // True when the fleet disappeared (or never materialised) with work
+  // still pending: the remaining shards must finish via the supervisor's
+  // in-process fallback.
+  bool fleet_lost = false;
+  // Clusters completed from remote workers' results.
+  size_t remote_clusters = 0;
+};
+
+// Runs the membership/assignment loop over `plan`, filling
+// (*cluster_results)[idx] for every cluster a remote worker completes
+// (validated through the same artifact envelope as fork-mode results).
+// Already-filled entries are respected and never reassigned. Returns when
+// every non-quarantined shard is done, the fleet is lost, or the run's
+// context requests a stop; unfinished clusters are simply left empty for
+// the caller's fallback rungs.
+RemoteFleetOutcome RunRemoteFleet(
+    const ShardExecutionSpec& spec, const ShardPlan& plan,
+    const DistOptions& options, const RunContext& ctx, DistReport* report,
+    std::vector<std::optional<ShardClusterResult>>* cluster_results);
+
+}  // namespace catapult::dist
+
+#endif  // CATAPULT_DIST_MEMBERSHIP_H_

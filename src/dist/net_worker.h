@@ -1,0 +1,71 @@
+#ifndef CATAPULT_DIST_NET_WORKER_H_
+#define CATAPULT_DIST_NET_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/dist/wire.h"
+#include "src/graph/graph_database.h"
+
+// The remote half of network-transparent sharding (DESIGN.md §14): the
+// body of the standalone catapult_worker binary. A remote worker dials a
+// supervisor endpoint, completes the versioned handshake (protocol +
+// ConfigFingerprint + shard namespace; a typed kJoinReject maps to a
+// distinct exit code), then loops: receive a ShardAssign carrying coarse
+// clusters and their pre-split rng streams, compute each cluster through
+// the exact same ComputeShardCluster as forked workers, and ship each
+// result back as a ClusterResult frame. On a lost or fenced connection it
+// reconnects under capped deterministic backoff, presenting its previous
+// (worker-id, generation) so the supervisor bumps its generation instead
+// of minting a new member.
+
+namespace catapult::dist {
+
+// Failpoint sites driving the network chaos matrix (tests arm these in
+// the worker process; see also the channel-level sites in channel.h).
+inline constexpr char kFailpointDupClusterResult[] =
+    "dist.net.dup_cluster_result";
+inline constexpr char kFailpointDropMidFrame[] = "dist.net.drop_mid_frame";
+inline constexpr char kFailpointDelayHeartbeat[] = "dist.net.delay_heartbeat";
+inline constexpr char kFailpointStallBeforeResult[] =
+    "dist.net.stall_before_result";
+inline constexpr char kFailpointKillAfterFirstResult[] =
+    "dist.net.kill_after_first_result";
+
+// Remote-worker exit codes (the fork-mode codes live in worker.h).
+inline constexpr int kWorkerExitConnectFailed = 20;  // dial budget exhausted
+inline constexpr int kWorkerExitRejected = 21;       // typed kJoinReject
+inline constexpr int kWorkerExitProtocol = 22;       // malformed supervisor
+
+struct RemoteWorkerOptions {
+  std::string address;  // supervisor endpoint: "unix:PATH" / "tcp:HOST:PORT"
+  uint64_t fingerprint = 0;  // ConfigFingerprint of this worker's (opts, db)
+  std::string shard_namespace = kShardNamespace;
+  std::string worker_name = "worker";
+  // Overridable for skew tests; production workers never change this.
+  uint64_t protocol = kDistProtocolVersion;
+
+  double dial_timeout_ms = 2000.0;
+  double handshake_timeout_ms = 5000.0;
+  // Reconnect pacing: capped deterministic backoff over the consecutive-
+  // failure count (src/util/backoff.h), reset on every successful join.
+  double dial_backoff_base_ms = 50.0;
+  double dial_backoff_cap_ms = 1000.0;
+  // Consecutive dial/handshake failures tolerated before giving up.
+  size_t max_dial_attempts = 5;
+
+  double write_stall_timeout_ms = 5000.0;
+  // How long kFailpointStallBeforeResult sleeps (tests tune this against
+  // the supervisor's heartbeat timeout to manufacture a zombie).
+  double stall_test_ms = 0.0;
+};
+
+// Runs the remote worker until the supervisor says the run is over
+// (Shutdown kDone/kCancelled → 0), the handshake is refused, or the
+// reconnect budget is exhausted. Returns the process exit code.
+int RunRemoteWorker(const GraphDatabase& db,
+                    const RemoteWorkerOptions& options);
+
+}  // namespace catapult::dist
+
+#endif  // CATAPULT_DIST_NET_WORKER_H_

@@ -1,0 +1,62 @@
+#include "src/dist/registry.h"
+
+namespace catapult::dist {
+
+WorkerRegistry::Admission WorkerRegistry::Join(uint64_t prev_worker_id,
+                                               uint64_t prev_generation,
+                                               Clock::time_point now) {
+  Admission out;
+  if (prev_worker_id >= 1 && prev_worker_id <= members_.size()) {
+    Member& m = members_[prev_worker_id - 1];
+    // The rejoining worker must name the generation it actually held;
+    // anything else is a stale identity (e.g. leaked from an earlier run
+    // against the same endpoint) and gets a fresh membership instead.
+    if (prev_generation == m.generation) {
+      if (m.alive) {
+        // Rejoin before the fence fired (e.g. the worker noticed the dead
+        // TCP connection first). Retire the old generation now so any
+        // bytes still in flight on the old socket are fenced.
+        m.died_at = now;
+      }
+      m.generation += 1;
+      m.alive = true;
+      out.worker_id = prev_worker_id;
+      out.generation = m.generation;
+      out.reconnect = true;
+      out.down_ms = std::chrono::duration<double, std::milli>(now - m.died_at)
+                        .count();
+      if (out.down_ms < 0.0) out.down_ms = 0.0;
+      return out;
+    }
+  }
+  members_.push_back(Member{});
+  out.worker_id = members_.size();
+  out.generation = 1;
+  return out;
+}
+
+bool WorkerRegistry::IsCurrent(uint64_t worker_id,
+                               uint64_t generation) const {
+  if (worker_id < 1 || worker_id > members_.size()) return false;
+  const Member& m = members_[worker_id - 1];
+  return m.alive && m.generation == generation;
+}
+
+void WorkerRegistry::MarkDead(uint64_t worker_id, Clock::time_point now) {
+  if (worker_id < 1 || worker_id > members_.size()) return;
+  Member& m = members_[worker_id - 1];
+  if (m.alive) {
+    m.alive = false;
+    m.died_at = now;
+  }
+}
+
+size_t WorkerRegistry::alive() const {
+  size_t n = 0;
+  for (const Member& m : members_) {
+    if (m.alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace catapult::dist

@@ -8,6 +8,7 @@
 #include <optional>
 #include <thread>
 
+#include "src/dist/membership.h"
 #include "src/dist/shard_plan.h"
 #include "src/dist/wire.h"
 #include "src/dist/worker.h"
@@ -35,6 +36,17 @@ using Clock = std::chrono::steady_clock;
 double MillisBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
+
+// Removes a private shard directory on every exit path from the phase.
+struct ScopedDirRemover {
+  std::string path;
+  ~ScopedDirRemover() {
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  }
+};
 
 }  // namespace
 
@@ -76,6 +88,7 @@ ShardedPhasesResult RunShardedClusterPhases(
   // retries and is removed on the way out.
   std::error_code ec;
   const bool private_dir = options.checkpoint_dir.empty();
+  ScopedDirRemover private_dir_remover;
   if (private_dir) {
 #if defined(CATAPULT_DIST_POSIX)
     std::string tmpl =
@@ -84,13 +97,25 @@ ShardedPhasesResult RunShardedClusterPhases(
     std::vector<char> buf(tmpl.begin(), tmpl.end());
     buf.push_back('\0');
     if (::mkdtemp(buf.data()) != nullptr) spec.shard_dir = buf.data();
-#endif
     if (spec.shard_dir.empty()) {
-      spec.shard_dir = (std::filesystem::temp_directory_path(ec) /
-                        "catapult-shards-fallback")
-                           .string();
+      // mkdtemp failing is already exceptional; the fallback name still
+      // includes the pid so concurrent supervisors on one host cannot
+      // share (and cross-contaminate) a shard directory.
+      spec.shard_dir =
+          (std::filesystem::temp_directory_path(ec) /
+           ("catapult-shards-p" + std::to_string(::getpid())))
+              .string();
       std::filesystem::create_directories(spec.shard_dir, ec);
     }
+#else
+    spec.shard_dir = (std::filesystem::temp_directory_path(ec) /
+                      "catapult-shards-fallback")
+                         .string();
+    std::filesystem::create_directories(spec.shard_dir, ec);
+#endif
+    // Removal is scoped, not best-effort-at-the-end: early returns and the
+    // remote fleet's failure arms must not leak per-run temp directories.
+    private_dir_remover.path = spec.shard_dir;
   } else {
     spec.shard_dir = options.checkpoint_dir + "/shards";
     std::filesystem::create_directories(spec.shard_dir, ec);
@@ -132,7 +157,53 @@ ShardedPhasesResult RunShardedClusterPhases(
     }
   };
 
+  const bool remote =
+      !options.listen_address.empty() || options.listen_fd >= 0;
+  report->remote = remote;
+
 #if defined(CATAPULT_DIST_POSIX)
+  if (remote) {
+    // Socket transport: remote catapult_worker processes dial in and are
+    // supervised by the membership manager (DESIGN.md §14). Remote workers
+    // never see this filesystem, so prior-run artifact reuse happens here
+    // rather than inside the worker (fork mode's RunShardWorker does it
+    // per shard); the membership loop then assigns only missing clusters.
+    std::vector<size_t> cluster_shard(coarse.size(), 0);
+    for (size_t s = 0; s < plan.shards.size(); ++s) {
+      for (size_t idx : plan.shards[s]) cluster_shard[idx] = s;
+    }
+    for (size_t idx = 0; idx < coarse.size(); ++idx) {
+      ShardClusterResult result;
+      if (LoadShardArtifact(spec, idx, &result).empty()) {
+        ++report->artifacts_reused;
+        obs::Count(obs::Counter::kDistArtifactsReused);
+        event(ShardEvent::Kind::kArtifactReused, cluster_shard[idx],
+              "cluster=" + std::to_string(idx));
+        cluster_results[idx] = std::move(result);
+      }
+    }
+    RemoteFleetOutcome fleet =
+        RunRemoteFleet(spec, plan, options, ctx, report, &cluster_results);
+    // Whatever the fleet did not finish — fleet loss, quarantine, stop —
+    // completes through the same final rung as fork mode.
+    for (size_t s = 0; s < plan.shards.size(); ++s) {
+      bool missing = false;
+      for (size_t idx : plan.shards[s]) {
+        if (!cluster_results[idx].has_value()) {
+          missing = true;
+          break;
+        }
+      }
+      if (!missing) continue;
+      ++report->inprocess_fallbacks;
+      obs::Count(obs::Counter::kDistFallbacks);
+      event(ShardEvent::Kind::kInProcessFallback, s,
+            fleet.fleet_lost ? "remote fleet lost" : "shard incomplete");
+      run_in_process(s);
+    }
+    report->remote_fallback_only =
+        fleet.fleet_lost && fleet.remote_clusters == 0;
+  } else {
   struct WorkerState {
     enum class Phase {
       kPending,      // waiting for a process slot
@@ -520,6 +591,7 @@ ShardedPhasesResult RunShardedClusterPhases(
                                           : "run stop requested");
     run_in_process(s);
   }
+  }  // !remote
 #else   // !CATAPULT_DIST_POSIX
   // No fork on this platform: the whole phase executes in-process (still
   // sharded for artifact layout, so checkpoint semantics are identical).
@@ -549,10 +621,7 @@ ShardedPhasesResult RunShardedClusterPhases(
     for (auto& csg : r.csgs) out.csgs.push_back(std::move(csg));
   }
 
-  if (private_dir && !spec.shard_dir.empty()) {
-    std::filesystem::remove_all(spec.shard_dir, ec);
-  }
-  return out;
+  return out;  // a private shard dir is removed by private_dir_remover
 }
 
 }  // namespace catapult::dist

@@ -47,6 +47,23 @@ struct DistOptions {
   // Per-worker memory limits (each worker charges its own ledger).
   size_t mem_soft_limit_bytes = 0;
   size_t mem_hard_limit_bytes = 0;
+
+  // --- Remote fleet (socket transport, DESIGN.md §14) -----------------------
+  // When either a listen address or an adopted listening fd is supplied,
+  // the supervisor supervises remote catapult_worker processes that dial
+  // in, instead of forking workers. "unix:PATH" or "tcp:HOST:PORT".
+  std::string listen_address;
+  // An already-bound, already-listening fd to adopt (not owned). Lets
+  // tests bind tcp port 0 themselves to learn the real address before the
+  // run starts. -1 = disabled.
+  int listen_fd = -1;
+  // How long the supervisor waits with work pending but no live member
+  // (and no handshake in progress) before declaring the fleet lost and
+  // finishing via the in-process fallback.
+  double join_timeout_ms = 10000.0;
+  // A send that cannot make progress for this long marks the connection
+  // stalled (half-open peer) and fences the member.
+  double write_stall_timeout_ms = 5000.0;
 };
 
 // The sharded fine-clustering + CSG phase's merged output, in coarse

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "src/graph/graph.h"
 #include "src/obs/metrics.h"
+#include "src/util/rng.h"
 
 // Length-prefixed CRC-framed messages, shared by the worker -> supervisor
 // pipes (DESIGN.md §12) and the pattern-selection service's client/server
@@ -49,7 +51,27 @@ enum class FrameType : uint32_t {
   kServeError = 9,     // server -> client: request rejected (bad options)
   kServePing = 10,     // client -> server: liveness/status probe
   kServePong = 11,     // server -> client: probe reply
+  // Network-transparent sharding (DESIGN.md §14): a remote catapult_worker
+  // dials the supervisor's listener and speaks these in addition to the
+  // worker frames above.
+  kJoinRequest = 12,    // worker -> sup: versioned handshake
+  kJoinAccept = 13,     // sup -> worker: admitted (worker-id, generation)
+  kJoinReject = 14,     // sup -> worker: typed refusal, then hangup
+  kShardAssign = 15,    // sup -> worker: shard of clusters + rng streams
+  kClusterResult = 16,  // worker -> sup: one cluster's encoded artifact
+  kShutdown = 17,       // sup -> worker: session over (done/fenced/cancel)
 };
+
+// Version of the supervisor<->remote-worker protocol. Bumped on any frame
+// layout change; the handshake rejects mismatched peers with a typed
+// kJoinReject instead of letting two skewed builds mis-decode each other.
+inline constexpr uint64_t kDistProtocolVersion = 1;
+
+// Shard checkpoint namespace both sides must agree on: remote workers'
+// cluster results are persisted by the supervisor as kShard records under
+// this namespace, so a worker built for a different artifact layout is
+// turned away at the handshake.
+inline constexpr char kShardNamespace[] = "shards";
 
 struct Frame {
   FrameType type = FrameType::kHello;
@@ -120,16 +142,107 @@ struct ShardErrorFrame {
   std::string message;
 };
 
+// --- remote-worker handshake and shard-carrying payloads --------------------
+
+struct JoinRequestFrame {
+  uint64_t protocol = kDistProtocolVersion;
+  uint64_t fingerprint = 0;  // ConfigFingerprint of the worker's (options, db)
+  std::string shard_namespace = kShardNamespace;
+  std::string worker_name;   // free-form operator label, logs only
+  // Rejoin identity: non-zero after a connection loss so the supervisor can
+  // bump the worker's generation instead of minting a new member. Zero on a
+  // fresh join.
+  uint64_t prev_worker_id = 0;
+  uint64_t prev_generation = 0;
+  uint64_t pid = 0;
+};
+
+struct JoinAcceptFrame {
+  uint64_t worker_id = 0;
+  uint64_t generation = 0;
+  double heartbeat_interval_ms = 500.0;
+  double heartbeat_timeout_ms = 2000.0;
+};
+
+// Why a handshake was refused. The worker maps these to a distinct exit
+// code so operators see "wrong build" vs "wrong database" at a glance.
+enum class JoinRejectCode : uint32_t {
+  kProtocolMismatch = 1,
+  kFingerprintMismatch = 2,
+  kNamespaceMismatch = 3,
+  kDraining = 4,  // supervisor is shutting down; do not rejoin
+};
+
+struct JoinRejectFrame {
+  uint32_t code = 0;  // JoinRejectCode
+  std::string message;
+};
+
+// One coarse cluster's work order: its member list and the pre-split rng
+// stream its fine clustering must consume (zeros when fine is disabled).
+struct ClusterWork {
+  uint64_t index = 0;
+  std::vector<GraphId> members;
+  RngState stream;
+};
+
+struct ShardAssignFrame {
+  uint64_t shard = 0;
+  uint64_t attempt = 0;
+  uint64_t generation = 0;  // fencing echo: results must carry it back
+  bool fine_enabled = true;
+  uint64_t fine_max_cluster_size = 0;
+  bool mcs_connected = true;
+  bool mcs_match_edge_labels = false;
+  uint64_t mcs_node_budget = 0;
+  double deadline_remaining_ms = 0.0;  // 0 = no deadline
+  uint64_t mem_soft_limit_bytes = 0;
+  uint64_t mem_hard_limit_bytes = 0;
+  std::vector<ClusterWork> clusters;  // only the still-missing clusters
+};
+
+struct ClusterResultFrame {
+  uint64_t shard = 0;
+  uint64_t generation = 0;  // fenced generations are counted, never applied
+  uint64_t cluster_index = 0;
+  // EncodeShardResultPayload bytes (src/dist/worker.h) — the same payload a
+  // forked worker persists; the supervisor wraps it into a kShard record.
+  std::string payload;
+};
+
+enum class ShutdownCode : uint32_t {
+  kDone = 1,       // run complete; exit cleanly
+  kFenced = 2,     // this connection was declared dead; reconnect + rejoin
+  kCancelled = 3,  // run cancelled; exit cleanly
+};
+
+struct ShutdownFrame {
+  uint32_t code = 0;  // ShutdownCode
+  std::string message;
+};
+
 std::string Encode(const HelloFrame& f);
 std::string Encode(const HeartbeatFrame& f);
 std::string Encode(const ClusterDoneFrame& f);
 std::string Encode(const ShardDoneFrame& f);
 std::string Encode(const ShardErrorFrame& f);
+std::string Encode(const JoinRequestFrame& f);
+std::string Encode(const JoinAcceptFrame& f);
+std::string Encode(const JoinRejectFrame& f);
+std::string Encode(const ShardAssignFrame& f);
+std::string Encode(const ClusterResultFrame& f);
+std::string Encode(const ShutdownFrame& f);
 bool Decode(const std::string& payload, HelloFrame* f);
 bool Decode(const std::string& payload, HeartbeatFrame* f);
 bool Decode(const std::string& payload, ClusterDoneFrame* f);
 bool Decode(const std::string& payload, ShardDoneFrame* f);
 bool Decode(const std::string& payload, ShardErrorFrame* f);
+bool Decode(const std::string& payload, JoinRequestFrame* f);
+bool Decode(const std::string& payload, JoinAcceptFrame* f);
+bool Decode(const std::string& payload, JoinRejectFrame* f);
+bool Decode(const std::string& payload, ShardAssignFrame* f);
+bool Decode(const std::string& payload, ClusterResultFrame* f);
+bool Decode(const std::string& payload, ShutdownFrame* f);
 
 // Serialised frame writer over a file descriptor, shared by the worker's
 // main thread and its heartbeat thread. Each frame is assembled into one

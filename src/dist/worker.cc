@@ -153,6 +153,21 @@ std::string SaveShardArtifact(const ShardExecutionSpec& spec,
                          result));
 }
 
+std::string EncodeShardResultPayload(const ShardExecutionSpec& spec,
+                                     size_t cluster_index,
+                                     const ShardClusterResult& result) {
+  return EncodeShardPayload((*spec.coarse)[cluster_index], cluster_index,
+                            result);
+}
+
+std::string SaveShardArtifactPayload(const ShardExecutionSpec& spec,
+                                     size_t cluster_index,
+                                     const std::string& payload) {
+  return persist::WriteRecordFile(
+      ShardArtifactPath(spec.shard_dir, cluster_index),
+      persist::RecordType::kShard, spec.fingerprint, payload);
+}
+
 std::string LoadShardArtifact(const ShardExecutionSpec& spec,
                               size_t cluster_index, ShardClusterResult* out) {
   std::string payload;

@@ -106,6 +106,22 @@ std::string SaveShardArtifact(const ShardExecutionSpec& spec,
                               size_t cluster_index,
                               const ShardClusterResult& result);
 
+// Encodes a complete result as the kShard record payload — the exact bytes
+// SaveShardArtifact wraps into the record envelope. Remote workers ship
+// these bytes in a ClusterResult frame (DESIGN.md §14) instead of writing
+// to a (possibly remote) filesystem; the supervisor persists them with
+// SaveShardArtifactPayload and re-validates via LoadShardArtifact, so a
+// remote cluster's artifact is byte-identical to a forked worker's.
+std::string EncodeShardResultPayload(const ShardExecutionSpec& spec,
+                                     size_t cluster_index,
+                                     const ShardClusterResult& result);
+
+// Atomically persists an already-encoded payload as cluster
+// `cluster_index`'s artifact. Returns "" on success, else the error.
+std::string SaveShardArtifactPayload(const ShardExecutionSpec& spec,
+                                     size_t cluster_index,
+                                     const std::string& payload);
+
 // Loads and validates cluster `cluster_index`'s shard artifact. Beyond the
 // record envelope (magic/CRCs/fingerprint) this cross-checks the binding:
 // the stored coarse member list must equal the current cluster, the fine

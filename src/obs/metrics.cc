@@ -62,6 +62,14 @@ constexpr const char* kCounterNames[] = {
     "serve.idle_reaped",
     "serve.write_timeouts",
     "serve.accept_failures",
+    "dist.net.accepts",
+    "dist.net.joins",
+    "dist.net.rejects",
+    "dist.net.reconnects",
+    "dist.net.fenced_frames",
+    "dist.net.duplicate_clusters",
+    "dist.net.write_stalls",
+    "dist.net.remote_clusters",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
               "counter name table out of sync with the Counter enum");
@@ -72,6 +80,7 @@ constexpr const char* kGaugeNames[] = {
     "pool.threads",
     "serve.queue_depth_peak",
     "serve.sessions_peak",
+    "dist.workers_peak",
 };
 static_assert(sizeof(kGaugeNames) / sizeof(kGaugeNames[0]) == kNumGauges,
               "gauge name table out of sync with the Gauge enum");
@@ -82,6 +91,7 @@ constexpr const char* kHistNames[] = {
     "walk.pcp_edges",
     "ckpt.record_bytes",
     "serve.request_millis",
+    "dist.reconnect_millis",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) == kNumHists,
               "histogram name table out of sync with the Hist enum");

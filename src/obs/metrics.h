@@ -88,6 +88,14 @@ enum class Counter : uint32_t {
   kServeIdleReaped,        // idle sessions closed by the reaper
   kServeWriteTimeouts,     // slow clients dropped mid-write
   kServeAcceptFailures,    // accept() errors survived (EMFILE & friends)
+  kDistNetAccepts,         // remote-worker connections accepted
+  kDistNetJoins,           // handshakes admitted (fresh joins + rejoins)
+  kDistNetRejects,         // handshakes refused with a typed kJoinReject
+  kDistNetReconnects,      // rejoins of a previously-seen worker identity
+  kDistNetFencedFrames,    // frames from a fenced generation (never applied)
+  kDistNetDuplicateClusters,  // re-delivered cluster results (idempotent)
+  kDistNetWriteStalls,     // sends that hit the write-stall deadline
+  kDistNetRemoteClusters,  // cluster results accepted from remote workers
   kCount
 };
 
@@ -99,6 +107,7 @@ enum class Gauge : uint32_t {
   kPoolThreads,          // resolved worker-thread count of the run
   kServeQueueDepthPeak,  // peak admission-queue depth observed
   kServeSessionsPeak,    // peak concurrent client sessions
+  kDistWorkersPeak,      // peak concurrent remote-fleet members
   kCount
 };
 
@@ -110,6 +119,7 @@ enum class Hist : uint32_t {
   kPcpEdges,             // edge count of emitted candidate patterns
   kCheckpointRecordBytes,  // payload size of checkpoint records written
   kServeRequestMillis,   // admission-to-response latency per served request
+  kDistReconnectMillis,  // death-to-rejoin latency per worker reconnect
   kCount
 };
 
