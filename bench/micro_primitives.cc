@@ -8,9 +8,12 @@
 #include "bench/bench_common.h"
 #include "src/core/pattern_score.h"
 #include "src/core/random_walk.h"
+#include "src/core/score_table.h"
 #include "src/graph/algorithms.h"
+#include "src/graph/flat_graph.h"
 #include "src/obs/metrics.h"
 #include "src/csg/csg.h"
+#include "src/iso/flat_vf2.h"
 #include "src/iso/ged.h"
 #include "src/iso/mcs.h"
 #include "src/iso/vf2.h"
@@ -50,6 +53,65 @@ void BM_Vf2Contains(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Vf2Contains)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
+
+// Flat-kernel counterpart of BM_Vf2Contains: the same containment tests
+// driven off precomputed CSR targets with label-domain bitsets (DESIGN.md
+// §15). The gap to BM_Vf2Contains is the per-call win of the flat hot path.
+void BM_FlatVf2Contains(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  Rng rng(1);
+  Graph pattern = RandomConnectedSubgraph(
+      db.graph(3), static_cast<size_t>(state.range(0)), rng);
+  FlatGraph flat_pattern = FlatGraph::Build(pattern);
+  FlatGraphDatabase flat_db = FlatGraphDatabase::Build(db);
+  std::vector<LabelDomains> domains;
+  for (size_t g = 0; g < db.size(); ++g) {
+    domains.push_back(LabelDomains::Build(flat_db.view(g)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t g = i % db.size();
+    benchmark::DoNotOptimize(FlatContainsSubgraph(
+        flat_pattern.View(), flat_db.view(g), &domains[g]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FlatVf2Contains)->Arg(3)->Arg(6)->Arg(9)->Arg(12);
+
+// Cost of flattening: Graph -> CSR arrays + sorted permutation, the one-off
+// build amortised over every later containment call against the graph.
+void BM_FlatGraphBuild(benchmark::State& state) {
+  const GraphDatabase& db = SharedDb();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FlatGraph::Build(db.graph(i % db.size())));
+    ++i;
+  }
+}
+BENCHMARK(BM_FlatGraphBuild);
+
+// One memoized greedy rescore: fold the diversity running-min forward over
+// one newly selected pattern and re-sum ccov from the cached coverage
+// bitmap, vs recomputing diversity against the whole panel from scratch
+// (what every iteration paid before the class cache).
+void BM_MemoizedRescore(benchmark::State& state) {
+  const auto& patterns = SharedPatterns();
+  std::vector<Graph> panel(patterns.begin() + 1, patterns.end());
+  GedOptions ged;
+  const bool memoized = state.range(0) != 0;
+  // Running minimum over all but the last panel member, as the memo would
+  // carry it into the iteration that just selected the last member.
+  double carried = PatternSetDiversity(
+      patterns[0], {panel.begin(), panel.end() - 1}, ged);
+  for (auto _ : state) {
+    double d = memoized
+                   ? FoldDiversity(patterns[0], panel, panel.size() - 1,
+                                   carried, ged, false)
+                   : PatternSetDiversity(patterns[0], panel, ged);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_MemoizedRescore)->Arg(0)->Arg(1);
 
 void BM_Mccs(benchmark::State& state) {
   const GraphDatabase& db = SharedDb();

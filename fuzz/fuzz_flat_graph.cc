@@ -1,0 +1,104 @@
+// libFuzzer target for the flat CSR graph core (src/graph/flat_graph.h).
+//
+// The input bytes are fed through the quarantine-mode gSpan parser; every
+// graph that survives ingestion is flattened and the FlatGraph invariants
+// are asserted against the source Graph: identical vertex labels, degrees
+// and edge lists, binary-search FindEdge agreeing with the adjacency-scan
+// HasEdge/EdgeLabel on every vertex pair, label-domain bitsets matching a
+// direct label count, and the flat VF2 kernel agreeing with the reference
+// kernel on self-containment. Any divergence traps.
+//
+// Build: -DCATAPULT_FUZZ=ON with clang (links -fsanitize=fuzzer,address).
+// Under gcc the same file builds as a standalone regression driver that
+// replays corpus files passed on the command line (see standalone_main.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/flat_graph.h"
+#include "src/graph/io.h"
+#include "src/iso/flat_vf2.h"
+#include "src/iso/vf2.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string input(reinterpret_cast<const char*>(data), size);
+
+  catapult::IngestOptions options;
+  // The same small structural limits as fuzz_parser: graphs stay tiny, so
+  // the quadratic pair scans below are cheap.
+  options.limits.max_line_bytes = 512;
+  options.limits.max_vertices_per_graph = 64;
+  options.limits.max_edges_per_graph = 128;
+  options.limits.max_label_bytes = 32;
+  options.limits.max_labels = 256;
+  options.limits.max_graphs = 16;
+  options.memory = catapult::MemoryBudget::Limited(0, 1 << 20);
+
+  std::istringstream stream(input);
+  catapult::IngestReport report;
+  catapult::ParseError error;
+  auto db = catapult::ReadDatabase(stream, options, &report, &error);
+  if (!db.has_value() || db->empty()) return 0;
+
+  for (size_t id = 0; id < db->size(); ++id) {
+    const catapult::Graph& g = db->graph(static_cast<catapult::GraphId>(id));
+    catapult::FlatGraph flat = catapult::FlatGraph::Build(g);
+    catapult::FlatGraphView view = flat.View();
+
+    if (view.NumVertices() != g.NumVertices()) __builtin_trap();
+    if (view.NumEdges() != g.NumEdges()) __builtin_trap();
+
+    size_t adjacency_entries = 0;
+    for (catapult::VertexId u = 0; u < g.NumVertices(); ++u) {
+      if (view.VertexLabel(u) != g.VertexLabel(u)) __builtin_trap();
+      if (view.Degree(u) != g.Degree(u)) __builtin_trap();
+      adjacency_entries += view.Degree(u);
+      // Flat adjacency preserves insertion order and carries the correct
+      // neighbor labels.
+      const catapult::FlatNeighbor* fn = view.NeighborsBegin(u);
+      for (const catapult::Graph::Neighbor& n : g.Neighbors(u)) {
+        if (fn == view.NeighborsEnd(u)) __builtin_trap();
+        if (fn->to != n.to) __builtin_trap();
+        if (fn->edge_label != n.edge_label) __builtin_trap();
+        if (fn->to_label != g.VertexLabel(n.to)) __builtin_trap();
+        ++fn;
+      }
+      if (fn != view.NeighborsEnd(u)) __builtin_trap();
+      // Binary-search lookups agree with the adjacency scan on every pair.
+      for (catapult::VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (view.HasEdge(u, v) != g.HasEdge(u, v)) __builtin_trap();
+        if (g.HasEdge(u, v) &&
+            view.EdgeLabel(u, v) != g.EdgeLabel(u, v)) {
+          __builtin_trap();
+        }
+      }
+    }
+    if (adjacency_entries != 2 * g.NumEdges()) __builtin_trap();
+
+    // Label domains match a direct scan.
+    catapult::LabelDomains domains = catapult::LabelDomains::Build(view);
+    for (catapult::VertexId v = 0; v < g.NumVertices(); ++v) {
+      catapult::Label label = g.VertexLabel(v);
+      const uint64_t* words = domains.Words(label);
+      if (words == nullptr) __builtin_trap();
+      if ((words[v >> 6] & (uint64_t{1} << (v & 63))) == 0) __builtin_trap();
+    }
+
+    // The flat kernel agrees with the reference kernel on self-containment
+    // (true for every non-empty connected graph; both must say the same
+    // even when g is disconnected and the kernels are not applicable --
+    // ContainsSubgraph CHECKs connectivity, so only test connected inputs).
+    if (g.NumVertices() > 0 && catapult::IsConnected(g)) {
+      bool reference = catapult::ContainsSubgraph(g, g);
+      bool flat_result =
+          catapult::FlatContainsSubgraph(view, view, &domains);
+      if (reference != flat_result) __builtin_trap();
+    }
+  }
+  return 0;
+}
+
+#include "fuzz/standalone_main.h"

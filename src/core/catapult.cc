@@ -841,6 +841,7 @@ PreparedCorpus PrepareCorpus(const GraphDatabase& db,
   phase_span.reset();
   corpus.csg_seconds = csg_timer.ElapsedSeconds();
 
+  corpus.summary_index = BuildFlatSummaryIndex(corpus.csgs);
   corpus.rng_after_csg = rng.SaveState();
   corpus.complete = clustering.Complete() && degraded_csgs == 0;
   return corpus;
@@ -875,8 +876,10 @@ CatapultResult RunCatapultSelection(const GraphDatabase& db,
   // uninterrupted RunCatapult.
   Rng rng(options.seed);
   rng.RestoreState(corpus.rng_after_csg);
-  result.selection = FindCannedPatternSet(db, corpus.clusters, corpus.csgs,
-                                          options.selector, rng, run_ctx);
+  result.selection =
+      FindCannedPatternSet(db, corpus.clusters, corpus.csgs, options.selector,
+                           rng, run_ctx, SelectorCheckpointHooks{},
+                           &corpus.summary_index);
   result.selection_seconds = selection_timer.ElapsedSeconds();
   ThreadPool::Stats after = run_ctx.pool()->stats();
   exec.selection_parallel.wall_seconds = result.selection_seconds;

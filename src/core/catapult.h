@@ -284,6 +284,10 @@ struct PreparedCorpus {
   std::vector<std::vector<GraphId>> clusters;
   std::vector<ClusterSummaryGraph> csgs;
   std::vector<FrequentSubtree> features;
+  // The CSG summaries in flat CSR form with per-summary label domains
+  // (DESIGN.md §15), built once here so repeated RunCatapultSelection calls
+  // share one index instead of re-flattening the summaries per request.
+  FlatSummaryIndex summary_index;
   RngState rng_after_csg;  // stream position selection resumes from
 
   // False when a deadline/cancellation/memory breach degraded clustering or

@@ -5,6 +5,7 @@
 
 #include "src/iso/ged_bipartite.h"
 #include "src/iso/vf2.h"
+#include "src/obs/metrics.h"
 
 namespace catapult {
 
@@ -52,6 +53,25 @@ double PatternSetDiversity(const Graph& pattern,
     if (best == 0.0) break;
   }
   return best;
+}
+
+double FoldDiversity(const Graph& pattern, const std::vector<Graph>& selected,
+                     size_t from, double running_min,
+                     const GedOptions& ged_options, bool approximate) {
+  for (size_t i = from; i < selected.size(); ++i) {
+    double lower = GedLowerBound(pattern, selected[i]);
+    if (lower >= running_min) {
+      obs::Count(obs::Counter::kSelectorDivPruned);
+      continue;  // value >= lower >= running_min: cannot improve
+    }
+    obs::Count(obs::Counter::kSelectorDivFolds);
+    double distance =
+        approximate
+            ? BipartiteGed(pattern, selected[i])
+            : GraphEditDistance(pattern, selected[i], ged_options).distance;
+    running_min = std::min(running_min, distance);
+  }
+  return running_min;
 }
 
 double PatternSetDiversityApprox(const Graph& pattern,

@@ -27,6 +27,19 @@ double PatternSetDiversity(const Graph& pattern,
                            const GedOptions& ged_options = {},
                            double empty_set_value = 1.0);
 
+// Incremental diversity fold (DESIGN.md §15): folds selected[from..) into a
+// running minimum, skipping any pair whose Definition 5.1 lower bound cannot
+// beat the running minimum. Because every (truncated or exact) GED value is
+// >= its lower bound, FoldDiversity(p, S, 0, +inf) equals
+// PatternSetDiversity(p, S) bit-for-bit — the skipped pairs provably cannot
+// lower the minimum — which is what lets the selector carry a per-candidate
+// running minimum across greedy iterations and fold only the patterns
+// selected since the candidate was last scored. `approximate` switches the
+// distance oracle to BipartiteGed (the PatternSetDiversityApprox pairing).
+double FoldDiversity(const Graph& pattern, const std::vector<Graph>& selected,
+                     size_t from, double running_min,
+                     const GedOptions& ged_options, bool approximate);
+
 // Polynomial-time variant using the assignment-based GED upper bound of
 // [Riesen & Neuhaus, GbRPR'07] (the paper's reference [32]) instead of the
 // exact branch-and-bound: min over the set of BipartiteGed(pattern, q),

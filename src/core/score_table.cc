@@ -1,0 +1,118 @@
+#include "src/core/score_table.h"
+
+#include "src/iso/flat_vf2.h"
+#include "src/iso/vf2.h"
+#include "src/util/mem_budget.h"
+
+namespace catapult {
+
+size_t FlatSummaryIndex::MemoryBytes() const {
+  size_t bytes = flat.MemoryBytes();
+  for (const LabelDomains& d : domains) bytes += d.MemoryBytes();
+  for (const Graph& g : summaries) {
+    bytes += ApproxGraphBytes(g.NumVertices(), g.NumEdges());
+  }
+  return bytes;
+}
+
+FlatSummaryIndex BuildFlatSummaryIndex(
+    const std::vector<ClusterSummaryGraph>& csgs) {
+  FlatSummaryIndex index;
+  index.summaries.reserve(csgs.size());
+  for (const ClusterSummaryGraph& csg : csgs) {
+    index.summaries.push_back(csg.ToGraph());
+  }
+  index.flat = FlatGraphDatabase::Build(index.summaries);
+  index.domains.reserve(csgs.size());
+  for (size_t i = 0; i < index.summaries.size(); ++i) {
+    index.domains.push_back(LabelDomains::Build(index.flat.view(i)));
+  }
+  return index;
+}
+
+void CoveredCsgsFlat(const Graph& pattern, const FlatSummaryIndex& index,
+                     uint64_t iso_node_budget, uint64_t* budget_exhausted,
+                     uint64_t* out_words) {
+  size_t words = CoverageWords(index.size());
+  for (size_t w = 0; w < words; ++w) out_words[w] = 0;
+  FlatGraph flat_pattern = FlatGraph::Build(pattern);
+  FlatGraphView pattern_view = flat_pattern.View();
+  IsoOptions options;
+  options.node_budget =
+      iso_node_budget == 0 ? kDefaultCoverageIsoBudget : iso_node_budget;
+  for (size_t i = 0; i < index.size(); ++i) {
+    FlatGraphView target = index.flat.view(i);
+    if (target.NumVertices() == 0) continue;
+    bool exhausted = false;
+    options.budget_exhausted = &exhausted;
+    if (FlatContainsSubgraph(pattern_view, target, &index.domains[i],
+                             options)) {
+      out_words[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+    if (exhausted && budget_exhausted != nullptr) ++*budget_exhausted;
+  }
+}
+
+void ScoreTable::Reset(size_t candidates, size_t num_csgs) {
+  size_ = candidates;
+  coverage_words_ = CoverageWords(num_csgs);
+  score.assign(candidates, 0.0);
+  ccov.assign(candidates, 0.0);
+  lcov.assign(candidates, 0.0);
+  div.assign(candidates, 0.0);
+  cog.assign(candidates, 0.0);
+  div_min.assign(candidates, std::numeric_limits<double>::max());
+  div_folded.assign(candidates, 0);
+  source_csg.assign(candidates, 0);
+  cache_slot.assign(candidates, -1);
+  iso_exhausted.assign(candidates, 0);
+  valid.assign(candidates, 0);
+  fresh.assign(candidates, 0);
+  coverage_.assign(candidates * coverage_words_, 0);
+}
+
+int SelectorClassCache::Probe(uint64_t fp, const Graph& g) const {
+  auto it = buckets_.find(fp);
+  if (it == buckets_.end()) return -1;
+  for (size_t slot = 0; slot < it->second.size(); ++slot) {
+    const Entry& entry = it->second[slot];
+    if (AreIsomorphicWithFingerprints(entry.rep, g, entry.fingerprint, fp)) {
+      return static_cast<int>(slot);
+    }
+  }
+  return -1;
+}
+
+SelectorClassCache::Entry& SelectorClassCache::At(uint64_t fp, int slot) {
+  auto it = buckets_.find(fp);
+  CATAPULT_CHECK(it != buckets_.end());
+  CATAPULT_CHECK(slot >= 0 && static_cast<size_t>(slot) < it->second.size());
+  return it->second[slot];
+}
+
+const SelectorClassCache::Entry& SelectorClassCache::At(uint64_t fp,
+                                                        int slot) const {
+  auto it = buckets_.find(fp);
+  CATAPULT_CHECK(it != buckets_.end());
+  CATAPULT_CHECK(slot >= 0 && static_cast<size_t>(slot) < it->second.size());
+  return it->second[slot];
+}
+
+int SelectorClassCache::Insert(Entry entry) {
+  std::vector<Entry>& bucket = buckets_[entry.fingerprint];
+  bucket.push_back(std::move(entry));
+  ++entries_;
+  return static_cast<int>(bucket.size() - 1);
+}
+
+void SelectorClassCache::Clear() {
+  buckets_.clear();
+  entries_ = 0;
+}
+
+size_t SelectorClassCache::ApproxEntryBytes(const Entry& entry) {
+  return ApproxGraphBytes(entry.rep.NumVertices(), entry.rep.NumEdges()) +
+         entry.covered.size() * sizeof(uint64_t) + 64;
+}
+
+}  // namespace catapult

@@ -1,0 +1,140 @@
+#ifndef CATAPULT_CORE_SCORE_TABLE_H_
+#define CATAPULT_CORE_SCORE_TABLE_H_
+
+// Selection hot-path data structures (DESIGN.md §15):
+//
+//  * FlatSummaryIndex — the CSG summaries in flat CSR form plus per-summary
+//    label domains, built once per corpus (PrepareCorpus / selector entry)
+//    and shared by every coverage test of every greedy iteration.
+//  * ScoreTable — a structure-of-arrays candidate table. Each ParallelFor
+//    slot writes only its own row across contiguous score/coverage/cog
+//    columns; column storage is reused across iterations so the steady
+//    state of the greedy loop allocates nothing per candidate.
+//  * SelectorClassCache — the cross-iteration memo, keyed by isomorphism
+//    class (fingerprint bucket + exact check against the class
+//    representative). Between greedy rounds only the decayed cluster /
+//    edge-label weights change — never the graphs — so the covered-CSG
+//    bitmap, label coverage and cognitive load of a class are computed once,
+//    and the diversity term is carried as a running minimum folded forward
+//    only over patterns selected since the class was last scored.
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/pattern_score.h"
+#include "src/csg/csg.h"
+#include "src/graph/flat_graph.h"
+
+namespace catapult {
+
+// Words of a packed coverage bitmap over `num_csgs` summaries.
+inline size_t CoverageWords(size_t num_csgs) { return (num_csgs + 63) / 64; }
+
+// The coverage-test targets in flat form: plain-graph summary views (still
+// needed by the walk generator and for reporting), the same summaries in one
+// flat arena, and per-summary label domains for root candidate enumeration.
+struct FlatSummaryIndex {
+  std::vector<Graph> summaries;
+  FlatGraphDatabase flat;
+  std::vector<LabelDomains> domains;
+
+  size_t size() const { return summaries.size(); }
+  size_t MemoryBytes() const;
+};
+
+FlatSummaryIndex BuildFlatSummaryIndex(
+    const std::vector<ClusterSummaryGraph>& csgs);
+
+// Flat-kernel CoveredCsgs: marks, in the packed bitmap `out_words`
+// (CoverageWords(index.size()) words, caller-zeroed region overwritten),
+// which summaries contain `pattern`. Identical results and truncation
+// semantics to CoveredCsgs on the plain-graph summaries: empty summaries are
+// skipped (bit stays 0), a zero budget selects kDefaultCoverageIsoBudget,
+// and each budget-truncated test conservatively reports "not contained" and
+// increments `budget_exhausted` (optional).
+void CoveredCsgsFlat(const Graph& pattern, const FlatSummaryIndex& index,
+                     uint64_t iso_node_budget, uint64_t* budget_exhausted,
+                     uint64_t* out_words);
+
+// Structure-of-arrays candidate table. Reset() re-dimensions every column
+// for the iteration's candidate count, reusing capacity. During the
+// parallel scoring pass each worker writes only row i of each column; the
+// ordered reduce then reads rows in candidate order.
+class ScoreTable {
+ public:
+  void Reset(size_t candidates, size_t num_csgs);
+
+  size_t size() const { return size_; }
+  size_t coverage_words() const { return coverage_words_; }
+
+  uint64_t* CoverageRow(size_t i) {
+    return coverage_.data() + i * coverage_words_;
+  }
+  const uint64_t* CoverageRow(size_t i) const {
+    return coverage_.data() + i * coverage_words_;
+  }
+
+  // Scored columns (Equation 2 terms and the product).
+  std::vector<double> score, ccov, lcov, div, cog;
+  // Diversity memo carried per row: running minimum and how many selected
+  // patterns it has folded.
+  std::vector<double> div_min;
+  std::vector<uint32_t> div_folded;
+  std::vector<uint32_t> source_csg;
+  // Class-cache coordinates of the row's isomorphism class: bucket slot
+  // index, or -1 when the class was not cached (fresh row).
+  std::vector<int32_t> cache_slot;
+  std::vector<uint64_t> iso_exhausted;
+  std::vector<uint8_t> valid, fresh;
+
+ private:
+  size_t size_ = 0;
+  size_t coverage_words_ = 0;
+  std::vector<uint64_t> coverage_;
+};
+
+// Cross-iteration memo keyed by isomorphism class. Buckets by fingerprint;
+// within a bucket, classes are told apart by an exact isomorphism check
+// against the stored representative. Entry indices within a bucket are
+// stable (entries are only appended, and eviction clears whole buckets), so
+// the parallel scoring pass can record (fingerprint, slot) coordinates and
+// the ordered reduce can write memo updates back without re-probing.
+class SelectorClassCache {
+ public:
+  struct Entry {
+    Graph rep;                      // class representative
+    uint64_t fingerprint = 0;
+    std::vector<uint64_t> covered;  // packed coverage bitmap
+    double lcov = 0.0;
+    double cog = 0.0;
+    double div_min = std::numeric_limits<double>::max();
+    uint32_t div_folded = 0;        // selected-prefix length folded in
+  };
+
+  // Slot of `g`'s class in the `fp` bucket, or -1 if absent. Read-only and
+  // safe to call concurrently with other probes (never with mutations).
+  int Probe(uint64_t fp, const Graph& g) const;
+
+  Entry& At(uint64_t fp, int slot);
+  const Entry& At(uint64_t fp, int slot) const;
+
+  // Appends `entry` to its fingerprint bucket and returns its slot. The
+  // caller is responsible for memory-budget charging.
+  int Insert(Entry entry);
+
+  void Clear();
+  size_t entries() const { return entries_; }
+
+  // Budget-charge estimate for one entry (graph + bitmap + bookkeeping).
+  static size_t ApproxEntryBytes(const Entry& entry);
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+  size_t entries_ = 0;
+};
+
+}  // namespace catapult
+
+#endif  // CATAPULT_CORE_SCORE_TABLE_H_

@@ -97,7 +97,8 @@ SelectionResult FindCannedPatternSet(
     const std::vector<std::vector<GraphId>>& clusters,
     const std::vector<ClusterSummaryGraph>& csgs,
     const SelectorOptions& options, Rng& rng, const RunContext& ctx,
-    const SelectorCheckpointHooks& hooks) {
+    const SelectorCheckpointHooks& hooks,
+    const FlatSummaryIndex* prebuilt_index) {
   options.budget.Validate();
   CATAPULT_CHECK(clusters.size() == csgs.size());
 
@@ -108,14 +109,19 @@ SelectionResult FindCannedPatternSet(
   ClusterWeights cw(clusters, db.size());
   LabelCoverageIndex label_index(db);
 
-  // Plain-graph views of the summaries, computed once.
-  std::vector<Graph> summaries;
-  summaries.reserve(csgs.size());
-  for (const ClusterSummaryGraph& csg : csgs) {
-    summaries.push_back(csg.ToGraph());
+  // Flat summary views + label domains for the coverage kernel, built once
+  // per corpus. The serving path passes a prebuilt index so repeated
+  // requests against the same corpus skip this entirely.
+  FlatSummaryIndex local_index;
+  if (prebuilt_index == nullptr) {
+    local_index = BuildFlatSummaryIndex(csgs);
+    prebuilt_index = &local_index;
   }
+  const FlatSummaryIndex& summary_index = *prebuilt_index;
+  CATAPULT_CHECK(summary_index.size() == csgs.size());
 
   std::vector<Graph> selected_graphs;
+  std::vector<uint64_t> selected_fps;  // fingerprints, parallel to graphs
   std::vector<size_t> selected_per_size(options.budget.NumSizes(), 0);
 
   // Resume: replay the checkpointed loop invariant — panel, tallies, decayed
@@ -130,6 +136,7 @@ SelectionResult FindCannedPatternSet(
     result.patterns = state.patterns;
     selected_per_size = state.selected_per_size;
     for (const SelectedPattern& p : state.patterns) {
+      selected_fps.push_back(GraphFingerprint(p.graph));
       selected_graphs.push_back(p.graph);
     }
     cw.Restore(state.cluster_weights);
@@ -148,47 +155,38 @@ SelectionResult FindCannedPatternSet(
     return state;
   };
 
-  // Which CSGs contain a given pattern is independent of the decaying
+  // Cross-iteration memo (DESIGN.md §15): which CSGs contain a pattern, its
+  // label coverage and cognitive load are all independent of the decaying
   // weights, and candidates recur heavily across iterations (the same FCPs
-  // keep being proposed until their clusters decay away). Memoising the
-  // covered set by isomorphism class removes the dominant subgraph-
-  // isomorphism cost of scoring.
-  struct CoverageEntry {
-    Graph graph;
-    std::vector<bool> covered;
-  };
-  std::unordered_map<uint64_t, std::vector<CoverageEntry>> coverage_cache;
+  // keep being proposed until their clusters decay away) — so each
+  // isomorphism class is measured once and rescored cheaply against the
+  // current weights. The diversity term is carried per class as a running
+  // minimum folded forward over newly selected patterns only.
+  //
   // The cache is the selector's only input-proportional allocation, so its
   // entries are charged against the memory budget; when a charge is refused
-  // the freshly computed covered set is still used, just not retained.
+  // the freshly computed row is still used, just not retained.
   //
-  // During the parallel scoring pass the cache is strictly read-only (lookup
-  // by fingerprint + isomorphism); freshly computed covered sets are carried
-  // out in per-candidate slots and inserted — with their budget charges — on
-  // the calling thread afterwards, in candidate order.
+  // During the parallel scoring pass the cache is strictly read-only (probe
+  // by fingerprint + isomorphism); freshly measured classes and diversity
+  // memo updates are carried out in ScoreTable rows and written back — with
+  // their budget charges — on the calling thread afterwards, in candidate
+  // order.
+  SelectorClassCache cache;
   size_t cache_charged_bytes = 0;
-  size_t cache_entries = 0;
-  auto CacheProbe = [&](uint64_t fp, const Graph& g) -> const std::vector<bool>* {
-    auto it = coverage_cache.find(fp);
-    if (it == coverage_cache.end()) return nullptr;
-    for (const CoverageEntry& entry : it->second) {
-      if (AreIsomorphic(entry.graph, g)) return &entry.covered;
-    }
-    return nullptr;
-  };
+  ScoreTable table;
 
   while (selected_graphs.size() < options.budget.gamma) {
     if (ctx.StopRequested("selector.iteration")) {
       result.complete = false;
       break;
     }
-    // Soft-limit pressure: the coverage cache is pure memoisation, so it is
-    // the first thing to go — recomputing covered sets trades time for
-    // bounded memory.
-    if (!coverage_cache.empty() && ctx.memory().SoftExceeded()) {
-      obs::Count(obs::Counter::kSelectorCacheEvictions, cache_entries);
-      coverage_cache.clear();
-      cache_entries = 0;
+    // Soft-limit pressure: the class cache is pure memoisation, so it is
+    // the first thing to go — recomputing its rows trades time for bounded
+    // memory.
+    if (cache.entries() > 0 && ctx.memory().SoftExceeded()) {
+      obs::Count(obs::Counter::kSelectorCacheEvictions, cache.entries());
+      cache.Clear();
       ctx.memory().Release(cache_charged_bytes);
       cache_charged_bytes = 0;
     }
@@ -238,6 +236,7 @@ SelectionResult FindCannedPatternSet(
 
     struct Candidate {
       Graph graph;
+      uint64_t fp = 0;  // GraphFingerprint(graph), computed where generated
       size_t source_csg = 0;
       bool valid = false;
     };
@@ -256,6 +255,7 @@ SelectionResult FindCannedPatternSet(
       }
       if (fcp.size() < options.budget.eta_min) return;
       slots[t].graph = PatternFromCsgEdges(csg, fcp);
+      slots[t].fp = GraphFingerprint(slots[t].graph);
       slots[t].source_csg = task.csg_index;
       slots[t].valid = true;
     });
@@ -269,49 +269,45 @@ SelectionResult FindCannedPatternSet(
 
     // Different CSGs frequently propose isomorphic FCPs (molecule databases
     // share motifs); scoring is the expensive part, so collapse candidates
-    // to one representative per isomorphism class first.
+    // to one representative per isomorphism class first. Fingerprints were
+    // computed in the generation pass, so the quadratic dedup compares
+    // hashes and only falls back to an exact check on a hash match.
     {
       std::vector<Candidate> unique;
-      std::vector<uint64_t> fingerprints;
       for (Candidate& c : candidates) {
-        uint64_t fp = GraphFingerprint(c.graph);
         bool duplicate = false;
-        for (size_t i = 0; i < unique.size(); ++i) {
-          if (fingerprints[i] == fp &&
-              AreIsomorphic(unique[i].graph, c.graph)) {
+        for (const Candidate& u : unique) {
+          if (AreIsomorphicWithFingerprints(u.graph, c.graph, u.fp, c.fp)) {
             duplicate = true;
             break;
           }
         }
         if (duplicate) obs::Count(obs::Counter::kPcpDeduplicated);
-        if (!duplicate) {
-          unique.push_back(std::move(c));
-          fingerprints.push_back(fp);
-        }
+        if (!duplicate) unique.push_back(std::move(c));
       }
       candidates = std::move(unique);
     }
 
     // Diversity GED also tightens toward the deadline (still an admissible
-    // upper bound when truncated).
+    // upper bound when truncated). Truncated GED values can depend on the
+    // effective budget, so the diversity memo is only read or written while
+    // the budget is untightened — deadline-degraded iterations fall back to
+    // the full pruned computation and leave the memo untouched.
     GedOptions ged = options.ged;
     ged.node_budget = ctx.TightenNodeBudget(ged.node_budget);
+    const bool div_memo_ok = options.approximate_diversity ||
+                             ged.node_budget == options.ged.node_budget;
 
-    // Score candidates on the pool; keep the best. During the parallel pass
-    // every shared structure (coverage cache, cluster/label weights,
-    // selected panel) is read-only; each candidate fills only its own slot.
-    // The argmax, the iso-budget tally, and all cache inserts + memory
-    // charges then run on the calling thread in candidate order, so the
-    // winner — including the strict-> first-max tie-break — is the one the
-    // sequential scan would have picked.
-    struct ScoredSlot {
-      bool valid = false;           // scored (not skipped, not stopped)
-      SelectedPattern scored;
-      std::vector<bool> covered;
-      bool fresh = false;           // covered computed here, not cache-hit
-      uint64_t iso_exhausted = 0;
-    };
-    std::vector<ScoredSlot> scored_slots(candidates.size());
+    // Score candidates on the pool into the structure-of-arrays table; keep
+    // the best. During the parallel pass every shared structure (class
+    // cache, cluster/label weights, selected panel) is read-only; each
+    // candidate fills only its own row. The argmax, the iso-budget tally,
+    // and all cache inserts + memo write-backs + memory charges then run on
+    // the calling thread in candidate order, so the winner — including the
+    // strict-> first-max tie-break — is the one the sequential scan would
+    // have picked.
+    table.Reset(candidates.size(), csgs.size());
+    const SelectorClassCache& ro_cache = cache;  // parallel pass: probes only
     std::atomic<bool> stop_scoring{false};
     ParallelFor(ctx, candidates.size(), 1, [&](size_t i) {
       // Once a stop is observed, later candidates bail out without polling
@@ -324,6 +320,7 @@ SelectionResult FindCannedPatternSet(
         return;
       }
       const Graph& g = candidates[i].graph;
+      const uint64_t fp = candidates[i].fp;
       // FCP assembly can fall short of the requested size; keep only
       // candidates whose actual size is still open, preserving the uniform
       // size distribution of Definition 3.1.
@@ -332,86 +329,141 @@ SelectionResult FindCannedPatternSet(
         return;
       }
       if (options.skip_duplicates) {
-        for (const Graph& s : selected_graphs) {
-          if (AreIsomorphic(g, s)) return;
+        for (size_t s = 0; s < selected_graphs.size(); ++s) {
+          if (AreIsomorphicWithFingerprints(g, selected_graphs[s], fp,
+                                            selected_fps[s])) {
+            return;
+          }
         }
       }
-      ScoredSlot& slot = scored_slots[i];
-      SelectedPattern& scored = slot.scored;
-      scored.graph = g;
-      scored.cog = CognitiveLoad(g);
-      {
-        uint64_t fp = GraphFingerprint(g);
-        const std::vector<bool>* cached = CacheProbe(fp, g);
-        if (cached != nullptr) {
-          obs::Count(obs::Counter::kSelectorCacheHits);
-          slot.covered = *cached;
-        } else {
-          obs::Count(obs::Counter::kSelectorCacheMisses);
-          // Near the deadline each iso test gets only the nodes still
-          // affordable, so one adversarial summary cannot eat the whole
-          // selection slice.
-          uint64_t iso_budget = ctx.TightenNodeBudget(options.iso_node_budget);
-          slot.covered =
-              CoveredCsgs(g, summaries, iso_budget, &slot.iso_exhausted);
-          slot.fresh = true;
+      uint64_t* row = table.CoverageRow(i);
+      int slot = ro_cache.Probe(fp, g);
+      table.cache_slot[i] = slot;
+      if (slot >= 0) {
+        obs::Count(obs::Counter::kSelectorCacheHits);
+        const SelectorClassCache::Entry& entry = ro_cache.At(fp, slot);
+        for (size_t w = 0; w < table.coverage_words(); ++w) {
+          row[w] = entry.covered[w];
         }
-        double ccov = 0.0;
-        for (size_t c = 0; c < slot.covered.size(); ++c) {
-          if (slot.covered[c]) ccov += cw.Get(c);
+        table.lcov[i] = entry.lcov;
+        table.cog[i] = entry.cog;
+        if (div_memo_ok) {
+          // Fold only the patterns selected since this class was last
+          // scored; the running minimum over the full panel is identical to
+          // the from-scratch pruned computation (see FoldDiversity).
+          double running = FoldDiversity(entry.rep, selected_graphs,
+                                         entry.div_folded, entry.div_min, ged,
+                                         options.approximate_diversity);
+          table.div_min[i] = running;
+          table.div_folded[i] = static_cast<uint32_t>(selected_graphs.size());
+          table.div[i] = selected_graphs.empty() ? 1.0 : running;
         }
-        scored.ccov = ccov;
+      } else {
+        obs::Count(obs::Counter::kSelectorCacheMisses);
+        // Near the deadline each iso test gets only the nodes still
+        // affordable, so one adversarial summary cannot eat the whole
+        // selection slice.
+        uint64_t iso_budget = ctx.TightenNodeBudget(options.iso_node_budget);
+        CoveredCsgsFlat(g, summary_index, iso_budget, &table.iso_exhausted[i],
+                        row);
+        table.fresh[i] = 1;
+        table.lcov[i] = label_index.PatternLabelCoverage(g);
+        table.cog[i] = CognitiveLoad(g);
+        if (div_memo_ok) {
+          double running = FoldDiversity(
+              g, selected_graphs, 0, std::numeric_limits<double>::max(), ged,
+              options.approximate_diversity);
+          table.div_min[i] = running;
+          table.div_folded[i] = static_cast<uint32_t>(selected_graphs.size());
+          table.div[i] = selected_graphs.empty() ? 1.0 : running;
+        }
       }
-      scored.lcov = label_index.PatternLabelCoverage(g);
-      scored.div =
-          options.approximate_diversity
-              ? PatternSetDiversityApprox(g, selected_graphs)
-              : PatternSetDiversity(g, selected_graphs, ged);
-      scored.score = scored.cog > 0.0
-                         ? scored.ccov * scored.lcov * scored.div / scored.cog
-                         : 0.0;
-      scored.source_csg = candidates[i].source_csg;
-      slot.valid = true;
+      if (!div_memo_ok) {
+        table.div[i] = options.approximate_diversity
+                           ? PatternSetDiversityApprox(g, selected_graphs)
+                           : PatternSetDiversity(g, selected_graphs, ged);
+      }
+      // ccov rescored against the current decayed weights, summing in
+      // ascending cluster order (the same fold order as the scalar loop).
+      double ccov = 0.0;
+      for (size_t w = 0; w < table.coverage_words(); ++w) {
+        uint64_t bits = row[w];
+        while (bits != 0) {
+          size_t c = (w << 6) + static_cast<size_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          ccov += cw.Get(c);
+        }
+      }
+      table.ccov[i] = ccov;
+      table.score[i] =
+          table.cog[i] > 0.0
+              ? table.ccov[i] * table.lcov[i] * table.div[i] / table.cog[i]
+              : 0.0;
+      table.source_csg[i] = static_cast<uint32_t>(candidates[i].source_csg);
+      table.valid[i] = 1;
     });
     bool stopped_scoring = stop_scoring.load(std::memory_order_relaxed);
     if (stopped_scoring) result.complete = false;
 
-    // Ordered reduce: tallies, cache retention (with its budget charges, in
-    // the same candidate order the sequential code charged), and the argmax.
+    // Ordered reduce: tallies, cache retention and memo write-backs (with
+    // their budget charges, in the same candidate order the sequential code
+    // charged), and the argmax.
     int best_index = -1;
-    SelectedPattern best;
-    const std::vector<bool>* best_covered = nullptr;
-    for (size_t i = 0; i < scored_slots.size(); ++i) {
-      ScoredSlot& slot = scored_slots[i];
-      result.iso_budget_exhausted += slot.iso_exhausted;
-      if (!slot.valid) continue;
-      if (slot.fresh) {
-        const Graph& g = slot.scored.graph;
-        size_t bytes = ApproxGraphBytes(g.NumVertices(), g.NumEdges()) +
-                       slot.covered.size() + 64;
+    for (size_t i = 0; i < table.size(); ++i) {
+      result.iso_budget_exhausted += table.iso_exhausted[i];
+      if (!table.valid[i]) continue;
+      if (table.fresh[i]) {
+        SelectorClassCache::Entry entry;
+        entry.rep = candidates[i].graph;
+        entry.fingerprint = candidates[i].fp;
+        entry.covered.assign(table.CoverageRow(i),
+                             table.CoverageRow(i) + table.coverage_words());
+        entry.lcov = table.lcov[i];
+        entry.cog = table.cog[i];
+        if (div_memo_ok) {
+          entry.div_min = table.div_min[i];
+          entry.div_folded = table.div_folded[i];
+        }
+        size_t bytes = SelectorClassCache::ApproxEntryBytes(entry);
         if (ctx.memory().TryCharge(bytes, "selector.cache")) {
           cache_charged_bytes += bytes;
-          coverage_cache[GraphFingerprint(g)].push_back({g, slot.covered});
-          ++cache_entries;
-          obs::SetGaugeMax(obs::Gauge::kSelectorCachePeak, cache_entries);
+          cache.Insert(std::move(entry));
+          obs::SetGaugeMax(obs::Gauge::kSelectorCachePeak, cache.entries());
         }
+      } else if (table.cache_slot[i] >= 0 && div_memo_ok) {
+        SelectorClassCache::Entry& entry =
+            cache.At(candidates[i].fp, table.cache_slot[i]);
+        entry.div_min = table.div_min[i];
+        entry.div_folded = table.div_folded[i];
       }
-      if (best_index < 0 || slot.scored.score > best.score) {
+      if (best_index < 0 || table.score[i] > table.score[best_index]) {
         best_index = static_cast<int>(i);
-        best = slot.scored;
-        best_covered = &slot.covered;
       }
     }
     if (best_index < 0) break;
 
     // Record the winner and decay weights (Algorithm 4, lines 19-21).
+    SelectedPattern best;
+    best.graph = candidates[best_index].graph;
+    best.score = table.score[best_index];
+    best.ccov = table.ccov[best_index];
+    best.lcov = table.lcov[best_index];
+    best.div = table.div[best_index];
+    best.cog = table.cog[best_index];
+    best.source_csg = table.source_csg[best_index];
     size_t size_slot = best.graph.NumEdges() - options.budget.eta_min;
     if (size_slot < selected_per_size.size()) ++selected_per_size[size_slot];
-    const std::vector<bool>& covered = *best_covered;
-    for (size_t i = 0; i < covered.size(); ++i) {
-      if (covered[i]) cw.Decay(i, options.weight_decay);
+    const uint64_t* covered = table.CoverageRow(best_index);
+    for (size_t w = 0; w < table.coverage_words(); ++w) {
+      uint64_t bits = covered[w];
+      while (bits != 0) {
+        size_t c = (w << 6) + static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        cw.Decay(c, options.weight_decay);
+      }
     }
     elw.DecayForPattern(best.graph, options.weight_decay);
+    selected_fps.push_back(candidates[best_index].fp);
     selected_graphs.push_back(best.graph);
     result.patterns.push_back(std::move(best));
     if (hooks.on_pattern_selected) hooks.on_pattern_selected(CaptureState());

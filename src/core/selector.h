@@ -7,6 +7,7 @@
 #include "src/core/budget.h"
 #include "src/core/pattern_score.h"
 #include "src/core/random_walk.h"
+#include "src/core/score_table.h"
 #include "src/core/weights.h"
 #include "src/csg/csg.h"
 #include "src/util/rng.h"
@@ -140,11 +141,17 @@ SelectionResult FindCannedPatternSet(
 // above. A resume state must structurally match (clusters count, budget
 // size range) — the checkpoint store validates this before handing one in;
 // mismatches are programmer errors (CHECK).
+//
+// `prebuilt_index` (optional) supplies the flat summary index of `csgs`
+// built ahead of time (PrepareCorpus keeps one per corpus so the serving
+// path does not rebuild summaries per request); when null the selector
+// builds its own. The index must have been built from exactly `csgs`.
 SelectionResult FindCannedPatternSet(
     const GraphDatabase& db, const std::vector<std::vector<GraphId>>& clusters,
     const std::vector<ClusterSummaryGraph>& csgs,
     const SelectorOptions& options, Rng& rng, const RunContext& ctx,
-    const SelectorCheckpointHooks& hooks);
+    const SelectorCheckpointHooks& hooks,
+    const FlatSummaryIndex* prebuilt_index = nullptr);
 
 }  // namespace catapult
 

@@ -1,0 +1,35 @@
+#ifndef CATAPULT_ISO_FLAT_VF2_H_
+#define CATAPULT_ISO_FLAT_VF2_H_
+
+// Flat-layout subgraph-isomorphism existence kernel (DESIGN.md §15).
+//
+// Drop-in replacement for ContainsSubgraph on FlatGraphView inputs, used by
+// the selection hot path (coverage tests against CSG summaries). The search
+// is bit-identical to SubgraphIsomorphism on the equivalent Graph inputs:
+// same root choice, same BFS matching order, same candidate sequences (flat
+// adjacency preserves insertion order; the root domain bitset enumerates
+// exactly the label-compatible vertices the naive 0..V scan accepts, in the
+// same ascending order), and the same one-increment-per-Backtrack node
+// accounting — so results, node counts, truncation points and the
+// vf2.* observability counters are all unchanged. Only the lookup costs
+// differ: edge-consistency checks binary-search the sorted permutation
+// instead of scanning neighbour vectors, and label-incompatible candidates
+// are skipped without touching the used/degree state.
+
+#include "src/graph/flat_graph.h"
+#include "src/iso/vf2.h"
+
+namespace catapult {
+
+// True if `pattern` (connected, non-empty) has an embedding in `target`.
+// `target_domains` (optional) supplies precomputed per-label root candidate
+// bitsets and label-frequency counts for `target`; when null they are
+// derived on the fly from the view (one O(V) pass).
+bool FlatContainsSubgraph(const FlatGraphView& pattern,
+                          const FlatGraphView& target,
+                          const LabelDomains* target_domains,
+                          IsoOptions options = {});
+
+}  // namespace catapult
+
+#endif  // CATAPULT_ISO_FLAT_VF2_H_

@@ -133,23 +133,39 @@ void ConnectedExtend(SearchState& state) {
   }
 }
 
+// Per-index upper bounds for the unconnected search: remaining[i] is the
+// number of a-edges touching any vertex still undecided at depth i, i.e.
+// order[i..]. The undecided set depends only on the (fixed) order and the
+// index, never on the mapping, so hoisting the computation out of the search
+// leaves the pruning — and thus the whole search tree — unchanged.
+std::vector<size_t> RemainingEdgeBounds(const Graph& a,
+                                        const std::vector<VertexId>& order) {
+  std::vector<size_t> remaining(order.size() + 1, 0);
+  std::vector<bool> undecided(a.NumVertices(), false);
+  std::vector<Edge> edges = a.EdgeList();
+  for (size_t index = order.size(); index-- > 0;) {
+    undecided[order[index]] = true;
+    size_t count = 0;
+    for (const Edge& e : edges) {
+      if (undecided[e.u] || undecided[e.v]) ++count;
+    }
+    remaining[index] = count;
+  }
+  return remaining;
+}
+
 // Unconnected MCS: decide a-vertices in a fixed order (map or skip).
 void UnconnectedExtend(SearchState& state,
-                       const std::vector<VertexId>& order, size_t index) {
+                       const std::vector<VertexId>& order,
+                       const std::vector<size_t>& remaining, size_t index) {
   if (state.BudgetExhausted()) return;
   state.RecordBest();
   if (index == order.size()) return;
 
   // Upper bound: remaining a-edges touching undecided vertices.
-  size_t remaining_a = 0;
-  {
-    std::vector<bool> undecided(state.a.NumVertices(), false);
-    for (size_t i = index; i < order.size(); ++i) undecided[order[i]] = true;
-    for (const Edge& e : state.a.EdgeList()) {
-      if (undecided[e.u] || undecided[e.v]) ++remaining_a;
-    }
+  if (state.current_edges + remaining[index] <= state.best.common_edges) {
+    return;
   }
-  if (state.current_edges + remaining_a <= state.best.common_edges) return;
 
   VertexId u = order[index];
   Label lu = state.a.VertexLabel(u);
@@ -157,12 +173,12 @@ void UnconnectedExtend(SearchState& state,
     if (state.b_used[v] || state.b.VertexLabel(v) != lu) continue;
     size_t gain = state.Gain(u, v);
     state.Push(u, v, gain);
-    UnconnectedExtend(state, order, index + 1);
+    UnconnectedExtend(state, order, remaining, index + 1);
     state.Pop(gain);
     if (!state.exact) return;
   }
   // Skip u entirely.
-  UnconnectedExtend(state, order, index + 1);
+  UnconnectedExtend(state, order, remaining, index + 1);
 }
 
 }  // namespace
@@ -202,7 +218,7 @@ McsResult MaxCommonSubgraph(const Graph& a, const Graph& b,
     std::stable_sort(order.begin(), order.end(), [&](VertexId l, VertexId r) {
       return a.Degree(l) > a.Degree(r);
     });
-    UnconnectedExtend(state, order, 0);
+    UnconnectedExtend(state, order, RemainingEdgeBounds(a, order), 0);
   }
   state.best.exact = state.exact;
   return state.best;

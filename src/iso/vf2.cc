@@ -216,6 +216,18 @@ bool AreIsomorphic(const Graph& a, const Graph& b, IsoOptions options) {
   return ContainsSubgraph(a, b, options);
 }
 
+bool AreIsomorphicWithFingerprints(const Graph& a, const Graph& b,
+                                   uint64_t fp_a, uint64_t fp_b,
+                                   IsoOptions options) {
+  if (fp_a != fp_b) return false;
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  if (a.NumVertices() == 0) return true;
+  options.induced = true;
+  return ContainsSubgraph(a, b, options);
+}
+
 uint64_t GraphFingerprint(const Graph& g) {
   // Weisfeiler-Leman style colour refinement hashed into 64 bits. This is an
   // invariant: isomorphic graphs always produce the same value.

@@ -87,6 +87,14 @@ std::vector<Embedding> FindEmbeddings(const Graph& pattern,
 // True if `a` and `b` are isomorphic as labelled graphs.
 bool AreIsomorphic(const Graph& a, const Graph& b, IsoOptions options = {});
 
+// AreIsomorphic for callers that already hold the graphs' fingerprints
+// (selector dedup and cache probes compare many pairs against the same
+// graph; recomputing the colour-refinement hash per pair dominated the
+// comparison). `fp_a` / `fp_b` must equal GraphFingerprint(a) / (b).
+bool AreIsomorphicWithFingerprints(const Graph& a, const Graph& b,
+                                   uint64_t fp_a, uint64_t fp_b,
+                                   IsoOptions options = {});
+
 // Isomorphism-invariant 64-bit fingerprint (colour-refinement hash). Equal
 // graphs hash equal; unequal hashes imply non-isomorphism. Used to bucket
 // candidates before exact isomorphism checks in mining and deduplication.

@@ -31,6 +31,8 @@ constexpr const char* kCounterNames[] = {
     "selector.cache_hits",
     "selector.cache_misses",
     "selector.cache_evictions",
+    "selector.div_folds",
+    "selector.div_pruned",
     "ckpt.records_written",
     "ckpt.records_read",
     "ckpt.bytes_written",

@@ -57,6 +57,8 @@ enum class Counter : uint32_t {
   kSelectorCacheHits,    // coverage-cache lookups served from the cache
   kSelectorCacheMisses,  // coverage-cache lookups that ran VF2
   kSelectorCacheEvictions,  // cache entries dropped under memory pressure
+  kSelectorDivFolds,     // diversity GED evaluations folded into a memo
+  kSelectorDivPruned,    // diversity folds skipped by the lower bound
   kCheckpointRecordsWritten,
   kCheckpointRecordsRead,
   kCheckpointBytesWritten,

@@ -1,0 +1,339 @@
+// Selection hot-path structures (DESIGN.md §15): the structure-of-arrays
+// ScoreTable, the cross-iteration SelectorClassCache, the flat coverage
+// kernel, the incremental diversity fold, and the end-to-end invariants the
+// memoized selector must preserve — identical output with and without a
+// prebuilt summary index, and recorded per-pattern diagnostics that replay
+// against from-scratch recomputation.
+
+#include "src/core/score_table.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/core/catapult.h"
+#include "src/core/pattern_score.h"
+#include "src/core/selector.h"
+#include "src/csg/csg.h"
+#include "src/data/molecule_generator.h"
+#include "src/graph/algorithms.h"
+#include "src/iso/vf2.h"
+
+namespace catapult {
+namespace {
+
+struct SelectorEnv {
+  GraphDatabase db;
+  std::vector<std::vector<GraphId>> clusters;
+  std::vector<ClusterSummaryGraph> csgs;
+};
+
+SelectorEnv MakeSetup(size_t num_graphs = 60, uint64_t seed = 13) {
+  SelectorEnv setup;
+  MoleculeGeneratorOptions gen;
+  gen.num_graphs = num_graphs;
+  gen.min_vertices = 8;
+  gen.max_vertices = 16;
+  gen.scaffold_families = 4;
+  gen.seed = seed;
+  setup.db = GenerateMoleculeDatabase(gen);
+  for (GraphId start = 0; start < setup.db.size(); start += 10) {
+    std::vector<GraphId> cluster;
+    for (GraphId i = start; i < std::min<GraphId>(start + 10, setup.db.size());
+         ++i) {
+      cluster.push_back(i);
+    }
+    setup.clusters.push_back(std::move(cluster));
+  }
+  setup.csgs = BuildCsgs(setup.db, setup.clusters);
+  return setup;
+}
+
+// Structural equality of two graphs produced by identical runs: same vertex
+// labels in order, same edge list in order.
+bool SameGraph(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    if (a.VertexLabel(v) != b.VertexLabel(v)) return false;
+  }
+  std::vector<Edge> ea = a.EdgeList();
+  std::vector<Edge> eb = b.EdgeList();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].u != eb[i].u || ea[i].v != eb[i].v ||
+        ea[i].label != eb[i].label) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Random vertex-permuted copy of g.
+Graph Permuted(const Graph& g, Rng& rng) {
+  std::vector<VertexId> perm(g.NumVertices());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<VertexId>(i);
+  rng.Shuffle(perm);
+  Graph out;
+  std::vector<VertexId> new_id(g.NumVertices());
+  for (VertexId v : perm) new_id[v] = out.AddVertex(g.VertexLabel(v));
+  for (const Edge& e : g.EdgeList()) {
+    out.AddEdge(new_id[e.u], new_id[e.v], e.label);
+  }
+  return out;
+}
+
+TEST(ScoreTableTest, ResetDimensionsAndZeroes) {
+  ScoreTable table;
+  table.Reset(5, 130);  // 130 csgs -> 3 coverage words
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_EQ(table.coverage_words(), 3u);
+  table.score[4] = 2.0;
+  table.valid[4] = 1;
+  table.CoverageRow(4)[2] = ~uint64_t{0};
+  table.cache_slot[4] = 7;
+  table.div_min[4] = 0.5;
+
+  // Shrinking then regrowing must hand back zeroed rows, not stale state.
+  table.Reset(2, 130);
+  table.Reset(5, 130);
+  EXPECT_EQ(table.score[4], 0.0);
+  EXPECT_EQ(table.valid[4], 0);
+  EXPECT_EQ(table.CoverageRow(4)[2], 0u);
+  EXPECT_EQ(table.cache_slot[4], -1);
+  EXPECT_EQ(table.div_min[4], std::numeric_limits<double>::max());
+}
+
+TEST(ScoreTableTest, CoverageRowsDoNotOverlap) {
+  ScoreTable table;
+  table.Reset(3, 64);
+  table.CoverageRow(1)[0] = 0xff;
+  EXPECT_EQ(table.CoverageRow(0)[0], 0u);
+  EXPECT_EQ(table.CoverageRow(2)[0], 0u);
+}
+
+TEST(SelectorClassCacheTest, ProbeFindsIsomorphicClass) {
+  Rng rng(7);
+  Graph base = RandomConnectedSubgraph(
+      GenerateMoleculeDatabase({.num_graphs = 1, .seed = 3}).graph(0), 6, rng);
+  uint64_t fp = GraphFingerprint(base);
+
+  SelectorClassCache cache;
+  EXPECT_EQ(cache.Probe(fp, base), -1);
+
+  SelectorClassCache::Entry entry;
+  entry.rep = base;
+  entry.fingerprint = fp;
+  entry.lcov = 0.25;
+  int slot = cache.Insert(std::move(entry));
+  EXPECT_EQ(slot, 0);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  // The representative itself and a vertex-permuted copy both land on the
+  // class; the fingerprint is isomorphism-invariant so the copy probes with
+  // the same fp.
+  EXPECT_EQ(cache.Probe(fp, base), 0);
+  Graph shuffled = Permuted(base, rng);
+  EXPECT_EQ(GraphFingerprint(shuffled), fp);
+  EXPECT_EQ(cache.Probe(fp, shuffled), 0);
+
+  // Write-back through At persists.
+  cache.At(fp, slot).div_min = 3.0;
+  EXPECT_EQ(cache.At(fp, slot).div_min, 3.0);
+
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.Probe(fp, base), -1);
+}
+
+TEST(SelectorClassCacheTest, SlotsStableAcrossInserts) {
+  SelectorEnv setup = MakeSetup(20, 5);
+  Rng rng(11);
+  SelectorClassCache cache;
+  std::vector<std::pair<uint64_t, int>> coords;
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 12; ++i) {
+    Graph g = RandomConnectedSubgraph(
+        setup.db.graph(static_cast<GraphId>(i)), 4 + i % 4, rng);
+    uint64_t fp = GraphFingerprint(g);
+    if (cache.Probe(fp, g) >= 0) continue;
+    SelectorClassCache::Entry entry;
+    entry.rep = g;
+    entry.fingerprint = fp;
+    entry.cog = static_cast<double>(i);
+    coords.emplace_back(fp, cache.Insert(std::move(entry)));
+    graphs.push_back(g);
+  }
+  // Every recorded (fp, slot) coordinate still resolves to its graph after
+  // all subsequent inserts.
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const SelectorClassCache::Entry& e =
+        cache.At(coords[i].first, coords[i].second);
+    EXPECT_TRUE(AreIsomorphic(e.rep, graphs[i]));
+  }
+}
+
+TEST(CoveredCsgsFlatTest, MatchesReferenceCoverage) {
+  SelectorEnv setup = MakeSetup();
+  FlatSummaryIndex index = BuildFlatSummaryIndex(setup.csgs);
+  ASSERT_EQ(index.size(), setup.csgs.size());
+  std::vector<Graph> summaries;
+  for (const ClusterSummaryGraph& csg : setup.csgs) {
+    summaries.push_back(csg.ToGraph());
+  }
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph pattern = RandomConnectedSubgraph(
+        setup.db.graph(static_cast<GraphId>(trial * 5)), 3 + trial % 5, rng);
+    for (uint64_t budget : {uint64_t{0}, uint64_t{50}, uint64_t{100000}}) {
+      uint64_t ref_exhausted = 0;
+      std::vector<bool> reference =
+          CoveredCsgs(pattern, summaries, budget, &ref_exhausted);
+      uint64_t flat_exhausted = 0;
+      std::vector<uint64_t> words(CoverageWords(index.size()), 0);
+      CoveredCsgsFlat(pattern, index, budget, &flat_exhausted, words.data());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        bool flat_bit = (words[i >> 6] >> (i & 63)) & 1;
+        EXPECT_EQ(flat_bit, reference[i])
+            << "trial " << trial << " budget " << budget << " csg " << i;
+      }
+      EXPECT_EQ(flat_exhausted, ref_exhausted)
+          << "trial " << trial << " budget " << budget;
+    }
+  }
+}
+
+TEST(FoldDiversityTest, FromScratchEqualsPatternSetDiversity) {
+  SelectorEnv setup = MakeSetup(30, 9);
+  Rng rng(17);
+  std::vector<Graph> panel;
+  for (int i = 0; i < 5; ++i) {
+    panel.push_back(RandomConnectedSubgraph(
+        setup.db.graph(static_cast<GraphId>(i * 3)), 3 + i, rng));
+  }
+  GedOptions ged;
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph p = RandomConnectedSubgraph(
+        setup.db.graph(static_cast<GraphId>(trial)), 4 + trial % 3, rng);
+    double folded = FoldDiversity(p, panel, 0,
+                                  std::numeric_limits<double>::max(), ged,
+                                  /*approximate=*/false);
+    EXPECT_EQ(folded, PatternSetDiversity(p, panel, ged));
+    double folded_approx = FoldDiversity(
+        p, panel, 0, std::numeric_limits<double>::max(), ged,
+        /*approximate=*/true);
+    EXPECT_EQ(folded_approx, PatternSetDiversityApprox(p, panel));
+  }
+}
+
+TEST(FoldDiversityTest, IncrementalFoldEqualsFullFold) {
+  SelectorEnv setup = MakeSetup(30, 9);
+  Rng rng(23);
+  std::vector<Graph> panel;
+  for (int i = 0; i < 6; ++i) {
+    panel.push_back(RandomConnectedSubgraph(
+        setup.db.graph(static_cast<GraphId>(i * 2 + 1)), 3 + i % 4, rng));
+  }
+  GedOptions ged;
+  Graph p = RandomConnectedSubgraph(setup.db.graph(20), 5, rng);
+  double full = FoldDiversity(p, panel, 0,
+                              std::numeric_limits<double>::max(), ged, false);
+  // Folding a prefix, then continuing from its running minimum, must land on
+  // the same value for every split point.
+  for (size_t split = 0; split <= panel.size(); ++split) {
+    std::vector<Graph> prefix(panel.begin(), panel.begin() + split);
+    double carried = FoldDiversity(p, prefix, 0,
+                                   std::numeric_limits<double>::max(), ged,
+                                   false);
+    double resumed = FoldDiversity(p, panel, split, carried, ged, false);
+    EXPECT_EQ(resumed, full) << "split " << split;
+  }
+}
+
+TEST(SelectorIndexTest, PrebuiltIndexIsIdenticalToLocalBuild) {
+  SelectorEnv setup = MakeSetup();
+  SelectorOptions options;
+  options.budget = {.eta_min = 3, .eta_max = 6, .gamma = 8};
+  options.walks_per_candidate = 8;
+
+  Rng rng_a(42);
+  SelectionResult without = FindCannedPatternSet(
+      setup.db, setup.clusters, setup.csgs, options, rng_a);
+
+  FlatSummaryIndex index = BuildFlatSummaryIndex(setup.csgs);
+  Rng rng_b(42);
+  SelectionResult with = FindCannedPatternSet(
+      setup.db, setup.clusters, setup.csgs, options, rng_b,
+      RunContext::NoLimit(), SelectorCheckpointHooks{}, &index);
+
+  ASSERT_EQ(with.patterns.size(), without.patterns.size());
+  for (size_t i = 0; i < with.patterns.size(); ++i) {
+    EXPECT_EQ(with.patterns[i].score, without.patterns[i].score);
+    EXPECT_EQ(with.patterns[i].ccov, without.patterns[i].ccov);
+    EXPECT_EQ(with.patterns[i].div, without.patterns[i].div);
+    EXPECT_TRUE(SameGraph(with.patterns[i].graph, without.patterns[i].graph));
+  }
+}
+
+TEST(SelectorReplayTest, RecordedDiagnosticsReplay) {
+  SelectorEnv setup = MakeSetup();
+  SelectorOptions options;
+  options.budget = {.eta_min = 3, .eta_max = 6, .gamma = 8};
+  options.walks_per_candidate = 8;
+  Rng rng(7);
+  SelectionResult result = FindCannedPatternSet(
+      setup.db, setup.clusters, setup.csgs, options, rng);
+  ASSERT_GE(result.patterns.size(), 2u);
+
+  std::vector<Graph> summaries;
+  for (const ClusterSummaryGraph& csg : setup.csgs) {
+    summaries.push_back(csg.ToGraph());
+  }
+  ClusterWeights cw(setup.clusters, setup.db.size());
+  LabelCoverageIndex label_index(setup.db);
+  std::vector<Graph> prefix;
+  for (const SelectedPattern& p : result.patterns) {
+    if (p.fallback) break;
+    // Diversity: the memoized fold must equal the from-scratch value against
+    // the panel selected before this pattern.
+    double expected_div =
+        prefix.empty() ? 1.0 : PatternSetDiversity(p.graph, prefix,
+                                                   options.ged);
+    EXPECT_EQ(p.div, expected_div);
+    // Coverage: the recorded ccov must equal a fresh coverage test summed
+    // against the weights as decayed by the preceding selections.
+    std::vector<bool> covered = CoveredCsgs(p.graph, summaries);
+    double expected_ccov = 0.0;
+    for (size_t c = 0; c < covered.size(); ++c) {
+      if (covered[c]) expected_ccov += cw.Get(c);
+    }
+    EXPECT_EQ(p.ccov, expected_ccov);
+    EXPECT_EQ(p.lcov, label_index.PatternLabelCoverage(p.graph));
+    EXPECT_EQ(p.cog, CognitiveLoad(p.graph));
+    for (size_t c = 0; c < covered.size(); ++c) {
+      if (covered[c]) cw.Decay(c, options.weight_decay);
+    }
+    prefix.push_back(p.graph);
+  }
+}
+
+TEST(PreparedCorpusTest, CarriesSummaryIndex) {
+  SelectorEnv setup = MakeSetup(30, 21);
+  CatapultOptions options;
+  options.selector.budget = {.eta_min = 3, .eta_max = 5, .gamma = 4};
+  options.selector.walks_per_candidate = 6;
+  PreparedCorpus corpus =
+      PrepareCorpus(setup.db, options, RunContext::NoLimit());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.summary_index.size(), corpus.csgs.size());
+  // The index's plain-graph summaries match the CSGs' own views.
+  for (size_t i = 0; i < corpus.csgs.size(); ++i) {
+    Graph expected = corpus.csgs[i].ToGraph();
+    const Graph& got = corpus.summary_index.summaries[i];
+    EXPECT_EQ(got.NumVertices(), expected.NumVertices());
+    EXPECT_EQ(got.NumEdges(), expected.NumEdges());
+  }
+}
+
+}  // namespace
+}  // namespace catapult
