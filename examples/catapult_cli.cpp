@@ -6,6 +6,7 @@
 //   mine --db FILE --out FILE [--gamma N] [--min-size K] [--max-size K]
 //        [--seed S] [--sampling] [--deadline-ms MS] [--threads N]
 //        [--processes N] [--max-shard-retries N] [--listen ADDR]
+//        [--dist-admin-listen ADDR]
 //        [--checkpoint-dir DIR] [--resume] [--checkpoint-every-phase 0|1]
 //        [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
 //        [--mem-budget-mb MB] [--strict-parse]
@@ -46,12 +47,16 @@
 //       --join-timeout-ms bounds how long the supervisor waits for a
 //       (re)joining fleet before declaring it lost (default 10000).
 //       Requires --processes > 1; output stays bit-identical.
+//       --dist-admin-listen ADDR opens a best-effort telemetry endpoint on
+//       the remote-fleet supervisor serving /metrics, /statusz (fleet
+//       membership and shard progress) and /healthz while the run is live.
 //       Observability (DESIGN.md Section 11): --trace-out writes a Chrome
 //       trace-event JSON file of the run's phase spans (open it in
 //       chrome://tracing or https://ui.perfetto.dev), --metrics-out writes
 //       the merged per-primitive counters/gauges/histograms as JSON, and
 //       --print-stats prints a human-readable summary of the same counters
-//       (plus the ingestion quarantine/memory accounting) to stderr. None
+//       with p50/p95/p99 quantiles for every histogram (plus the ingestion
+//       quarantine/memory accounting) to stderr. None
 //       of the three affects the mined patterns: instrumentation only ever
 //       writes metrics, it never reads them.
 //   evaluate --db FILE --patterns FILE [--queries N] [--seed S]
@@ -89,6 +94,7 @@
 #include "src/formulate/evaluate.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/io.h"
+#include "src/obs/clock.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -273,6 +279,9 @@ int CmdMine(const Flags& flags) {
       flags.GetInt("max-shard-retries",
                    static_cast<long>(options.max_shard_retries)));
   if (auto listen = flags.Get("listen")) options.dist_listen = *listen;
+  if (auto admin = flags.Get("dist-admin-listen")) {
+    options.dist_admin_listen = *admin;
+  }
   options.dist_join_timeout_ms = static_cast<double>(
       flags.GetInt("join-timeout-ms",
                    static_cast<long>(options.dist_join_timeout_ms)));
@@ -489,6 +498,7 @@ int CmdSearch(const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  obs::InstallTicksFromEnv();  // CATAPULT_FIXED_TICKS, for byte-stable traces
   // Installs the async-signal-safe SIGINT/SIGTERM bridge (src/util/signal.h)
   // up front, so an early ^C is latched even before a run context exists.
   ShutdownSignals::Instance();

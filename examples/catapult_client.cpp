@@ -107,21 +107,28 @@ int CmdMine(const Flags& flags) {
     std::fprintf(stderr, "%s: %s\n", socket_path->c_str(), error.c_str());
     return kExitUsage;
   }
+  std::string retry_log;
   const serve::ServeClient::MineOutcome outcome =
-      client.MineWithRetry(request, retries + 1);
+      client.MineWithRetry(request, retries + 1, 30000.0, &retry_log);
+  // Per-attempt shed lines carry the server-assigned request id so this
+  // client's stderr joins against the server's --request-log.
+  if (!retry_log.empty()) std::fputs(retry_log.c_str(), stderr);
   using Kind = serve::ServeClient::MineOutcome::Kind;
   switch (outcome.kind) {
     case Kind::kTransport:
       std::fprintf(stderr, "transport error: %s\n", outcome.error.c_str());
       return kExitUsage;
     case Kind::kError:
-      std::fprintf(stderr, "request rejected: %s\n", outcome.error.c_str());
+      std::fprintf(stderr, "request rejected (request_id=%llu): %s\n",
+                   static_cast<unsigned long long>(outcome.request_id),
+                   outcome.error.c_str());
       return kExitRejected;
     case Kind::kShed:
       std::fprintf(stderr,
-                   "shed after %zu attempts: %s (queue depth %llu, retry "
-                   "after %.0f ms)\n",
+                   "shed after %zu attempts: %s (request_id=%llu, queue depth "
+                   "%llu, retry after %.0f ms)\n",
                    retries + 1, serve::ToString(outcome.shed.reason),
+                   static_cast<unsigned long long>(outcome.request_id),
                    static_cast<unsigned long long>(outcome.shed.queue_depth),
                    outcome.shed.retry_after_ms);
       return kExitShed;

@@ -13,7 +13,16 @@
 //       [--retry-after-ms MS] [--idle-timeout-ms MS]
 //       [--write-timeout-ms MS] [--drain-timeout-ms MS]
 //       [--max-graph-vertices N] [--max-graph-edges N] [--max-graphs N]
-//       [--strict-parse] [--metrics-out FILE]
+//       [--strict-parse] [--metrics-out FILE] [--trace-out FILE]
+//       [--admin-listen unix:PATH|tcp:HOST:PORT] [--request-log FILE]
+//       [--slow-request-ms MS]
+//
+// Observability (DESIGN.md §16): --admin-listen opens a second listener
+// serving /metrics (Prometheus text), /statusz (JSON) and /healthz while
+// requests are in flight; --request-log appends one JSONL line per
+// served/shed/failed request; --slow-request-ms flags slow selections;
+// --trace-out enables per-request tracing and writes one Chrome-trace file
+// at drain.
 //
 // Prints "listening on PATH" once ready (scripts wait for that line), then
 // blocks until a shutdown signal arrives. On SIGTERM/SIGINT it drains:
@@ -34,6 +43,7 @@
 #include <string>
 
 #include "src/graph/io.h"
+#include "src/obs/clock.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/serve/server.h"
@@ -99,6 +109,7 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallTicksFromEnv();  // CATAPULT_FIXED_TICKS, for byte-stable traces
   // Install the signal bridge before anything else so an early ^C latches.
   ShutdownSignals& signals = ShutdownSignals::Instance();
   Flags flags(argc, argv, 1);
@@ -164,6 +175,14 @@ int main(int argc, char** argv) {
     options.pipeline.mem_hard_limit_bytes =
         static_cast<size_t>(mem_budget_mb) << 20;
   }
+  if (auto admin = flags.Get("admin-listen")) options.admin_listen = *admin;
+  if (auto reqlog = flags.Get("request-log")) {
+    options.request_log_path = *reqlog;
+  }
+  options.slow_request_ms =
+      static_cast<double>(flags.GetInt("slow-request-ms", 0));
+  const auto trace_out = flags.Get("trace-out");
+  options.enable_tracing = trace_out.has_value();
 
   serve::Server server;
   const std::string error = server.Start(*db, options);
@@ -209,6 +228,14 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     std::fprintf(stderr, "metrics: -> %s\n", metrics_out->c_str());
+  }
+  if (trace_out) {
+    if (!server.tracer()->WriteFile(*trace_out)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_out->c_str());
+      return kExitUsage;
+    }
+    std::fprintf(stderr, "trace: %zu events -> %s\n",
+                 server.tracer()->event_count(), trace_out->c_str());
   }
   const auto counter = [&metrics](obs::Counter c) {
     return static_cast<unsigned long long>(

@@ -9,6 +9,13 @@
 //                   [--sampling] [--max-graph-vertices N]
 //                   [--max-graph-edges N] [--max-graphs N] [--strict-parse]
 //                   [--dial-timeout-ms MS] [--max-dial-attempts N]
+//                   [--metrics-out FILE] [--trace-out FILE]
+//
+// --metrics-out/--trace-out (DESIGN.md §16) write this worker's local view
+// at exit: metrics deltas accumulated across every carried shard, and a
+// Chrome-trace file of the shard spans it computed (the supervisor merges
+// the same spans into the fleet-wide trace; the local file is for
+// debugging one worker in isolation).
 //
 // The worker must be launched against the SAME database file and the SAME
 // mining options as the supervisor: the handshake carries a
@@ -34,6 +41,10 @@
 #include "src/core/catapult.h"
 #include "src/dist/net_worker.h"
 #include "src/graph/io.h"
+#include "src/obs/clock.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace {
@@ -85,6 +96,7 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallTicksFromEnv();  // CATAPULT_FIXED_TICKS, for byte-stable traces
   Flags flags(argc, argv, 1);
   auto db_path = flags.Get("db");
   auto connect = flags.Get("connect");
@@ -138,7 +150,35 @@ int main(int argc, char** argv) {
       flags.GetInt("max-dial-attempts",
                    static_cast<long>(worker.max_dial_attempts)));
 
+  const auto metrics_out = flags.Get("metrics-out");
+  const auto trace_out = flags.Get("trace-out");
+  obs::MetricsSnapshot local_metrics;
+  obs::Tracer local_tracer;
+  if (metrics_out) worker.accumulate = &local_metrics;
+  if (trace_out) worker.local_tracer = &local_tracer;
+
   int code = dist::RunRemoteWorker(*db, worker);
+  if (metrics_out) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    obs::RenderMetricsFields(local_metrics, w);
+    w.EndObject();
+    if (!w.WriteFile(*metrics_out)) {
+      std::fprintf(stderr, "cannot write metrics %s\n", metrics_out->c_str());
+      if (code == 0) code = 1;
+    } else {
+      std::fprintf(stderr, "metrics: -> %s\n", metrics_out->c_str());
+    }
+  }
+  if (trace_out) {
+    if (!local_tracer.WriteFile(*trace_out)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_out->c_str());
+      if (code == 0) code = 1;
+    } else {
+      std::fprintf(stderr, "trace: %zu events -> %s\n",
+                   local_tracer.event_count(), trace_out->c_str());
+    }
+  }
   if (code == 0) {
     std::fprintf(stderr, "catapult_worker: run complete\n");
   } else {

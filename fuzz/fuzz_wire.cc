@@ -159,7 +159,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // the framing — reachable in production whenever a frame's CRC passes but
   // its payload is hostile.
   const std::string payload(bytes, n);
-  switch ((selector >> 1) % 11) {
+  switch ((selector >> 1) % 12) {
     case 0: {
       catapult::dist::ShardDoneFrame f;
       (void)Decode(payload, &f);
@@ -215,6 +215,14 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     case 10: {
       catapult::dist::JoinAcceptFrame f;
       (void)Decode(payload, &f);
+      break;
+    }
+    case 11: {
+      // Request-id-carrying error reply (DESIGN.md §16); the hostile cases
+      // that matter most here are the span-count and counter-index bounds
+      // of the trace-carrying ShardDone/ShardAssign codecs in cases 0/8.
+      catapult::serve::ErrorReply f;
+      (void)catapult::serve::Decode(payload, &f);
       break;
     }
   }

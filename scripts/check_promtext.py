@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Scrape and validate the admin endpoint's Prometheus text exposition.
+
+Two subcommands, so shell smokes stay one-liners:
+
+  check_promtext.py scrape ADDR PATH
+      Connect to ADDR ("unix:PATH" or "tcp:HOST:PORT"), issue an HTTP/1.0
+      GET for PATH against the line-oriented admin endpoint
+      (src/obs/admin.h), and print the response body to stdout. Exits 1 on
+      connect failure or a non-200 status.
+
+  check_promtext.py validate [FILE]
+      Validate Prometheus text exposition (from FILE or stdin) as rendered
+      by obs::RenderPrometheusText: name syntax, TYPE-before-samples,
+      histogram invariants (cumulative buckets, +Inf == _count, _sum/_count
+      present), and float-parseable values. Exits 1 with a line-numbered
+      message on the first violation.
+
+Used by scripts/serve_stress.sh to prove /metrics stays parseable while the
+server is under load, and usable by hand against any --admin-listen.
+"""
+
+import re
+import socket
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# A sample line: name, optional {labels}, one value. The admin endpoint
+# never emits timestamps.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "untyped", "summary"}
+
+
+def fail(msg):
+    print(f"check_promtext: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def scrape(addr, path):
+    if addr.startswith("unix:"):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        target = addr[len("unix:"):]
+    elif addr.startswith("tcp:"):
+        host, _, port = addr[len("tcp:"):].rpartition(":")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        target = (host, int(port))
+    else:
+        fail(f"bad address {addr!r} (want unix:PATH or tcp:HOST:PORT)")
+    sock.settimeout(10.0)
+    try:
+        sock.connect(target)
+        sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        raw = b""
+        while chunk := sock.recv(65536):
+            raw += chunk
+    except OSError as e:
+        fail(f"scrape {addr}{path}: {e}")
+    finally:
+        sock.close()
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        fail(f"scrape {addr}{path}: no header/body separator in reply")
+    status = head.split(b"\r\n", 1)[0].decode(errors="replace")
+    if " 200 " not in status + " ":
+        fail(f"scrape {addr}{path}: status {status!r}")
+    sys.stdout.write(body.decode(errors="replace"))
+
+
+def parse_value(lineno, text):
+    if text == "+Inf":
+        return float("inf")
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"line {lineno}: unparseable value {text!r}")
+
+
+def check_histogram(name, series):
+    """series: list of (lineno, labels-dict-or-None, suffix, value)."""
+    buckets, total_sum, count = [], None, None
+    for lineno, labels, suffix, value in series:
+        if suffix == "_bucket":
+            if labels is None or "le" not in labels:
+                fail(f"line {lineno}: {name}_bucket without an le label")
+            buckets.append((lineno, labels["le"], value))
+        elif suffix == "_sum":
+            total_sum = value
+        elif suffix == "_count":
+            count = value
+    if not buckets:
+        fail(f"histogram {name} has no _bucket samples")
+    if total_sum is None or count is None:
+        fail(f"histogram {name} is missing _sum or _count")
+    prev = -1.0
+    prev_edge = float("-inf")
+    for lineno, le, value in buckets:
+        edge = parse_value(lineno, le)
+        if edge <= prev_edge:
+            fail(f"line {lineno}: {name} bucket edges not increasing")
+        if value < prev:
+            fail(f"line {lineno}: {name} cumulative bucket counts decrease")
+        prev, prev_edge = value, edge
+    if prev_edge != float("inf"):
+        fail(f"histogram {name} has no +Inf bucket")
+    if buckets[-1][2] != count:
+        fail(f"histogram {name}: +Inf bucket {buckets[-1][2]} != _count {count}")
+
+
+def base_family(name, typed):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in typed:
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def validate(text):
+    typed = {}  # family -> type
+    histograms = {}  # family -> [(lineno, labels, suffix, value)]
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(f"line {lineno}: malformed comment {line!r}")
+            if not NAME_RE.match(parts[2]):
+                fail(f"line {lineno}: bad metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    fail(f"line {lineno}: unknown type {kind!r}")
+                if parts[2] in typed:
+                    fail(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                typed[parts[2]] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: malformed sample {line!r}")
+        name, label_blob, value_text = m.groups()
+        labels = None
+        if label_blob:
+            labels = {}
+            for pair in label_blob[1:-1].split(","):
+                lm = LABEL_RE.match(pair)
+                if not lm:
+                    fail(f"line {lineno}: malformed label {pair!r}")
+                labels[lm.group(1)] = lm.group(2)
+        value = parse_value(lineno, value_text)
+        family, suffix = base_family(name, typed)
+        if family not in typed:
+            fail(f"line {lineno}: sample {name} has no preceding TYPE")
+        if typed[family] == "histogram":
+            histograms.setdefault(family, []).append(
+                (lineno, labels, suffix, value))
+        samples += 1
+    if samples == 0:
+        fail("no samples found")
+    for family, kind in typed.items():
+        if kind == "histogram":
+            check_histogram(family, histograms.get(family, []))
+    print(f"check_promtext: OK ({samples} samples, {len(typed)} families, "
+          f"{len(histograms)} histograms)", file=sys.stderr)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "scrape":
+        if len(argv) != 4:
+            fail("usage: check_promtext.py scrape ADDR PATH")
+        scrape(argv[2], argv[3])
+    elif len(argv) >= 2 and argv[1] == "validate":
+        if len(argv) == 3:
+            with open(argv[2], "r", encoding="utf-8") as f:
+                validate(f.read())
+        else:
+            validate(sys.stdin.read())
+    else:
+        fail("usage: check_promtext.py <scrape ADDR PATH | validate [FILE]>")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

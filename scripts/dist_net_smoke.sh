@@ -9,9 +9,13 @@
 #      orphaned shard — the panel must byte-match the reference;
 #   3. run it again over TCP loopback with one clean worker — byte-match
 #      again, and the report JSON must carry the remote membership block;
+#      the supervisor's --trace-out must be one valid Chrome-trace JSON
+#      file with the worker's spans merged onto their own process track;
 #   4. run with no workers at all under a short join timeout — the
 #      in-process fallback must still byte-match, with the dedicated
-#      exit code 7 flagging "completed only via fallback".
+#      exit code 7 flagging "completed only via fallback";
+#   5. rerun the fleet twice under CATAPULT_FIXED_TICKS — the merged trace
+#      must be byte-stable across runs (DESIGN.md §16).
 #
 # Usage: scripts/dist_net_smoke.sh [BUILD_DIR]   (default: build)
 
@@ -88,6 +92,7 @@ PORT=$((20000 + RANDOM % 20000))
 ADDR=tcp:127.0.0.1:$PORT
 "$CLI" mine --db "$WORK/db.txt" --out "$WORK/tcp.txt" "${MINE_FLAGS[@]}" \
   --processes 2 --listen "$ADDR" --metrics-out "$WORK/tcp_metrics.json" \
+  --trace-out "$WORK/tcp_trace.json" \
   > "$WORK/tcp.log" 2>&1 &
 SUP_PID=$!
 "$WORKER" --db "$WORK/db.txt" --connect "$ADDR" "${MINE_FLAGS[@]}" \
@@ -99,8 +104,18 @@ diff "$WORK/single.txt" "$WORK/tcp.txt" \
 python3 -m json.tool "$WORK/tcp_metrics.json" > /dev/null
 grep -q '"dist.net.joins"' "$WORK/tcp_metrics.json" \
   || { echo "missing dist.net.* counters"; exit 1; }
+# One merged Chrome trace for the whole fleet: valid JSON, with worker
+# spans re-rooted on their own "catapult shard N" process tracks under the
+# supervisor's shard spans (DESIGN.md §16).
+python3 -m json.tool "$WORK/tcp_trace.json" > /dev/null
+grep -q '"dist.sharded_phases"' "$WORK/tcp_trace.json" \
+  || { echo "missing supervisor span in merged trace"; exit 1; }
+grep -q '"catapult shard ' "$WORK/tcp_trace.json" \
+  || { echo "missing worker process track in merged trace"; exit 1; }
+grep -q '"worker.shard-' "$WORK/tcp_trace.json" \
+  || { echo "missing imported worker spans in merged trace"; exit 1; }
 reap_workers || exit 1
-echo "   panel byte-identical over tcp loopback"
+echo "   panel byte-identical over tcp loopback, merged trace valid"
 
 echo "== fleet never forms: in-process fallback with exit code 7"
 set +e
@@ -114,5 +129,30 @@ set -e
 diff "$WORK/single.txt" "$WORK/lost.txt" \
   || { echo "fallback panel differs"; exit 1; }
 echo "   fallback byte-identical, exit code 7"
+
+echo "== fixed-tick fleet: merged trace byte-stable across runs"
+# Under CATAPULT_FIXED_TICKS every process draws timestamps from the same
+# deterministic counter, so two identical fleet runs must merge to
+# byte-identical trace files. A single worker carrying both shards keeps
+# the member interleaving deterministic too.
+for run in 1 2; do
+  FSOCK=unix:$WORK/fixed_$run.sock
+  CATAPULT_FIXED_TICKS=1 "$CLI" mine --db "$WORK/db.txt" \
+    --out "$WORK/fixed_$run.txt" "${MINE_FLAGS[@]}" --processes 2 \
+    --listen "$FSOCK" --trace-out "$WORK/fixed_trace_$run.json" \
+    > "$WORK/fixed_$run.log" 2>&1 &
+  SUP_PID=$!
+  CATAPULT_FIXED_TICKS=1 "$WORKER" --db "$WORK/db.txt" --connect "$FSOCK" \
+    "${MINE_FLAGS[@]}" > /dev/null 2>&1 &
+  WORKER_PIDS+=("$!")
+  wait "$SUP_PID" \
+    || { echo "fixed-tick supervisor failed"; cat "$WORK/fixed_$run.log"; exit 1; }
+  reap_workers || exit 1
+done
+diff "$WORK/fixed_trace_1.json" "$WORK/fixed_trace_2.json" \
+  || { echo "merged trace not byte-stable under fixed ticks"; exit 1; }
+diff "$WORK/single.txt" "$WORK/fixed_1.txt" \
+  || { echo "fixed-tick panel differs"; exit 1; }
+echo "   trace byte-identical across fixed-tick reruns"
 
 echo "dist_net_smoke: all checks passed"

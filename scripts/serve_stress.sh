@@ -7,9 +7,13 @@
 #   2. start catapult_serve on it and fan concurrent catapult_client
 #      requests at it (cached and --bypass-cache alike) — every served
 #      panel must be byte-identical to the one-shot reference;
-#   3. kill -TERM the server while a background client loop keeps it under
+#   3. scrape the --admin-listen endpoint while those clients are in
+#      flight: /metrics must be valid Prometheus text exposition
+#      (scripts/check_promtext.py), /statusz valid JSON, /healthz "ok";
+#   4. kill -TERM the server while a background client loop keeps it under
 #      load, and assert the drain contract: exit status 0, valid metrics
-#      JSON with the serve.* block, and the socket file unlinked.
+#      JSON with the serve.* block, a well-formed JSONL --request-log
+#      covering every request, and the socket file unlinked.
 #
 # Usage: scripts/serve_stress.sh [BUILD_DIR]   (default: build)
 
@@ -32,6 +36,8 @@ cleanup() {
 trap cleanup EXIT
 
 SOCK=$WORK/serve.sock
+ADMIN=$WORK/admin.sock
+PROMTEXT=$(dirname "$0")/check_promtext.py
 
 echo "== reference: one-shot CLI run"
 "$CLI" generate --out "$WORK/db.txt" --graphs 60 --seed 11
@@ -40,6 +46,8 @@ echo "== reference: one-shot CLI run"
 echo "== start catapult_serve"
 "$SERVE" --db "$WORK/db.txt" --socket "$SOCK" --workers 2 --max-queue 8 \
   --metrics-out "$WORK/metrics.json" \
+  --admin-listen "unix:$ADMIN" --request-log "$WORK/requests.jsonl" \
+  --slow-request-ms 1 \
   > "$WORK/serve.out" 2> "$WORK/serve.err" &
 SERVER_PID=$!
 for _ in $(seq 1 300); do
@@ -65,6 +73,16 @@ for i in $(seq 1 6); do
     > "$WORK/client_$i.log" 2>&1 &
   CLIENT_PIDS+=("$!")
 done
+echo "== scrape the admin endpoint mid-flight"
+# Requests are still in flight here; the scrape must neither block on nor
+# corrupt them (the admin endpoint runs on its own listener + thread).
+python3 "$PROMTEXT" scrape "unix:$ADMIN" /metrics > "$WORK/prom.txt"
+python3 "$PROMTEXT" validate "$WORK/prom.txt"
+grep -q "^catapult_serve_requests " "$WORK/prom.txt"
+python3 "$PROMTEXT" scrape "unix:$ADMIN" /statusz | python3 -m json.tool \
+  > /dev/null
+python3 "$PROMTEXT" scrape "unix:$ADMIN" /healthz | grep -q "ok"
+
 for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
 for i in $(seq 1 6); do
   # The acceptance bar: a served panel is byte-identical to the one-shot
@@ -99,4 +117,22 @@ grep -q '"serve.responses"' "$WORK/metrics.json"
 grep -q '"serve.accepted"' "$WORK/metrics.json"
 [ ! -e "$SOCK" ] || { echo "socket not unlinked on drain" >&2; exit 1; }
 
-echo "serve stress: OK (clean drain, metrics valid, socket unlinked)"
+echo "== request log: one well-formed JSONL line per request"
+python3 - "$WORK/requests.jsonl" <<'PYEOF'
+import json, sys
+lines = [l for l in open(sys.argv[1], encoding="utf-8") if l.strip()]
+assert len(lines) >= 6, f"expected >=6 request-log lines, got {len(lines)}"
+ids = set()
+for line in lines:
+    ev = json.loads(line)
+    for key in ("request_id", "budget", "outcome", "queue_wait_ms",
+                "run_ms", "worker", "slow"):
+        assert key in ev, f"missing {key!r}: {line!r}"
+    assert ev["outcome"] in ("ok", "cache_hit", "shed", "error", "degraded")
+    ids.add(ev["request_id"])
+assert len(ids) == len(lines), "request ids are not unique"
+print(f"   {len(lines)} request-log lines, all ids unique")
+PYEOF
+
+echo "serve stress: OK (clean drain, metrics valid, admin scraped," \
+  "request log well-formed, socket unlinked)"

@@ -515,10 +515,18 @@ CatapultResult RunCatapult(const GraphDatabase& db,
   };
   Rng rng(options.seed);
 
-  // Computed once for both the checkpoint store and the shard artifacts.
-  const bool need_fingerprint = !options.checkpoint_dir.empty() || dist_mode;
+  // Computed once for the checkpoint store, the shard artifacts, and the
+  // distributed-trace correlation id.
+  const bool need_fingerprint = !options.checkpoint_dir.empty() || dist_mode ||
+                                run_ctx.tracer() != nullptr;
   const uint64_t fingerprint =
       need_fingerprint ? ConfigFingerprint(options, db) : 0;
+  // Deterministic trace id: same (options, db, seed) → same id, so a rerun
+  // produces byte-identical trace documents under fixed ticks. Respects an
+  // id the caller already installed (e.g. the serving loop's per-corpus id).
+  if (run_ctx.tracer() != nullptr && run_ctx.tracer()->trace_id() == 0) {
+    run_ctx.tracer()->SetTraceId(fingerprint ^ options.seed);
+  }
 
   // Durability: open the checkpoint store and, when resuming, restore the
   // longest valid phase chain (recovery ladder; DESIGN.md Section 8). Every
@@ -611,6 +619,7 @@ CatapultResult RunCatapult(const GraphDatabase& db,
       dopts.listen_fd = options.dist_listen_fd;
       dopts.join_timeout_ms = options.dist_join_timeout_ms;
       dopts.write_stall_timeout_ms = options.dist_write_stall_timeout_ms;
+      dopts.admin_listen = options.dist_admin_listen;
       // The sharded phase spans fine clustering and CSG folding, so its
       // slice covers both phases' shares.
       RunContext dist_ctx = run_ctx.Slice(std::min(
@@ -843,6 +852,7 @@ PreparedCorpus PrepareCorpus(const GraphDatabase& db,
 
   corpus.summary_index = BuildFlatSummaryIndex(corpus.csgs);
   corpus.rng_after_csg = rng.SaveState();
+  corpus.fingerprint = ConfigFingerprint(options, db);
   corpus.complete = clustering.Complete() && degraded_csgs == 0;
   return corpus;
 }

@@ -115,6 +115,10 @@ struct CatapultOptions {
   // A remote send stuck for this long marks the connection half-open and
   // fences the member.
   double dist_write_stall_timeout_ms = 5000.0;
+  // Optional admin endpoint served by the remote-fleet supervision loop
+  // ("unix:PATH" / "tcp:HOST:PORT"; empty = disabled): /metrics, /statusz,
+  // /healthz. Fingerprint-excluded like the other supervision knobs.
+  std::string dist_admin_listen;
   // Retry backoff: delay before retry k is min(base * 2^(k-1), cap).
   double shard_backoff_base_ms = 25.0;
   double shard_backoff_cap_ms = 1000.0;
@@ -289,6 +293,10 @@ struct PreparedCorpus {
   // share one index instead of re-flattening the summaries per request.
   FlatSummaryIndex summary_index;
   RngState rng_after_csg;  // stream position selection resumes from
+  // ConfigFingerprint of the (options, db) the corpus was prepared from,
+  // surfaced so long-lived owners (the serving loop's /statusz) can report
+  // which corpus they answer from without re-hashing the database.
+  uint64_t fingerprint = 0;
 
   // False when a deadline/cancellation/memory breach degraded clustering or
   // CSG folding; selections on a degraded corpus are flagged degraded.

@@ -5,12 +5,16 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "src/dist/channel.h"
 #include "src/dist/registry.h"
 #include "src/dist/wire.h"
+#include "src/obs/admin.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/util/backoff.h"
 
@@ -63,6 +67,39 @@ RemoteFleetOutcome RunRemoteFleet(
   }
   report->listen_address = listener.address();
 
+  // Optional live-telemetry endpoint: the handler runs on the admin
+  // server's own thread and only ever reads the latest published strings,
+  // so the supervision loop never blocks on a scrape.
+  // Declared before `admin` so the server (whose handler thread reads
+  // them) is destroyed first on every return path.
+  std::mutex admin_mutex;
+  std::string admin_metrics_text;
+  std::string admin_statusz;
+  obs::AdminServer admin;
+  const Clock::time_point admin_started = Clock::now();
+  if (!options.admin_listen.empty()) {
+    std::string admin_err = admin.Start(
+        options.admin_listen, [&](const std::string& path) {
+          obs::AdminResponse resp;
+          std::lock_guard<std::mutex> lock(admin_mutex);
+          if (path == "/metrics") {
+            resp.body = admin_metrics_text;
+          } else if (path == "/statusz") {
+            resp.body = admin_statusz;
+            resp.content_type = "application/json";
+          } else {
+            resp.status = 404;
+            resp.body = "not found\n";
+          }
+          return resp;
+        });
+    if (!admin_err.empty()) {
+      // Best-effort: telemetry must never take down the fleet.
+      std::fprintf(stderr, "catapult: dist admin endpoint unavailable: %s\n",
+                   admin_err.c_str());
+    }
+  }
+
   const double hb_interval_ms =
       options.heartbeat_interval_ms > 0.0
           ? options.heartbeat_interval_ms
@@ -89,6 +126,10 @@ RemoteFleetOutcome RunRemoteFleet(
     // Index into plan.shards, or npos when idle.
     size_t assigned_shard = static_cast<size_t>(-1);
     std::vector<uint64_t> worker_counters;
+    // Span buffer + trace-id echo from the last ShardDone; accepted into
+    // the outcome only when the echo matches the run's trace id.
+    std::vector<obs::SpanRecord> worker_spans;
+    uint64_t done_trace_id = 0;
     bool got_done = false;
   };
   using ConnState = Conn::State;
@@ -98,6 +139,7 @@ RemoteFleetOutcome RunRemoteFleet(
   std::vector<std::unique_ptr<Conn>> conns;
   WorkerRegistry registry;
   ExponentialBackoff backoff(options.backoff_base_ms, options.backoff_cap_ms);
+  outcome.shard_spans.resize(plan.shards.size());
 
   // Shards whose every cluster already has a result (prior-run artifacts
   // pre-loaded by the caller) are complete before any worker joins.
@@ -187,11 +229,25 @@ RemoteFleetOutcome RunRemoteFleet(
         obs::Count(static_cast<obs::Counter>(i), c.worker_counters[i]);
       }
     }
+    // Span shipment: accept the buffer only when the trace-id echo matches
+    // the run and no earlier completion already filled this shard's slot —
+    // a duplicate or stale-trace buffer is counted and dropped, never
+    // merged twice.
+    if (!c.worker_spans.empty()) {
+      if (spec.trace_id != 0 && c.done_trace_id == spec.trace_id &&
+          outcome.shard_spans[s].empty()) {
+        outcome.shard_spans[s] = std::move(c.worker_spans);
+      } else {
+        obs::Count(obs::Counter::kObsSpansDropped, c.worker_spans.size());
+      }
+    }
     event(ShardEvent::Kind::kShardCompleted, s,
           "clusters=" + std::to_string(plan.shards[s].size()) +
               " worker=" + std::to_string(c.worker_id));
     c.assigned_shard = kNone;
     c.worker_counters.clear();
+    c.worker_spans.clear();
+    c.done_trace_id = 0;
     c.got_done = false;
   };
 
@@ -344,6 +400,8 @@ RemoteFleetOutcome RunRemoteFleet(
         if (c.assigned_shard == kNone || f.shard != c.assigned_shard) break;
         c.got_done = true;
         c.worker_counters = std::move(f.counters);
+        c.worker_spans = std::move(f.spans);
+        c.done_trace_id = f.trace_id;
         if (shard_missing(c.assigned_shard).empty()) {
           complete_shard(c);
         } else {
@@ -366,11 +424,76 @@ RemoteFleetOutcome RunRemoteFleet(
     }
   };
 
+  // Snapshot-and-publish for the admin endpoint: one pass over the loop's
+  // own state per iteration, stored under the admin mutex for the scrape
+  // thread. Cheap enough to run unconditionally per tick.
+  auto publish_admin = [&] {
+    if (!admin.started()) return;
+    std::string metrics_text;
+    if (ctx.metrics() != nullptr) {
+      metrics_text = obs::RenderPrometheusText(ctx.metrics()->Snapshot());
+    }
+    size_t done = 0, pending = 0, assigned = 0, quarantined = 0;
+    for (const ShardState& st : shards) {
+      switch (st.phase) {
+        case ShardPhase::kDone: ++done; break;
+        case ShardPhase::kPending: ++pending; break;
+        case ShardPhase::kAssigned: ++assigned; break;
+        case ShardPhase::kQuarantined: ++quarantined; break;
+      }
+    }
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("uptime_ms");
+    w.Value(MillisBetween(admin_started, Clock::now()));
+    w.Key("fingerprint");
+    w.Value(spec.fingerprint);
+    w.Key("listen_address");
+    w.Value(listener.address());
+    w.Key("shards");
+    w.BeginObject();
+    w.Key("total");
+    w.Value(static_cast<uint64_t>(shards.size()));
+    w.Key("done");
+    w.Value(static_cast<uint64_t>(done));
+    w.Key("pending");
+    w.Value(static_cast<uint64_t>(pending));
+    w.Key("assigned");
+    w.Value(static_cast<uint64_t>(assigned));
+    w.Key("quarantined");
+    w.Value(static_cast<uint64_t>(quarantined));
+    w.EndObject();
+    w.Key("remote_clusters");
+    w.Value(static_cast<uint64_t>(outcome.remote_clusters));
+    w.Key("workers_alive");
+    w.Value(static_cast<uint64_t>(registry.alive()));
+    w.Key("workers");
+    w.BeginArray();
+    for (const WorkerRegistry::MemberInfo& m : registry.Members()) {
+      w.BeginObject();
+      w.Key("worker_id");
+      w.Value(m.worker_id);
+      w.Key("generation");
+      w.Value(m.generation);
+      w.Key("alive");
+      w.Value(m.alive);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::string statusz = w.str() + "\n";
+    std::lock_guard<std::mutex> lock(admin_mutex);
+    admin_metrics_text = std::move(metrics_text);
+    admin_statusz = std::move(statusz);
+  };
+  publish_admin();
+
   Clock::time_point no_fleet_since = Clock::now();
   bool had_fleet_gap_timer = true;
 
   for (;;) {
     Clock::time_point now = Clock::now();
+    publish_admin();
 
     // Work left?
     bool work_left = false;
@@ -434,6 +557,8 @@ RemoteFleetOutcome RunRemoteFleet(
                                    : spec.deadline.RemainingSeconds() * 1e3;
       assign.mem_soft_limit_bytes = spec.mem_soft_limit_bytes;
       assign.mem_hard_limit_bytes = spec.mem_hard_limit_bytes;
+      assign.trace_id = spec.trace_id;
+      assign.parent_span_id = spec.parent_span_id;
       for (size_t idx : shard_missing(s)) {
         ClusterWork work;
         work.index = idx;

@@ -8,6 +8,7 @@
 #include "src/dist/shard_plan.h"
 #include "src/dist/supervisor.h"
 #include "src/dist/worker.h"
+#include "src/obs/trace.h"
 #include "src/util/deadline.h"
 
 // The remote-fleet membership manager (DESIGN.md §14): the supervisor's
@@ -29,6 +30,13 @@ struct RemoteFleetOutcome {
   bool fleet_lost = false;
   // Clusters completed from remote workers' results.
   size_t remote_clusters = 0;
+  // Per-shard span buffers shipped by remote workers (index-aligned with
+  // plan.shards; empty for shards with no accepted traced completion).
+  // Only the first accepted ShardDone whose trace-id echo matches
+  // spec.trace_id populates a slot — duplicate or fenced deliveries are
+  // dropped (obs.spans_dropped), which is what keeps the merged trace
+  // idempotent under retries.
+  std::vector<std::vector<obs::SpanRecord>> shard_spans;
 };
 
 // Runs the membership/assignment loop over `plan`, filling

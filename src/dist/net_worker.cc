@@ -13,6 +13,7 @@
 #include "src/dist/channel.h"
 #include "src/dist/worker.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/backoff.h"
 #include "src/util/deadline.h"
 #include "src/util/failpoint.h"
@@ -124,9 +125,18 @@ bool CarryShard(const GraphDatabase& db, const RemoteWorkerOptions& options,
   RunContext ctx = RunContext(deadline).WithMemory(std::move(budget));
   spec.deadline = deadline;
 
+  // Spans are recorded on this (sequential) session thread, so span ids and
+  // tick consumption are deterministic for a given assignment — the basis
+  // for byte-stable merged traces under fixed clock ticks.
+  obs::Tracer tracer;
+  obs::Tracer* span_sink =
+      assign.trace_id != 0 || options.local_tracer != nullptr ? &tracer
+                                                              : nullptr;
+
   bool first_result = true;
   for (const ClusterWork& cluster : assign.clusters) {
     size_t idx = static_cast<size_t>(cluster.index);
+    obs::Span cluster_span(span_sink, "cluster-" + std::to_string(idx));
     ShardClusterResult result = ComputeShardCluster(spec, idx, ctx);
     if (!result.Complete()) {
       // Degraded work never ships: the supervisor retries elsewhere or
@@ -182,7 +192,27 @@ bool CarryShard(const GraphDatabase& db, const RemoteWorkerOptions& options,
   done.shard = assign.shard;
   done.clusters_done = assign.clusters.size();
   done.counters.assign(snapshot.counters.begin(), snapshot.counters.end());
-  bool sent = channel.Send(done, FrameType::kShardDone);
+  done.trace_id = assign.trace_id;
+  std::vector<obs::SpanRecord> spans;
+  if (span_sink != nullptr) spans = tracer.DrainSpans();
+  if (assign.trace_id != 0) done.spans = spans;
+  std::string done_bytes = EncodeFrame(FrameType::kShardDone, Encode(done));
+  bool sent = channel.SendEncoded(done_bytes);
+  if (sent && CATAPULT_FAILPOINT(kFailpointDupShardDone)) {
+    // At-least-once completion delivery: the supervisor must merge this
+    // shard's spans and counters exactly once, not twice.
+    channel.SendEncoded(done_bytes);
+  }
+  // Worker-local capture for --metrics-out/--trace-out: the same deltas and
+  // spans the supervisor merges, kept per process.
+  if (options.accumulate != nullptr) options.accumulate->MergeFrom(snapshot);
+  if (options.local_tracer != nullptr && !spans.empty()) {
+    const int pid = static_cast<int>(2 + assign.shard);
+    options.local_tracer->SetProcessName(
+        pid, "catapult shard " + std::to_string(assign.shard));
+    options.local_tracer->ImportShardSpans(
+        spans, pid, 0, "shard-" + std::to_string(assign.shard), 0);
+  }
   // Counters are per-shard deltas; a member carrying several shards must
   // not re-ship the first shard's work.
   metrics.Reset();

@@ -25,6 +25,7 @@ namespace catapult::dist {
 // the worker process; see also the channel-level sites in channel.h).
 inline constexpr char kFailpointDupClusterResult[] =
     "dist.net.dup_cluster_result";
+inline constexpr char kFailpointDupShardDone[] = "dist.net.dup_shard_done";
 inline constexpr char kFailpointDropMidFrame[] = "dist.net.drop_mid_frame";
 inline constexpr char kFailpointDelayHeartbeat[] = "dist.net.delay_heartbeat";
 inline constexpr char kFailpointStallBeforeResult[] =
@@ -58,6 +59,15 @@ struct RemoteWorkerOptions {
   // How long kFailpointStallBeforeResult sleeps (tests tune this against
   // the supervisor's heartbeat timeout to manufacture a zombie).
   double stall_test_ms = 0.0;
+
+  // Optional worker-local telemetry capture (both non-owning, may be null),
+  // backing the worker binary's --metrics-out/--trace-out: every carried
+  // shard's metrics deltas merge into `accumulate`, and its span buffer is
+  // also imported into `local_tracer` (one process track per shard), so a
+  // fleet run without the admin endpoint still leaves per-process
+  // artifacts. Touched only from the worker's session thread.
+  obs::MetricsSnapshot* accumulate = nullptr;
+  obs::Tracer* local_tracer = nullptr;
 };
 
 // Runs the remote worker until the supervisor says the run is over

@@ -48,6 +48,23 @@ class WorkerRegistry {
   size_t alive() const;
   size_t total() const { return members_.size(); }
 
+  // Point-in-time roster for status endpoints: one entry per member ever
+  // admitted, with its current generation and liveness.
+  struct MemberInfo {
+    uint64_t worker_id = 0;
+    uint64_t generation = 0;
+    bool alive = false;
+  };
+  std::vector<MemberInfo> Members() const {
+    std::vector<MemberInfo> out;
+    out.reserve(members_.size());
+    for (size_t i = 0; i < members_.size(); ++i) {
+      out.push_back(MemberInfo{static_cast<uint64_t>(i + 1),
+                               members_[i].generation, members_[i].alive});
+    }
+    return out;
+  }
+
  private:
   struct Member {
     uint64_t generation = 1;

@@ -82,6 +82,13 @@ ShardedPhasesResult RunShardedClusterPhases(
   if (coarse.empty()) return out;
 
   obs::Span phase_span(ctx.tracer(), "dist.sharded_phases");
+  // Distributed-trace context: workers (forked or remote) record spans
+  // against this id and ship them back in their completion frames; the
+  // merge below stitches them under this phase span.
+  if (ctx.tracer() != nullptr) {
+    spec.trace_id = ctx.tracer()->trace_id();
+    spec.parent_span_id = phase_span.id();
+  }
 
   // Shard artifacts live in the run's checkpoint namespace when there is
   // one; otherwise in a private temp directory that only serves this run's
@@ -127,6 +134,10 @@ ShardedPhasesResult RunShardedClusterPhases(
   report->shards = plan.shards.size();
 
   std::vector<std::optional<ShardClusterResult>> cluster_results(coarse.size());
+  // Accepted per-shard worker span buffers (first valid completion wins),
+  // merged into the supervisor's tracer after the phase, in shard order.
+  std::vector<std::vector<obs::SpanRecord>> shard_span_buffers(
+      plan.shards.size());
 
   auto event = [&](ShardEvent::Kind kind, size_t shard,
                    std::string detail = "") {
@@ -184,6 +195,9 @@ ShardedPhasesResult RunShardedClusterPhases(
     }
     RemoteFleetOutcome fleet =
         RunRemoteFleet(spec, plan, options, ctx, report, &cluster_results);
+    if (fleet.shard_spans.size() == plan.shards.size()) {
+      shard_span_buffers = std::move(fleet.shard_spans);
+    }
     // Whatever the fleet did not finish — fleet loss, quarantine, stop —
     // completes through the same final rung as fork mode.
     for (size_t s = 0; s < plan.shards.size(); ++s) {
@@ -222,6 +236,10 @@ ShardedPhasesResult RunShardedClusterPhases(
     Clock::time_point launch_after{};
     bool got_done = false;
     std::vector<uint64_t> worker_counters;
+    // Span buffer + trace-id echo from the worker's ShardDone; accepted
+    // only when the echo matches the run's trace id.
+    std::vector<obs::SpanRecord> worker_spans;
+    uint64_t done_trace_id = 0;
     std::string last_error;
   };
   using Phase = WorkerState::Phase;
@@ -324,6 +342,15 @@ ShardedPhasesResult RunShardedClusterPhases(
         obs::Count(static_cast<obs::Counter>(i), st.worker_counters[i]);
       }
     }
+    if (!st.worker_spans.empty()) {
+      if (spec.trace_id != 0 && st.done_trace_id == spec.trace_id &&
+          shard_span_buffers[s].empty()) {
+        shard_span_buffers[s] = std::move(st.worker_spans);
+      } else {
+        obs::Count(obs::Counter::kObsSpansDropped, st.worker_spans.size());
+      }
+      st.worker_spans.clear();
+    }
     event(ShardEvent::Kind::kShardCompleted, s,
           "clusters=" + std::to_string(plan.shards[s].size()));
   };
@@ -370,6 +397,8 @@ ShardedPhasesResult RunShardedClusterPhases(
           }
           st.got_done = true;
           st.worker_counters = std::move(f.counters);
+          st.worker_spans = std::move(f.spans);
+          st.done_trace_id = f.trace_id;
           break;
         }
         case FrameType::kShardError: {
@@ -439,6 +468,8 @@ ShardedPhasesResult RunShardedClusterPhases(
     st.reader = FrameReader();
     st.got_done = false;
     st.worker_counters.clear();
+    st.worker_spans.clear();
+    st.done_trace_id = 0;
     st.last_heartbeat = Clock::now();
     st.phase = Phase::kRunning;
     ++report->workers_spawned;
@@ -602,6 +633,28 @@ ShardedPhasesResult RunShardedClusterPhases(
     run_in_process(s);
   }
 #endif  // CATAPULT_DIST_POSIX
+
+  // Stitch shipped worker spans into this process's trace, one merge pass
+  // in shard order 0..N-1 regardless of completion order, so reruns of the
+  // same work produce byte-identical trace documents (under fixed ticks).
+  // Each shard's batch lands on its own process track (pid 2+s; the
+  // supervisor is pid 1), rooted under a supervisor-side shard span that is
+  // itself a child of the phase span.
+  if (ctx.tracer() != nullptr && spec.trace_id != 0) {
+    for (size_t s = 0; s < plan.shards.size() && s < shard_span_buffers.size();
+         ++s) {
+      if (shard_span_buffers[s].empty()) continue;
+      const int pid = static_cast<int>(2 + s);
+      ctx.tracer()->SetProcessName(
+          pid, "catapult shard " + std::to_string(s));
+      obs::Span shard_span(ctx.tracer(), "dist.shard-" + std::to_string(s),
+                           phase_span.id());
+      const size_t merged = ctx.tracer()->ImportShardSpans(
+          shard_span_buffers[s], pid, shard_span.id(),
+          "worker.shard-" + std::to_string(s), 0);
+      obs::Count(obs::Counter::kObsSpansMerged, merged);
+    }
+  }
 
   // Merge in coarse-cluster order — the exact concatenation order of the
   // in-process FineClusterPerCluster path, which is what makes a P-process

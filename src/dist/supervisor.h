@@ -64,6 +64,11 @@ struct DistOptions {
   // A send that cannot make progress for this long marks the connection
   // stalled (half-open peer) and fences the member.
   double write_stall_timeout_ms = 5000.0;
+  // Optional admin endpoint for the remote-fleet supervision loop
+  // ("unix:PATH" / "tcp:HOST:PORT", empty = disabled): serves /metrics
+  // (Prometheus text), /statusz (shard + fleet state JSON) and /healthz
+  // while the fleet runs. Best-effort — a bind failure never fails the run.
+  std::string admin_listen;
 };
 
 // The sharded fine-clustering + CSG phase's merged output, in coarse

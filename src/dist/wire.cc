@@ -39,6 +39,44 @@ bool ValidFrameType(uint32_t raw) {
 
 constexpr size_t kHeaderBytes = 16;
 
+// Minimum encoded size of one SpanRecord: empty name (4-byte length), five
+// u64 fields, a u32 tid and a u64 delta count. Used as a hostile-count cap.
+constexpr size_t kMinSpanBytes = 4 + 5 * 8 + 4 + 8;
+
+void PutSpan(BinaryWriter* w, const obs::SpanRecord& s) {
+  w->PutString(s.name);
+  w->PutU64(s.start_ns);
+  w->PutU64(s.dur_ns);
+  w->PutU64(s.span_id);
+  w->PutU64(s.parent_id);
+  w->PutU32(s.tid);
+  w->PutU64(s.counter_deltas.size());
+  for (const auto& [counter, delta] : s.counter_deltas) {
+    w->PutU32(static_cast<uint32_t>(counter));
+    w->PutU64(delta);
+  }
+}
+
+bool GetSpan(BinaryReader* r, obs::SpanRecord* s) {
+  s->name = r->GetString();
+  s->start_ns = r->GetU64();
+  s->dur_ns = r->GetU64();
+  s->span_id = r->GetU64();
+  s->parent_id = r->GetU64();
+  s->tid = r->GetU32();
+  const uint64_t delta_count = r->GetU64();
+  if (!r->ok() || delta_count > obs::kNumCounters) return false;
+  s->counter_deltas.clear();
+  s->counter_deltas.reserve(delta_count);
+  for (uint64_t i = 0; i < delta_count && r->ok(); ++i) {
+    const uint32_t counter = r->GetU32();
+    const uint64_t delta = r->GetU64();
+    if (counter >= obs::kNumCounters) return false;
+    s->counter_deltas.emplace_back(static_cast<obs::Counter>(counter), delta);
+  }
+  return r->ok();
+}
+
 }  // namespace
 
 std::string EncodeFrame(FrameType type, const std::string& payload) {
@@ -130,6 +168,9 @@ std::string Encode(const ShardDoneFrame& f) {
   w.PutU64(f.clusters_done);
   w.PutU64(f.counters.size());
   for (uint64_t c : f.counters) w.PutU64(c);
+  w.PutU64(f.trace_id);
+  w.PutU64(f.spans.size());
+  for (const obs::SpanRecord& s : f.spans) PutSpan(&w, s);
   return w.TakeBuffer();
 }
 
@@ -172,6 +213,16 @@ bool Decode(const std::string& payload, ShardDoneFrame* f) {
   if (!r.ok() || count > obs::kNumCounters) return false;
   f->counters.assign(count, 0);
   for (uint64_t i = 0; i < count; ++i) f->counters[i] = r.GetU64();
+  f->trace_id = r.GetU64();
+  const uint64_t span_count = r.GetU64();
+  if (!r.ok() || span_count > payload.size() / kMinSpanBytes) return false;
+  f->spans.clear();
+  f->spans.reserve(span_count);
+  for (uint64_t i = 0; i < span_count; ++i) {
+    obs::SpanRecord span;
+    if (!GetSpan(&r, &span)) return false;
+    f->spans.push_back(std::move(span));
+  }
   return r.ok() && r.AtEnd();
 }
 
@@ -230,6 +281,8 @@ std::string Encode(const ShardAssignFrame& f) {
     for (GraphId id : c.members) w.PutU32(id);
     for (uint64_t word : c.stream.words) w.PutU64(word);
   }
+  w.PutU64(f.trace_id);
+  w.PutU64(f.parent_span_id);
   return w.TakeBuffer();
 }
 
@@ -311,6 +364,8 @@ bool Decode(const std::string& payload, ShardAssignFrame* f) {
     if (f->fine_enabled && !work.stream.Valid()) return false;
     f->clusters.push_back(std::move(work));
   }
+  f->trace_id = r.GetU64();
+  f->parent_span_id = r.GetU64();
   return r.ok() && r.AtEnd();
 }
 

@@ -9,6 +9,7 @@
 
 #include "src/graph/graph.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 
 // Length-prefixed CRC-framed messages, shared by the worker -> supervisor
@@ -65,7 +66,9 @@ enum class FrameType : uint32_t {
 // Version of the supervisor<->remote-worker protocol. Bumped on any frame
 // layout change; the handshake rejects mismatched peers with a typed
 // kJoinReject instead of letting two skewed builds mis-decode each other.
-inline constexpr uint64_t kDistProtocolVersion = 1;
+// v2: trace context in kShardAssign, span buffers + trace echo in
+// kShardDone.
+inline constexpr uint64_t kDistProtocolVersion = 2;
 
 // Shard checkpoint namespace both sides must agree on: remote workers'
 // cluster results are persisted by the supervisor as kShard records under
@@ -135,6 +138,13 @@ struct ShardDoneFrame {
   // The worker's obs counter deltas, merged into the supervisor's registry
   // so a sharded run's metrics cover the work wherever it ran.
   std::vector<uint64_t> counters;  // size obs::kNumCounters
+  // Echo of the assignment's trace id (0 when the assignment carried none):
+  // the supervisor imports `spans` only when the echo matches its own
+  // trace, so buffers from a stale run are dropped, not mis-merged.
+  uint64_t trace_id = 0;
+  // The worker's span buffer for this shard, timestamps normalized to the
+  // batch's earliest open (Tracer::DrainSpans).
+  std::vector<obs::SpanRecord> spans;
 };
 
 struct ShardErrorFrame {
@@ -199,6 +209,12 @@ struct ShardAssignFrame {
   uint64_t mem_soft_limit_bytes = 0;
   uint64_t mem_hard_limit_bytes = 0;
   std::vector<ClusterWork> clusters;  // only the still-missing clusters
+  // Distributed-trace context: workers record spans against this id and
+  // echo it back with their buffers in kShardDone. parent_span_id is the
+  // supervisor's sharded-phase span, under which merged worker tracks are
+  // parented. Both 0 when the supervisor run is untraced.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct ClusterResultFrame {

@@ -9,6 +9,7 @@
 
 #include "src/dist/wire.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/persist/codec.h"
 #include "src/persist/record_io.h"
 #include "src/util/atomic_file.h"
@@ -221,6 +222,11 @@ int RunShardWorker(const ShardExecutionSpec& spec, size_t shard_index,
   // thread this process uses is its own.
   obs::MetricsRegistry metrics;
   obs::ScopedMetricsScope metrics_scope(&metrics);
+  // Spans are recorded only for traced runs (trace_id != 0) and shipped in
+  // the ShardDone frame; timestamps are normalized at drain, so the
+  // worker's own clock origin never leaks into the merged trace.
+  obs::Tracer tracer;
+  obs::Tracer* span_sink = spec.trace_id != 0 ? &tracer : nullptr;
   ThreadPool pool(spec.worker_threads);
   MemoryBudget budget =
       (spec.mem_soft_limit_bytes != 0 || spec.mem_hard_limit_bytes != 0)
@@ -230,7 +236,7 @@ int RunShardWorker(const ShardExecutionSpec& spec, size_t shard_index,
   RunContext ctx = RunContext(spec.deadline)
                        .WithMemory(std::move(budget))
                        .WithPool(&pool)
-                       .WithObservability(&metrics, nullptr);
+                       .WithObservability(&metrics, span_sink);
 
   std::atomic<uint64_t> clusters_done{0};
   std::mutex hb_mutex;
@@ -254,6 +260,7 @@ int RunShardWorker(const ShardExecutionSpec& spec, size_t shard_index,
   ParallelFor(ctx, clusters.size(), 1, [&](size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
     size_t idx = clusters[i];
+    obs::Span cluster_span(span_sink, "cluster-" + std::to_string(idx));
     ShardClusterResult result;
     bool reused = LoadShardArtifact(spec, idx, &result).empty();
     if (!reused) {
@@ -315,6 +322,8 @@ int RunShardWorker(const ShardExecutionSpec& spec, size_t shard_index,
   done.shard = shard_index;
   done.clusters_done = clusters_done.load();
   done.counters.assign(snapshot.counters.begin(), snapshot.counters.end());
+  done.trace_id = spec.trace_id;
+  if (span_sink != nullptr) done.spans = tracer.DrainSpans();
   sender.Send(done, FrameType::kShardDone);
   return kWorkerExitOk;
 }

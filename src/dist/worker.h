@@ -73,6 +73,13 @@ struct ShardExecutionSpec {
   // platforms, so the value is meaningful across fork.
   Deadline deadline;
   double heartbeat_interval_ms = 500.0;
+  // Distributed-trace id of the supervising run (0 = untraced). A worker
+  // with a non-zero id records per-cluster spans and ships them, with the
+  // id echoed, in its ShardDone frame.
+  uint64_t trace_id = 0;
+  // Span id of the supervisor's sharded-phase span, carried to remote
+  // workers in ShardAssign so shipped context names its parent.
+  uint64_t parent_span_id = 0;
 };
 
 // One coarse cluster's results: its fine clusters and their CSGs (1:1).

@@ -1,0 +1,84 @@
+#ifndef CATAPULT_OBS_ADMIN_H_
+#define CATAPULT_OBS_ADMIN_H_
+
+// Live-telemetry admin endpoint (DESIGN.md §16). A second, line-oriented
+// listener next to the serving/fleet socket: a client connects, sends one
+// request line — either a bare path ("/metrics\n") or an HTTP request line
+// ("GET /metrics HTTP/1.1\r\n...") — and receives a minimal HTTP/1.0
+// response with Content-Length and Connection: close. That is exactly
+// enough for `curl`, Prometheus scrapers, `nc`, and shell probes, without
+// pulling an HTTP stack into the binary.
+//
+// The server owns one background thread that polls the listener, a stop
+// pipe, and the process shutdown-signal fd (src/util/signal.h), so SIGTERM
+// tears the endpoint down even if the owner never calls Stop(). Request
+// handling is synchronous and bounded: admin responses are tiny (a few KB
+// of exposition text), admin traffic is rare, and a stalled scraper must
+// not pin memory — writes time out rather than buffer.
+//
+// Paths are routed through a caller-supplied handler; /healthz is answered
+// built-in so a probe works even while the owner is busy swapping state.
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/dist/channel.h"
+
+namespace catapult::obs {
+
+// Response from an admin handler: body plus content type.
+struct AdminResponse {
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  int status = 200;  // 200 or 404; anything else maps to 500
+};
+
+// Handler for one request path ("/metrics", "/statusz", ...). Invoked on
+// the admin thread, concurrently with the owner's other threads: it must
+// be thread-safe and fast (snapshot + render, no blocking on request
+// processing locks).
+using AdminHandler = std::function<AdminResponse(const std::string& path)>;
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  ~AdminServer() { Stop(); }
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Binds `address` ("unix:/path" or "tcp:host:port") and starts the admin
+  // thread. Returns "" on success, else the error. `handler` answers every
+  // path except /healthz (answered built-in with "ok\n").
+  std::string Start(const std::string& address, AdminHandler handler);
+
+  bool started() const { return started_; }
+  // Canonical bound address (reflects kernel-assigned TCP ports).
+  const std::string& address() const { return address_; }
+  // Total requests answered (including /healthz and 404s).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  // Stops the admin thread and closes the listener. Idempotent.
+  void Stop();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  dist::Listener listener_;
+  AdminHandler handler_;
+  std::thread thread_;
+  std::string address_;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  int stop_pipe_[2] = {-1, -1};
+  int signal_fd_ = -1;
+};
+
+}  // namespace catapult::obs
+
+#endif  // CATAPULT_OBS_ADMIN_H_

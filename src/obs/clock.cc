@@ -1,6 +1,7 @@
 #include "src/obs/clock.h"
 
 #include <atomic>
+#include <cstdlib>
 
 namespace catapult::obs {
 
@@ -24,6 +25,17 @@ uint64_t DefaultTicks() {
           .count());
 }
 
+// Step for the fixed tick source. Written once, in EnableFixedTicks, before
+// any thread that reads it exists.
+uint64_t g_fixed_step_ns = 1000;
+
+// Per-thread counter for the fixed source: each thread's clock reads form an
+// independent arithmetic sequence, insulating measured threads from clock
+// consumption by background threads.
+thread_local uint64_t tls_fixed_ticks = 0;
+
+uint64_t FixedTicks() { return tls_fixed_ticks += g_fixed_step_ns; }
+
 // The installed tick source. Relaxed is sufficient: installation happens in
 // tests before the threads under test start (ScopedTickSourceForTest is
 // documented single-threaded), and readers only need *a* valid function
@@ -34,6 +46,20 @@ std::atomic<TickSource> g_tick_source{&DefaultTicks};
 
 uint64_t NowNanos() {
   return g_tick_source.load(std::memory_order_relaxed)();
+}
+
+void EnableFixedTicks(uint64_t step_ns) {
+  g_fixed_step_ns = step_ns == 0 ? 1000 : step_ns;
+  g_tick_source.store(&FixedTicks, std::memory_order_relaxed);
+}
+
+void InstallTicksFromEnv() {
+  const char* value = std::getenv("CATAPULT_FIXED_TICKS");
+  if (value == nullptr) return;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  const bool valid = end != value && *end == '\0' && parsed > 0;
+  EnableFixedTicks(valid ? static_cast<uint64_t>(parsed) : 1000);
 }
 
 ScopedTickSourceForTest::ScopedTickSourceForTest(TickSource source)

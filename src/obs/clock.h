@@ -27,6 +27,20 @@ using TickSource = uint64_t (*)();
 // tick source reports). Never decreases under the default source.
 uint64_t NowNanos();
 
+// Installs a deterministic tick source that advances a thread-local counter
+// by `step_ns` per read. Thread-locality makes timestamps a function of each
+// thread's own clock-read count, so background threads (heartbeats, admin
+// pollers) cannot perturb the timestamps of the thread doing measured work —
+// the property the byte-stable trace reruns rely on. Process-wide and
+// irreversible by design: used once at startup, before threads exist.
+void EnableFixedTicks(uint64_t step_ns);
+
+// Reads CATAPULT_FIXED_TICKS from the environment and, when set, calls
+// EnableFixedTicks with its value (nanoseconds per read; an unparseable or
+// empty value falls back to 1000). Call at the top of main(), before any
+// observability state is touched.
+void InstallTicksFromEnv();
+
 // Convenience conversions of NowNanos().
 inline double NowSeconds() { return static_cast<double>(NowNanos()) * 1e-9; }
 inline uint64_t NowMicros() { return NowNanos() / 1000; }

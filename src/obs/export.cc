@@ -1,0 +1,64 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace catapult::obs {
+
+namespace {
+
+void AppendLine(std::string& out, const std::string& name,
+                unsigned long long value) {
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& registry_name) {
+  std::string out = "catapult_";
+  out.reserve(out.size() + registry_name.size());
+  for (char c : registry_name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const std::string name =
+        PrometheusName(CounterName(static_cast<Counter>(i)));
+    out += "# TYPE " + name + " counter\n";
+    AppendLine(out, name, snapshot.counters[i]);
+  }
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    const std::string name = PrometheusName(GaugeName(static_cast<Gauge>(i)));
+    out += "# TYPE " + name + " gauge\n";
+    AppendLine(out, name, snapshot.gauges[i]);
+  }
+  for (size_t i = 0; i < kNumHists; ++i) {
+    const HistData& h = snapshot.hists[i];
+    const std::string name = PrometheusName(HistName(static_cast<Hist>(i)));
+    out += "# TYPE " + name + " histogram\n";
+    // Cumulative buckets up to the last populated one; the open-ended log2
+    // top bucket (values >= 2^63) folds into +Inf, which always equals the
+    // total count as the exposition format requires.
+    size_t last = kHistBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    last = std::min<size_t>(last, 64);  // bucket 64 has no finite upper edge
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < last; ++b) {
+      cumulative += h.buckets[b];
+      const uint64_t edge = b == 0 ? 0 : (uint64_t{1} << b) - 1;
+      out += name + "_bucket{le=\"" + std::to_string(edge) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    AppendLine(out, name + "_sum", h.sum);
+    AppendLine(out, name + "_count", h.count);
+  }
+  return out;
+}
+
+}  // namespace catapult::obs

@@ -1,0 +1,31 @@
+#ifndef CATAPULT_OBS_EXPORT_H_
+#define CATAPULT_OBS_EXPORT_H_
+
+// Prometheus text exposition (version 0.0.4) of a MetricsSnapshot, served
+// by the admin endpoint's /metrics path. Metric names are the registry
+// names with dots mapped to underscores under a `catapult_` prefix:
+// "serve.request_millis" becomes catapult_serve_request_millis. Counters
+// render as `# TYPE ... counter`, high-watermark gauges as gauge, and the
+// fixed log2 histograms as native Prometheus histograms — cumulative
+// `_bucket{le="..."}` series (bucket b's upper edge is 2^b - 1; bucket 0 is
+// le="0"; the open-ended top bucket folds into le="+Inf"), plus `_sum` and
+// `_count`. Trailing all-zero buckets are trimmed so molecule-sized runs
+// don't ship sixty empty series per histogram.
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace catapult::obs {
+
+// The Prometheus metric name for a registry name ("vf2.calls" ->
+// "catapult_vf2_calls").
+std::string PrometheusName(const std::string& registry_name);
+
+// Renders the whole snapshot in exposition format. Deterministic: output
+// order follows the enum order, so equal snapshots render byte-identically.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace catapult::obs
+
+#endif  // CATAPULT_OBS_EXPORT_H_

@@ -72,6 +72,10 @@ constexpr const char* kCounterNames[] = {
     "dist.net.duplicate_clusters",
     "dist.net.write_stalls",
     "dist.net.remote_clusters",
+    "obs.spans_merged",
+    "obs.spans_dropped",
+    "serve.slow_requests",
+    "serve.reqlog_dropped",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) == kNumCounters,
               "counter name table out of sync with the Counter enum");
@@ -94,11 +98,51 @@ constexpr const char* kHistNames[] = {
     "ckpt.record_bytes",
     "serve.request_millis",
     "dist.reconnect_millis",
+    "serve.queue_wait_millis",
 };
 static_assert(sizeof(kHistNames) / sizeof(kHistNames[0]) == kNumHists,
               "histogram name table out of sync with the Hist enum");
 
 }  // namespace
+
+uint64_t HistData::Quantile(double p) const {
+  if (count == 0) return 0;
+  if (p <= 0.0) return min;
+  if (p >= 1.0) return max;
+  // Rank of the target observation, 1-based.
+  const double target = p * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Linear interpolation across the bucket's value range. Bucket 0 holds
+    // only the value 0; bucket 64 is open-ended, so its upper edge clamps
+    // to the observed max.
+    if (b == 0) return std::clamp<uint64_t>(0, min, max);
+    const double lo = static_cast<double>(uint64_t{1} << (b - 1));
+    const double hi = b >= 64 ? static_cast<double>(max)
+                              : static_cast<double>((uint64_t{1} << b) - 1);
+    const double frac =
+        (target - static_cast<double>(cumulative)) / in_bucket;
+    const double value = lo + (hi - lo) * frac;
+    const uint64_t rounded = static_cast<uint64_t>(value + 0.5);
+    return std::clamp(rounded, min, max);
+  }
+  return max;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  enabled = enabled || other.enabled;
+  for (size_t i = 0; i < kNumCounters; ++i) counters[i] += other.counters[i];
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    gauges[i] = std::max(gauges[i], other.gauges[i]);
+  }
+  for (size_t i = 0; i < kNumHists; ++i) hists[i].MergeFrom(other.hists[i]);
+}
 
 const char* CounterName(Counter c) {
   return kCounterNames[static_cast<size_t>(c)];
@@ -187,11 +231,15 @@ std::string HumanSummary(const MetricsSnapshot& snapshot, bool include_zeros) {
     const HistData& h = snapshot.hists[i];
     if (h.count == 0 && !include_zeros) continue;
     std::snprintf(line, sizeof(line),
-                  "  %-24s count=%llu mean=%.1f min=%llu max=%llu\n",
+                  "  %-24s count=%llu mean=%.1f min=%llu max=%llu "
+                  "p50=%llu p95=%llu p99=%llu\n",
                   kHistNames[i], static_cast<unsigned long long>(h.count),
                   h.Mean(),
                   static_cast<unsigned long long>(h.count == 0 ? 0 : h.min),
-                  static_cast<unsigned long long>(h.max));
+                  static_cast<unsigned long long>(h.max),
+                  static_cast<unsigned long long>(h.Quantile(0.50)),
+                  static_cast<unsigned long long>(h.Quantile(0.95)),
+                  static_cast<unsigned long long>(h.Quantile(0.99)));
     out += line;
   }
   return out;

@@ -98,6 +98,10 @@ enum class Counter : uint32_t {
   kDistNetDuplicateClusters,  // re-delivered cluster results (idempotent)
   kDistNetWriteStalls,     // sends that hit the write-stall deadline
   kDistNetRemoteClusters,  // cluster results accepted from remote workers
+  kObsSpansMerged,         // worker spans imported into the merged trace
+  kObsSpansDropped,        // shipped spans discarded (trace mismatch/no tracer)
+  kServeSlowRequests,      // requests whose run time crossed --slow-request-ms
+  kServeReqlogDropped,     // request-log events dropped by the bounded queue
   kCount
 };
 
@@ -122,6 +126,7 @@ enum class Hist : uint32_t {
   kCheckpointRecordBytes,  // payload size of checkpoint records written
   kServeRequestMillis,   // admission-to-response latency per served request
   kDistReconnectMillis,  // death-to-rejoin latency per worker reconnect
+  kServeQueueWaitMillis,  // admission-to-worker-pickup wait per served request
   kCount
 };
 
@@ -171,6 +176,11 @@ struct HistData {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+  // Estimated p-quantile (p in [0, 1]) by linear interpolation inside the
+  // log2 bucket holding the p-th observation, clamped to [min, max]. Exact
+  // at the extremes; within a factor-of-2 band elsewhere, which is all a
+  // log2 histogram can promise.
+  uint64_t Quantile(double p) const;
 };
 
 // One thread's private slice of the registry. Plain (non-atomic) fields:
@@ -256,6 +266,10 @@ struct MetricsSnapshot {
   const HistData& hist(Hist h) const {
     return hists[static_cast<size_t>(h)];
   }
+
+  // Folds `other` in: counters/histograms add, gauges keep the maximum.
+  // `enabled` ORs, so merging an empty snapshot is the identity.
+  void MergeFrom(const MetricsSnapshot& other);
 };
 
 // Human-readable multi-line rendering (used by the CLI's --print-stats).

@@ -1,0 +1,113 @@
+#include "src/obs/reqlog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace catapult::obs {
+
+std::string RequestLog::Start(const std::string& path, size_t capacity) {
+  if (started_) return "request log already started";
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return "request log open " + path + ": " + std::strerror(errno);
+  }
+  capacity_ = capacity == 0 ? 1 : capacity;
+  stop_ = false;
+  dropped_ = 0;
+  thread_ = std::thread(&RequestLog::WriterLoop, this);
+  started_ = true;
+  return "";
+}
+
+bool RequestLog::Record(const RequestLogEvent& event) {
+  if (!started_) return false;
+  std::string line = Render(event);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(std::move(line));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+uint64_t RequestLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void RequestLog::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  started_ = false;
+}
+
+void RequestLog::WriterLoop() {
+  for (;;) {
+    std::vector<std::string> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.empty() && stop_) return;
+    }
+    std::string out;
+    for (std::string& line : batch) {
+      out += line;
+      out += '\n';
+    }
+    size_t written = 0;
+    while (written < out.size()) {
+      const ssize_t n =
+          ::write(fd_, out.data() + written, out.size() - written);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // disk gone: drop the rest, never wedge the writer
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+}
+
+std::string RequestLog::Render(const RequestLogEvent& event) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("request_id").Value(event.request_id);
+  json.Key("budget").Value(event.budget_key);
+  json.Key("outcome").Value(event.outcome);
+  if (!event.detail.empty()) json.Key("detail").Value(event.detail);
+  json.Key("queue_wait_ms").Value(event.queue_wait_ms);
+  json.Key("run_ms").Value(event.run_ms);
+  json.Key("panel_patterns").Value(event.panel_patterns);
+  json.Key("panel_bytes").Value(event.panel_bytes);
+  json.Key("worker").Value(event.worker);
+  json.Key("slow").Value(event.slow);
+  if (event.trace_id != 0) {
+    json.Key("trace_id").Value(event.trace_id);
+    json.Key("parent_span_id").Value(event.parent_span_id);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace catapult::obs

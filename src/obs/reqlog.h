@@ -1,0 +1,76 @@
+#ifndef CATAPULT_OBS_REQLOG_H_
+#define CATAPULT_OBS_REQLOG_H_
+
+// Structured request log (DESIGN.md §16): one JSONL line per served,
+// shed, or failed request, written by a dedicated writer thread off a
+// bounded in-memory queue. Request-path threads only format a small struct
+// and enqueue under a short mutex; they never touch the filesystem, so a
+// slow disk cannot slow serving. When the queue is full the event is
+// *dropped* and counted (serve.reqlog_dropped) — losing a log line is
+// always preferable to backpressuring the request path.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace catapult::obs {
+
+// One request's outcome, as recorded by the server.
+struct RequestLogEvent {
+  uint64_t request_id = 0;
+  std::string budget_key;  // "eta_min-eta_max x gamma"
+  std::string outcome;     // ok | cache_hit | shed | error | degraded
+  std::string detail;      // shed reason / error message, "" otherwise
+  double queue_wait_ms = 0.0;
+  double run_ms = 0.0;
+  uint64_t panel_patterns = 0;
+  uint64_t panel_bytes = 0;
+  int worker = -1;  // serving worker thread index; -1 = event-loop path
+  bool slow = false;
+  uint64_t trace_id = 0;        // propagated client context, 0 = none
+  uint64_t parent_span_id = 0;  // propagated client context
+};
+
+class RequestLog {
+ public:
+  RequestLog() = default;
+  ~RequestLog() { Stop(); }
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  // Opens `path` for append and starts the writer thread. Returns "" on
+  // success, else the error. `capacity` bounds the in-memory queue.
+  std::string Start(const std::string& path, size_t capacity = 1024);
+
+  bool started() const { return started_; }
+
+  // Enqueues one event; drops it (returning false) when the queue is full
+  // or the log is not running. Thread-safe; never blocks on I/O.
+  bool Record(const RequestLogEvent& event);
+
+  uint64_t dropped() const;
+
+  // Flushes the queue and stops the writer thread. Idempotent.
+  void Stop();
+
+ private:
+  void WriterLoop();
+  static std::string Render(const RequestLogEvent& event);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  size_t capacity_ = 0;
+  uint64_t dropped_ = 0;
+  bool stop_ = false;
+  bool started_ = false;
+  int fd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace catapult::obs
+
+#endif  // CATAPULT_OBS_REQLOG_H_

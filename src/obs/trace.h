@@ -39,7 +39,23 @@ struct TraceEvent {
   uint64_t span_id = 0;
   uint64_t parent_id = 0;  // 0 = root
   int tid = 0;             // small per-tracer thread index
+  int pid = 0;             // process track; 0 renders as 1 (the host process)
   // Non-zero counter deltas over the span's lifetime on its own thread.
+  std::vector<std::pair<Counter, uint64_t>> counter_deltas;
+};
+
+// Wire-portable record of one completed span, as shipped by shard workers
+// back to the supervisor in completion frames. Span/parent ids are local to
+// the worker's batch; ImportShardSpans remaps them into the merged tracer's
+// id space. Timestamps are normalized (relative to the batch's earliest
+// open) so merged traces are independent of worker wall clocks.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root within the batch
+  uint32_t tid = 0;
   std::vector<std::pair<Counter, uint64_t>> counter_deltas;
 };
 
@@ -59,9 +75,41 @@ class Tracer {
 
   size_t event_count() const;
 
+  // Distributed-trace correlation id carried in CTWF frames; 0 = unset.
+  // Workers echo it back with their span buffers, and ToJson surfaces it as
+  // a top-level "traceId" key when non-zero.
+  void SetTraceId(uint64_t id) {
+    trace_id_.store(id, std::memory_order_relaxed);
+  }
+  uint64_t trace_id() const {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
+  // Names a process track ("ph":"M" process_name metadata in ToJson). The
+  // host process is pid 1; merged worker shards get stable pids above it.
+  void SetProcessName(int pid, std::string name);
+
+  // Removes all buffered events and returns them as wire-portable records
+  // with timestamps normalized to the batch's earliest span open. Used by
+  // shard workers to ship their buffer in the completion frame.
+  std::vector<SpanRecord> DrainSpans();
+
+  // Merges one worker's shipped span batch onto process track `pid`:
+  // assigns fresh span ids in record order, rewrites parent links (unknown
+  // or zero parents attach to a synthetic root named `root_name` that spans
+  // the whole batch), and rebases timestamps at `base_ns`. The root is
+  // parented under `parent_span_id` in this tracer's id space. Returns the
+  // number of spans imported (excluding the synthetic root). Deterministic:
+  // equal batches imported in equal order produce identical events.
+  size_t ImportShardSpans(const std::vector<SpanRecord>& spans, int pid,
+                          uint64_t parent_span_id,
+                          const std::string& root_name, uint64_t base_ns);
+
   // The full Chrome trace document:
   // {"traceEvents": [...], "displayTimeUnit": "ms"}. Timestamps and
   // durations are microseconds, as the trace-event format specifies.
+  // Process-name metadata events come first (by pid), then completed spans
+  // in emission order — no sorting, so output is deterministic.
   std::string ToJson() const;
   bool WriteFile(const std::string& path) const;
 
@@ -71,7 +119,9 @@ class Tracer {
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::map<std::thread::id, int> tids_;
+  std::map<int, std::string> process_names_;
   std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> trace_id_{0};
 };
 
 // RAII span. Construct with the owning tracer (null = inert) and the

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -139,6 +140,7 @@ ServeClient::MineOutcome ServeClient::Mine(const MineRequest& request,
         return outcome;
       }
       outcome.kind = MineOutcome::Kind::kShed;
+      outcome.request_id = outcome.shed.request_id;
       return outcome;
     case dist::FrameType::kServeError: {
       ErrorReply err;
@@ -148,6 +150,7 @@ ServeClient::MineOutcome ServeClient::Mine(const MineRequest& request,
       }
       outcome.kind = MineOutcome::Kind::kError;
       outcome.error = err.message;
+      outcome.request_id = err.request_id;
       return outcome;
     }
     default:
@@ -158,11 +161,21 @@ ServeClient::MineOutcome ServeClient::Mine(const MineRequest& request,
 
 ServeClient::MineOutcome ServeClient::MineWithRetry(const MineRequest& request,
                                                     size_t max_attempts,
-                                                    double timeout_ms) {
+                                                    double timeout_ms,
+                                                    std::string* retry_log) {
   MineOutcome outcome;
   for (size_t attempt = 0; attempt + 1 < max_attempts; ++attempt) {
     outcome = Mine(request, timeout_ms);
     if (outcome.kind != MineOutcome::Kind::kShed) return outcome;
+    if (retry_log != nullptr) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "retry attempt=%zu shed=%s request_id=%llu backoff_ms=%g\n",
+                    attempt + 1, ToString(outcome.shed.reason),
+                    static_cast<unsigned long long>(outcome.shed.request_id),
+                    outcome.shed.retry_after_ms);
+      retry_log->append(line);
+    }
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         outcome.shed.retry_after_ms));
   }
@@ -203,7 +216,7 @@ ServeClient::MineOutcome ServeClient::Mine(const MineRequest&, double) {
   return outcome;
 }
 ServeClient::MineOutcome ServeClient::MineWithRetry(const MineRequest&, size_t,
-                                                    double) {
+                                                    double, std::string*) {
   return Mine(MineRequest{}, 0.0);
 }
 std::string ServeClient::Ping(PongReply*, double) {

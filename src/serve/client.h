@@ -42,6 +42,10 @@ class ServeClient {
     Panel panel;
     ShedReply shed;
     std::string error;
+    // Server-assigned request id from a shed/error reply (0 when the server
+    // never assigned one, e.g. transport failures or panel replies). Joins
+    // client-side retry logs with the server's structured request log.
+    uint64_t request_id = 0;
   };
 
   // One request/reply exchange. `timeout_ms` bounds the wait for the reply
@@ -49,9 +53,13 @@ class ServeClient {
   MineOutcome Mine(const MineRequest& request, double timeout_ms = 30000.0);
 
   // As Mine, but a shed reply is retried after its retry_after_ms hint, up
-  // to `max_attempts` total attempts (the last shed is then returned).
+  // to `max_attempts` total attempts (the last shed is then returned). When
+  // `retry_log` is non-null, one line per retried shed is appended to it
+  // (reason, server request id, backoff) so operators can join client
+  // retries against the server's request log.
   MineOutcome MineWithRetry(const MineRequest& request, size_t max_attempts,
-                            double timeout_ms = 30000.0);
+                            double timeout_ms = 30000.0,
+                            std::string* retry_log = nullptr);
 
   // Liveness probe. Empty string on success (and `pong` filled), else the
   // transport error.

@@ -42,6 +42,8 @@ std::string Encode(const MineRequest& m) {
   out.PutU64(m.gamma);
   out.PutDouble(m.deadline_ms);
   out.PutU8(m.bypass_cache ? 1 : 0);
+  out.PutU64(m.trace_id);
+  out.PutU64(m.parent_span_id);
   return out.TakeBuffer();
 }
 
@@ -53,6 +55,8 @@ bool Decode(const std::string& payload, MineRequest* m) {
   m->gamma = in.GetU64();
   m->deadline_ms = in.GetDouble();
   m->bypass_cache = in.GetU8() != 0;
+  m->trace_id = in.GetU64();
+  m->parent_span_id = in.GetU64();
   return FinishDecode(in);
 }
 
@@ -75,6 +79,7 @@ std::string Encode(const ShedReply& m) {
   out.PutU32(static_cast<uint32_t>(m.reason));
   out.PutDouble(m.retry_after_ms);
   out.PutU64(m.queue_depth);
+  out.PutU64(m.request_id);
   return out.TakeBuffer();
 }
 
@@ -83,6 +88,7 @@ bool Decode(const std::string& payload, ShedReply* m) {
   const uint32_t reason = in.GetU32();
   m->retry_after_ms = in.GetDouble();
   m->queue_depth = in.GetU64();
+  m->request_id = in.GetU64();
   if (!FinishDecode(in)) return false;
   if (reason < static_cast<uint32_t>(ShedReason::kQueueFull) ||
       reason > static_cast<uint32_t>(ShedReason::kSessionLimit)) {
@@ -95,12 +101,14 @@ bool Decode(const std::string& payload, ShedReply* m) {
 std::string Encode(const ErrorReply& m) {
   BinaryWriter out;
   out.PutString(m.message);
+  out.PutU64(m.request_id);
   return out.TakeBuffer();
 }
 
 bool Decode(const std::string& payload, ErrorReply* m) {
   BinaryReader in(payload);
   m->message = in.GetString();
+  m->request_id = in.GetU64();
   return FinishDecode(in);
 }
 

@@ -19,7 +19,9 @@ namespace catapult::serve {
 
 // Bumped when an encoding changes shape. Carried in every request so a
 // server can reject clients from a different build instead of mis-decoding.
-inline constexpr uint32_t kProtocolVersion = 1;
+// v2: trace context (trace_id, parent_span_id) in MineRequest; request ids
+// in ShedReply/ErrorReply.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 // Client -> server: one canned-pattern panel request. The server owns the
 // database and the clustering options; a request only picks the pattern
@@ -37,6 +39,12 @@ struct MineRequest {
   // Skip the result cache and recompute (bit-identity audits; the recomputed
   // panel must byte-match the cached one).
   bool bypass_cache = false;
+  // Distributed-trace context (DESIGN.md §16; both 0 = untraced). The
+  // server records its per-request span against this id and stamps both
+  // into the structured request log, so one trace id follows a request
+  // across client retries and into the server's telemetry.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 // The deterministic panel section of a response: label names (so a client
@@ -73,12 +81,17 @@ struct ShedReply {
   ShedReason reason = ShedReason::kQueueFull;
   double retry_after_ms = 100.0;
   uint64_t queue_depth = 0;
+  // Server-assigned request id (0 = unassigned), matching the server's
+  // structured request-log line so a client-side retry log and the server
+  // log can be joined on one key.
+  uint64_t request_id = 0;
 };
 
 // Server -> client: the request was understood but invalid (e.g. a budget
 // violating Definition 3.1). The connection stays healthy.
 struct ErrorReply {
   std::string message;
+  uint64_t request_id = 0;  // server-assigned; 0 = unassigned
 };
 
 // Liveness/status probe and its echo.

@@ -14,6 +14,10 @@
 #include <vector>
 
 #include "src/dist/wire.h"
+#include "src/obs/admin.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/reqlog.h"
 #include "src/serve/protocol.h"
 #include "src/util/failpoint.h"
 
@@ -93,6 +97,7 @@ struct Server::Impl {
   struct Job {
     int fd = -1;
     uint64_t generation = 0;
+    uint64_t request_id = 0;
     MineRequest request;
     Deadline deadline;
     CancelToken cancel;  // the owning session's token
@@ -159,6 +164,13 @@ struct Server::Impl {
   std::thread event_thread;
   std::vector<std::thread> workers;
 
+  // Observability (DESIGN.md §16). Request ids are assigned at frame
+  // handling, stamped into shed/error replies and every request-log line.
+  std::atomic<uint64_t> next_request_id{1};
+  obs::RequestLog reqlog;
+  obs::AdminServer admin;
+  Clock::time_point start_time{};
+
   ~Impl() { CloseStartupFds(); }
 
   void CloseStartupFds() {
@@ -190,6 +202,56 @@ struct Server::Impl {
     std::lock_guard<std::mutex> lock(metrics_mutex);
     published.enabled = true;
     MergeSnapshot(delta, &published);
+  }
+
+  static std::string BudgetKey(const MineRequest& req) {
+    return std::to_string(req.eta_min) + "-" + std::to_string(req.eta_max) +
+           "x" + std::to_string(req.gamma);
+  }
+
+  // Enqueues one request-log line; a full queue drops it (counted). Called
+  // from the event loop and workers only — both carry a TLS metrics scope.
+  void LogRequest(const obs::RequestLogEvent& ev) {
+    if (!reqlog.started()) return;
+    if (!reqlog.Record(ev)) obs::Count(obs::Counter::kServeReqlogDropped);
+  }
+
+  // Admin-endpoint handler, invoked on the admin server's thread. Only
+  // thread-safe observers are touched: Metrics() merges published deltas
+  // under its own mutex, and the rest are atomics.
+  obs::AdminResponse HandleAdmin(const std::string& path) {
+    obs::AdminResponse resp;
+    if (path == "/metrics") {
+      resp.body = obs::RenderPrometheusText(self->Metrics());
+    } else if (path == "/statusz") {
+      obs::JsonWriter w;
+      w.BeginObject();
+      w.Key("uptime_ms");
+      w.Value(MillisSince(start_time, Clock::now()));
+      w.Key("fingerprint");
+      w.Value(corpus != nullptr ? corpus->fingerprint : uint64_t{0});
+      w.Key("corpus_complete");
+      w.Value(corpus != nullptr && corpus->complete);
+      w.Key("socket_path");
+      w.Value(options.socket_path);
+      w.Key("draining");
+      w.Value(self->draining());
+      w.Key("sessions");
+      w.Value(static_cast<uint64_t>(self->active_sessions()));
+      w.Key("queue_depth");
+      w.Value(static_cast<uint64_t>(self->queue_depth()));
+      w.Key("requests_assigned");
+      w.Value(next_request_id.load(std::memory_order_relaxed) - 1);
+      w.Key("request_log_dropped");
+      w.Value(reqlog.dropped());
+      w.EndObject();
+      resp.body = w.str() + "\n";
+      resp.content_type = "application/json";
+    } else {
+      resp.status = 404;
+      resp.body = "not found\n";
+    }
+    return resp;
   }
 
   bool CacheLookup(const MineRequest& req, std::string* panel) {
@@ -235,13 +297,25 @@ struct Server::Impl {
     if (was_empty) s.last_write_progress = Clock::now();
   }
 
-  void QueueShed(Session& s, ShedReason reason) {
+  void QueueShed(Session& s, ShedReason reason, uint64_t request_id = 0,
+                 const MineRequest* req = nullptr) {
     ShedReply shed;
     shed.reason = reason;
     shed.retry_after_ms = options.retry_after_ms;
     shed.queue_depth = QueueDepth();
+    shed.request_id = request_id;
     QueueFrame(s, dist::FrameType::kServeShed, Encode(shed));
     obs::Count(obs::Counter::kServeShed);
+    obs::RequestLogEvent ev;
+    ev.request_id = request_id;
+    ev.outcome = "shed";
+    ev.detail = ToString(reason);
+    if (req != nullptr) {
+      ev.budget_key = BudgetKey(*req);
+      ev.trace_id = req->trace_id;
+      ev.parent_span_id = req->parent_span_id;
+    }
+    LogRequest(ev);
   }
 
   void CloseSession(int fd) {
@@ -354,22 +428,34 @@ struct Server::Impl {
 
   void HandleMineRequest(int fd, Session& s, const MineRequest& req) {
     obs::Count(obs::Counter::kServeRequests);
-    if (req.protocol_version != kProtocolVersion) {
+    const uint64_t request_id =
+        next_request_id.fetch_add(1, std::memory_order_relaxed);
+    auto reply_error = [&](const std::string& message) {
       ErrorReply err;
-      err.message = "protocol version mismatch";
+      err.message = message;
+      err.request_id = request_id;
       QueueFrame(s, dist::FrameType::kServeError, Encode(err));
+      obs::RequestLogEvent ev;
+      ev.request_id = request_id;
+      ev.budget_key = BudgetKey(req);
+      ev.outcome = "error";
+      ev.detail = message;
+      ev.trace_id = req.trace_id;
+      ev.parent_span_id = req.parent_span_id;
+      LogRequest(ev);
+    };
+    if (req.protocol_version != kProtocolVersion) {
+      reply_error("protocol version mismatch");
       return;
     }
     CatapultOptions opts = RequestOptions(req);
     const std::vector<OptionsError> errors = ValidateCatapultOptions(opts);
     if (!errors.empty()) {
-      ErrorReply err;
-      err.message = errors.front().field + ": " + errors.front().message;
-      QueueFrame(s, dist::FrameType::kServeError, Encode(err));
+      reply_error(errors.front().field + ": " + errors.front().message);
       return;
     }
     if (self->draining()) {
-      QueueShed(s, ShedReason::kDraining);
+      QueueShed(s, ShedReason::kDraining, request_id, &req);
       return;
     }
     if (!req.bypass_cache) {
@@ -377,6 +463,14 @@ struct Server::Impl {
       if (CacheLookup(req, &panel)) {
         obs::Count(obs::Counter::kServeCacheHits);
         obs::Count(obs::Counter::kServeResponses);
+        obs::RequestLogEvent ev;
+        ev.request_id = request_id;
+        ev.budget_key = BudgetKey(req);
+        ev.outcome = "cache_hit";
+        ev.panel_bytes = panel.size();
+        ev.trace_id = req.trace_id;
+        ev.parent_span_id = req.parent_span_id;
+        LogRequest(ev);
         MineReply reply;
         reply.cache_hit = true;
         reply.panel = std::move(panel);
@@ -401,6 +495,7 @@ struct Server::Impl {
         Job job;
         job.fd = fd;
         job.generation = s.generation;
+        job.request_id = request_id;
         job.request = req;
         double deadline_ms = req.deadline_ms > 0.0
                                  ? req.deadline_ms
@@ -419,9 +514,11 @@ struct Server::Impl {
         queue_cv.notify_one();
       }
     }
-    if (verdict == Admit::kShedQueue) QueueShed(s, ShedReason::kQueueFull);
+    if (verdict == Admit::kShedQueue) {
+      QueueShed(s, ShedReason::kQueueFull, request_id, &req);
+    }
     if (verdict == Admit::kShedMemory) {
-      QueueShed(s, ShedReason::kMemoryPressure);
+      QueueShed(s, ShedReason::kMemoryPressure, request_id, &req);
     }
   }
 
@@ -647,7 +744,7 @@ struct Server::Impl {
         active_jobs++;
         running[worker_index] = job.cancel;
       }
-      RunJob(job, worker_metrics);
+      RunJob(job, worker_metrics, worker_index);
       {
         std::lock_guard<std::mutex> lock(queue_mutex);
         active_jobs--;
@@ -656,7 +753,8 @@ struct Server::Impl {
     }
   }
 
-  void RunJob(const Job& job, obs::MetricsRegistry& metrics) {
+  void RunJob(const Job& job, obs::MetricsRegistry& metrics,
+              size_t worker_index) {
     // Test hook: hold the job so chaos tests can pile up the queue or
     // disconnect the client mid-request.
     while (CATAPULT_FAILPOINT("serve.worker_hold") && !job.cancel.Cancelled() &&
@@ -668,9 +766,19 @@ struct Server::Impl {
     done.generation = job.generation;
     if (!job.cancel.Cancelled() &&
         !workers_stop.load(std::memory_order_relaxed)) {
+      const double queue_wait_ms = MillisSince(job.admitted, Clock::now());
+      obs::Observe(obs::Hist::kServeQueueWaitMillis,
+                   static_cast<uint64_t>(queue_wait_ms));
       const CatapultOptions opts = RequestOptions(job.request);
+      obs::Tracer* tracer = options.enable_tracing ? &self->tracer_ : nullptr;
+      // The request span parents under the client's propagated span id —
+      // ids are only meaningful within one trace id, which the request
+      // carries alongside.
+      obs::Span request_span(tracer, "serve.request",
+                             job.request.parent_span_id);
       RunContext ctx(job.deadline, job.cancel, memory);
-      ctx = ctx.WithObservability(&metrics, nullptr);
+      ctx = ctx.WithObservability(&metrics, tracer);
+      const Clock::time_point run_start = Clock::now();
       const CatapultResult result =
           RunCatapultSelection(*db, *corpus, opts, ctx);
 
@@ -693,6 +801,24 @@ struct Server::Impl {
       obs::Observe(obs::Hist::kServeRequestMillis,
                    static_cast<uint64_t>(
                        MillisSince(job.admitted, Clock::now())));
+      request_span.Close();
+      const double run_ms = MillisSince(run_start, Clock::now());
+      const bool slow =
+          options.slow_request_ms > 0.0 && run_ms > options.slow_request_ms;
+      if (slow) obs::Count(obs::Counter::kServeSlowRequests);
+      obs::RequestLogEvent ev;
+      ev.request_id = job.request_id;
+      ev.budget_key = BudgetKey(job.request);
+      ev.outcome = panel.degraded ? "degraded" : "ok";
+      ev.queue_wait_ms = queue_wait_ms;
+      ev.run_ms = run_ms;
+      ev.panel_patterns = panel.patterns.size();
+      ev.panel_bytes = panel_bytes.size();
+      ev.worker = static_cast<int>(worker_index);
+      ev.slow = slow;
+      ev.trace_id = job.request.trace_id;
+      ev.parent_span_id = job.request.parent_span_id;
+      LogRequest(ev);
     }
     // Publish before queueing the completion: once a client can observe
     // the reply, this job's counters are already visible in Metrics().
@@ -759,7 +885,7 @@ std::string Server::Start(const GraphDatabase& db, const ServeOptions& options,
     impl->corpus = prepared;
   } else {
     RunContext prepare_ctx(Deadline::Infinite(), CancelToken(), impl->memory);
-    prepare_ctx = prepare_ctx.WithObservability(&metrics_, nullptr);
+    prepare_ctx = prepare_ctx.WithObservability(&metrics_, &tracer_);
     impl->owned_corpus = PrepareCorpus(db, options.pipeline, prepare_ctx);
     if (!impl->owned_corpus.ok()) {
       return "options: " + impl->owned_corpus.option_errors.front().field +
@@ -801,6 +927,24 @@ std::string Server::Start(const GraphDatabase& db, const ServeOptions& options,
 
   socket_path_ = options.socket_path;
   impl_ = std::move(impl);
+  impl_->start_time = Clock::now();
+  // Deterministic trace id for the serving process: the corpus fingerprint
+  // folded with the seed, matching what a one-shot run of the same config
+  // would stamp, so client and server trace files correlate.
+  if (options.enable_tracing && tracer_.trace_id() == 0) {
+    tracer_.SetTraceId(impl_->corpus->fingerprint ^ options.pipeline.seed);
+  }
+  if (!options.request_log_path.empty()) {
+    const std::string log_err = impl_->reqlog.Start(options.request_log_path);
+    if (!log_err.empty()) return "request-log: " + log_err;
+  }
+  if (!options.admin_listen.empty()) {
+    const std::string admin_err = impl_->admin.Start(
+        options.admin_listen, [impl = impl_.get()](const std::string& path) {
+          return impl->HandleAdmin(path);
+        });
+    if (!admin_err.empty()) return "admin: " + admin_err;
+  }
   impl_->running.resize(impl_->options.worker_threads);
   impl_->event_thread = std::thread([this] { impl_->EventLoop(); });
   impl_->workers.reserve(impl_->options.worker_threads);
@@ -839,7 +983,12 @@ void Server::Stop() {
   for (std::thread& w : impl_->workers) w.join();
   impl_->loop_stop.store(true, std::memory_order_relaxed);
   impl_->Wake();
-  impl_->event_thread.join();
+  // Start may fail between installing impl_ and spawning threads (request
+  // log / admin endpoint errors), so the joins must tolerate never-started
+  // threads.
+  if (impl_->event_thread.joinable()) impl_->event_thread.join();
+  impl_->admin.Stop();
+  impl_->reqlog.Stop();  // flushes the queue
   impl_->stopped = true;
 }
 

@@ -8,6 +8,7 @@
 
 #include "src/core/catapult.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 // Resident pattern-selection service (DESIGN.md §13). A Server loads a
 // graph database once, prepares the budget-independent clustering/CSG
@@ -87,6 +88,23 @@ struct ServeOptions {
   // decay) used for every request. Per-request deadlines come from the
   // protocol, so pipeline.deadline_ms applies to corpus preparation only.
   CatapultOptions pipeline;
+
+  // --- Observability (DESIGN.md §16) ----------------------------------------
+  // Admin endpoint ("unix:PATH" / "tcp:HOST:PORT"; empty = disabled)
+  // serving /metrics (Prometheus text), /statusz (JSON) and /healthz on its
+  // own listener + thread, scrape-safe while requests are in flight.
+  std::string admin_listen;
+  // Structured request log: one JSONL line per served/shed/failed request,
+  // appended asynchronously (empty = disabled).
+  std::string request_log_path;
+  // Requests whose selection runtime exceeds this are counted
+  // (serve.slow_requests) and flagged slow=true in the request log
+  // (0 = never).
+  double slow_request_ms = 0.0;
+  // Record per-request spans (plus the selection pipeline's spans) into
+  // tracer(). Off by default: a loaded server's span buffer grows without
+  // bound until the owner writes/clears it.
+  bool enable_tracing = false;
 };
 
 // The resident server. Start spawns the event-loop and worker threads and
@@ -138,6 +156,12 @@ class Server {
   // Corpus preparation diagnostics (valid after a successful Start).
   const PreparedCorpus& corpus() const;
 
+  // The server's tracer: corpus-preparation spans always land here, and
+  // per-request spans do when options.enable_tracing is set. Thread-safe to
+  // write into; owners typically WriteFile after Stop (--trace-out).
+  obs::Tracer* tracer() { return &tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -146,6 +170,7 @@ class Server {
   std::atomic<bool> draining_{false};
   std::string socket_path_;
   obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
 };
 
 }  // namespace catapult::serve

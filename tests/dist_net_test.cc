@@ -25,6 +25,8 @@
 #include "src/dist/net_worker.h"
 #include "src/dist/registry.h"
 #include "src/dist/wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/persist/checkpoint.h"
 #include "src/persist/codec.h"
 #include "src/persist/record_io.h"
@@ -134,6 +136,8 @@ TEST(DistNetWireTest, ShardAssignRoundTripsClustersAndStreams) {
   in.deadline_remaining_ms = 1234.5;
   in.mem_soft_limit_bytes = 1 << 20;
   in.mem_hard_limit_bytes = 2 << 20;
+  in.trace_id = 0xfeedface12345678ull;
+  in.parent_span_id = 42;
   dist::ClusterWork a;
   a.index = 0;
   a.members = {3, 1, 4, 1, 5};
@@ -150,6 +154,8 @@ TEST(DistNetWireTest, ShardAssignRoundTripsClustersAndStreams) {
   EXPECT_EQ(out.generation, 5u);
   EXPECT_EQ(out.deadline_remaining_ms, 1234.5);
   EXPECT_EQ(out.mem_hard_limit_bytes, 2u << 20);
+  EXPECT_EQ(out.trace_id, 0xfeedface12345678ull);
+  EXPECT_EQ(out.parent_span_id, 42u);
   ASSERT_EQ(out.clusters.size(), 2u);
   EXPECT_EQ(out.clusters[0].members, a.members);
   EXPECT_EQ(out.clusters[0].stream.words, a.stream.words);
@@ -193,6 +199,71 @@ TEST(DistNetWireTest, ClusterResultRoundTripsPayloadBytes) {
   EXPECT_EQ(out.generation, 2u);
   EXPECT_EQ(out.cluster_index, 11u);
   EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(DistNetWireTest, ShardDoneRoundTripsTraceContextAndSpans) {
+  dist::ShardDoneFrame in;
+  in.shard = 1;
+  in.clusters_done = 3;
+  in.counters.assign(obs::kNumCounters, 0);
+  in.counters[static_cast<size_t>(obs::Counter::kVf2Calls)] = 17;
+  in.trace_id = 0x1122334455667788ull;
+  obs::SpanRecord root;
+  root.name = "worker.shard";
+  root.start_ns = 0;
+  root.dur_ns = 5000;
+  root.span_id = 1;
+  root.parent_id = 0;
+  root.tid = 0;
+  obs::SpanRecord child;
+  child.name = "cluster-7";
+  child.start_ns = 1000;
+  child.dur_ns = 2000;
+  child.span_id = 2;
+  child.parent_id = 1;
+  child.tid = 1;
+  child.counter_deltas = {{obs::Counter::kVf2Calls, 17}};
+  in.spans = {root, child};
+
+  const std::string bytes = dist::Encode(in);
+  dist::ShardDoneFrame out;
+  ASSERT_TRUE(dist::Decode(bytes, &out));
+  EXPECT_EQ(out.shard, 1u);
+  EXPECT_EQ(out.clusters_done, 3u);
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  ASSERT_EQ(out.spans.size(), 2u);
+  EXPECT_EQ(out.spans[0].name, "worker.shard");
+  EXPECT_EQ(out.spans[0].dur_ns, 5000u);
+  EXPECT_EQ(out.spans[1].name, "cluster-7");
+  EXPECT_EQ(out.spans[1].parent_id, 1u);
+  EXPECT_EQ(out.spans[1].tid, 1u);
+  ASSERT_EQ(out.spans[1].counter_deltas.size(), 1u);
+  EXPECT_EQ(out.spans[1].counter_deltas[0].first, obs::Counter::kVf2Calls);
+  EXPECT_EQ(out.spans[1].counter_deltas[0].second, 17u);
+
+  // Truncation at every prefix: never a crash, never a huge allocation.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    dist::ShardDoneFrame trunc;
+    EXPECT_FALSE(dist::Decode(bytes.substr(0, len), &trunc)) << len;
+  }
+
+  // A hostile span count (claiming more spans than the payload could hold)
+  // is rejected before any allocation.
+  dist::ShardDoneFrame empty;
+  empty.counters.assign(obs::kNumCounters, 0);
+  std::string small = dist::Encode(empty);
+  // Flip the span-count field (last 8 bytes of the no-span encoding) to a
+  // huge value; the decoder's payload-size bound must reject it.
+  for (size_t i = small.size() - 8; i < small.size(); ++i) small[i] = '\xff';
+  dist::ShardDoneFrame bad;
+  EXPECT_FALSE(dist::Decode(small, &bad));
+
+  // A counter delta naming an out-of-range counter index is corruption.
+  dist::ShardDoneFrame bad_delta = in;
+  bad_delta.spans[1].counter_deltas = {
+      {static_cast<obs::Counter>(obs::kNumCounters + 5), 1}};
+  dist::ShardDoneFrame decoded;
+  EXPECT_FALSE(dist::Decode(dist::Encode(bad_delta), &decoded));
 }
 
 TEST(DistNetWireTest, NewFrameTypesAcceptedByReader) {
@@ -761,6 +832,147 @@ TEST_F(DistNetFleetTest, DuplicatedDeliveryIsCountedAndIgnored) {
   EXPECT_EQ(WaitWorker(w), 0);
   ExpectSameResult(expected_, actual);
   EXPECT_GE(actual.execution.dist.duplicate_clusters, 1u);
+}
+
+// --- cross-process trace propagation (DESIGN.md §16) ------------------------
+
+// Counts non-overlapping occurrences of `needle` in `hay`.
+size_t CountOccurrences(const std::string& hay, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// The merge invariant every chaos variant below re-asserts: each shard's
+// worker spans appear AT MOST once in the merged trace (duplicated or
+// fenced deliveries never double-merge), merged shards sit on their own
+// named process track under a supervisor-side shard span, and at least
+// `min_merged_shards` shards contributed a tree. A shard whose span buffer
+// died with a SIGKILLed worker before shipping is legitimately absent —
+// lost, not duplicated.
+void ExpectMergedTraceInvariants(const obs::Tracer& tracer, size_t shards,
+                                 size_t min_merged_shards) {
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"traceId\""), std::string::npos);
+  size_t merged_shards = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const std::string tag = std::to_string(s);
+    const size_t sup =
+        CountOccurrences(json, "\"name\":\"dist.shard-" + tag + "\"");
+    const size_t roots =
+        CountOccurrences(json, "\"name\":\"worker.shard-" + tag + "\"");
+    EXPECT_LE(sup, 1u) << json.substr(0, 2000);
+    EXPECT_LE(roots, 1u) << json.substr(0, 2000);
+    // A merged shard has both halves and a named process track; an unmerged
+    // shard has neither (no orphaned supervisor spans either way).
+    EXPECT_EQ(sup, roots) << "shard " << s;
+    EXPECT_EQ(CountOccurrences(json, "\"catapult shard " + tag + "\""), roots);
+    merged_shards += roots;
+  }
+  EXPECT_GE(merged_shards, min_merged_shards);
+}
+
+TEST_F(DistNetFleetTest, RemoteFleetMergesWorkerSpansIntoOneTrace) {
+  std::string dir = ScratchDir("trace");
+  CatapultOptions options = FleetOptions(2);
+  options.dist_listen = "unix:" + dir + "/sup.sock";
+  pid_t w1 = SpawnWorker(WorkerOpts(options.dist_listen));
+  pid_t w2 = SpawnWorker(WorkerOpts(options.dist_listen));
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  RunContext ctx = RunContext::NoLimit().WithObservability(&registry, &tracer);
+  CatapultResult actual = RunCatapult(db_, options, ctx);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(WaitWorker(w1), 0);
+  EXPECT_EQ(WaitWorker(w2), 0);
+  ExpectSameResult(expected_, actual);  // tracing changes nothing
+
+  ASSERT_GT(actual.execution.dist.shards, 0u);
+  ExpectMergedTraceInvariants(tracer, actual.execution.dist.shards,
+                              actual.execution.dist.shards);
+  EXPECT_NE(tracer.trace_id(), 0u);
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(snap.counter(obs::Counter::kObsSpansMerged), 0u);
+  EXPECT_EQ(snap.counter(obs::Counter::kObsSpansDropped), 0u);
+}
+
+TEST_F(DistNetFleetTest, DuplicatedShardDoneMergesSpansExactlyOnce) {
+  std::string dir = ScratchDir("dupdone");
+  CatapultOptions options = FleetOptions(2);
+  options.dist_listen = "unix:" + dir + "/sup.sock";
+  // Every shard-completion frame is delivered twice; the supervisor must
+  // merge each shard's span buffer exactly once.
+  pid_t w = SpawnWorker(WorkerOpts(options.dist_listen), [] {
+    failpoint::Arm(dist::kFailpointDupShardDone, -1);
+    failpoint::Arm(dist::kFailpointDupClusterResult, -1);
+  });
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  RunContext ctx = RunContext::NoLimit().WithObservability(&registry, &tracer);
+  CatapultResult actual = RunCatapult(db_, options, ctx);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(WaitWorker(w), 0);
+  ExpectSameResult(expected_, actual);
+  ExpectMergedTraceInvariants(tracer, actual.execution.dist.shards,
+                              actual.execution.dist.shards);
+}
+
+TEST_F(DistNetFleetTest, SigkilledWorkerRetryLeavesNoDuplicateSpans) {
+  std::string dir = ScratchDir("killtrace");
+  CatapultOptions options = FleetOptions(2);
+  options.dist_listen = "unix:" + dir + "/sup.sock";
+  // The victim dies mid-shard (its span buffer dies with it, never
+  // shipped); the survivor recarries the shard and ships its own buffer.
+  // The merged trace must hold exactly one span tree per shard — no
+  // orphans from the dead attempt, no duplicates from the retry.
+  pid_t victim = SpawnWorker(WorkerOpts(options.dist_listen), [] {
+    failpoint::Arm(dist::kFailpointKillAfterFirstResult, 1);
+  });
+  pid_t survivor = SpawnWorker(WorkerOpts(options.dist_listen));
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  RunContext ctx = RunContext::NoLimit().WithObservability(&registry, &tracer);
+  CatapultResult actual = RunCatapult(db_, options, ctx);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(WaitWorker(victim), 128 + SIGKILL);
+  EXPECT_EQ(WaitWorker(survivor), 0);
+  ExpectSameResult(expected_, actual);
+  EXPECT_GE(actual.execution.dist.worker_deaths, 1u);
+  ExpectMergedTraceInvariants(tracer, actual.execution.dist.shards,
+                              /*min_merged_shards=*/1);
+}
+
+TEST_F(DistNetFleetTest, FencedZombieFramesNeverPolluteTheTrace) {
+  std::string dir = ScratchDir("zombietrace");
+  CatapultOptions options = FleetOptions(2);
+  options.dist_listen = "unix:" + dir + "/sup.sock";
+  options.shard_heartbeat_timeout_ms = 250.0;
+  options.shard_backoff_base_ms = 500.0;
+  options.shard_backoff_cap_ms = 2000.0;
+  // Same zombie arrangement as the fencing test above, now with tracing:
+  // the zombie's late frames arrive from a retired generation and must be
+  // discarded before they can inject spans; the rejoined worker's second
+  // attempt supplies the shard's single span tree.
+  dist::RemoteWorkerOptions wopts = WorkerOpts(options.dist_listen);
+  wopts.stall_test_ms = 1500.0;
+  pid_t w = SpawnWorker(wopts, [] {
+    failpoint::Arm(dist::kFailpointDelayHeartbeat, 1);
+    failpoint::Arm(dist::kFailpointStallBeforeResult, 1);
+  });
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  RunContext ctx = RunContext::NoLimit().WithObservability(&registry, &tracer);
+  CatapultResult actual = RunCatapult(db_, options, ctx);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(WaitWorker(w), 0);
+  ExpectSameResult(expected_, actual);
+  EXPECT_GE(actual.execution.dist.fenced_frames, 1u);
+  ExpectMergedTraceInvariants(tracer, actual.execution.dist.shards,
+                              actual.execution.dist.shards);
 }
 
 TEST_F(DistNetFleetTest, SigkilledWorkerShardReassignedToSurvivor) {

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -19,11 +22,20 @@
 #include "src/core/report.h"
 #include "src/data/molecule_generator.h"
 #include "src/graph/algorithms.h"
+#include "src/obs/admin.h"
 #include "src/obs/clock.h"
+#include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reqlog.h"
 #include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 
 namespace catapult {
 namespace {
@@ -107,6 +119,60 @@ TEST(MetricsTest, HistDataRecordAndMerge) {
   EXPECT_EQ(a.min, 1u);
   EXPECT_EQ(a.max, 100u);
   EXPECT_DOUBLE_EQ(a.Mean(), 36.0);
+}
+
+TEST(MetricsTest, QuantileInterpolatesLog2Buckets) {
+  obs::HistData empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+
+  obs::HistData same;
+  for (int i = 0; i < 100; ++i) same.Record(7);
+  EXPECT_EQ(same.Quantile(0.5), 7u);
+  EXPECT_EQ(same.Quantile(0.95), 7u);
+  EXPECT_EQ(same.Quantile(0.99), 7u);
+
+  obs::HistData spread;
+  spread.Record(1);
+  spread.Record(1000);
+  EXPECT_EQ(spread.Quantile(0.0), 1u);
+  EXPECT_EQ(spread.Quantile(1.0), 1000u);
+  // p50's target rank lands in the first populated bucket (value 1).
+  EXPECT_EQ(spread.Quantile(0.5), 1u);
+  // Quantiles are always clamped into [min, max].
+  for (double p : {0.01, 0.25, 0.5, 0.9, 0.999}) {
+    const uint64_t q = spread.Quantile(p);
+    EXPECT_GE(q, 1u) << p;
+    EXPECT_LE(q, 1000u) << p;
+  }
+}
+
+TEST(MetricsTest, SnapshotMergeFromAddsCountersAndMaxesGauges) {
+  obs::MetricsSnapshot a;
+  a.counters[static_cast<size_t>(obs::Counter::kVf2Calls)] = 3;
+  a.gauges[static_cast<size_t>(obs::Gauge::kPoolThreads)] = 2;
+  a.hists[static_cast<size_t>(obs::Hist::kPcpEdges)].Record(10);
+  obs::MetricsSnapshot b;
+  b.enabled = true;
+  b.counters[static_cast<size_t>(obs::Counter::kVf2Calls)] = 4;
+  b.gauges[static_cast<size_t>(obs::Gauge::kPoolThreads)] = 7;
+  b.hists[static_cast<size_t>(obs::Hist::kPcpEdges)].Record(30);
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.enabled);
+  EXPECT_EQ(a.counter(obs::Counter::kVf2Calls), 7u);
+  EXPECT_EQ(a.gauge(obs::Gauge::kPoolThreads), 7u);
+  EXPECT_EQ(a.hist(obs::Hist::kPcpEdges).count, 2u);
+  EXPECT_EQ(a.hist(obs::Hist::kPcpEdges).sum, 40u);
+}
+
+TEST(MetricsTest, HumanSummaryIncludesQuantiles) {
+  obs::MetricsSnapshot snap;
+  snap.enabled = true;
+  obs::HistData& h = snap.hists[static_cast<size_t>(obs::Hist::kPcpEdges)];
+  for (int i = 0; i < 50; ++i) h.Record(9);
+  std::string text = obs::HumanSummary(snap);
+  EXPECT_NE(text.find("p50=9"), std::string::npos) << text;
+  EXPECT_NE(text.find("p95=9"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99=9"), std::string::npos) << text;
 }
 
 // ---------------------------------------------------------------------------
@@ -496,6 +562,269 @@ TEST(ObsPipelineTest, ReportWithoutRegistryHasDisabledMetrics) {
   std::string json = SelectionReportJson(empty, labels);
   ExpectStructurallyValidJson(json);
   EXPECT_NE(json.find("\"enabled\": false"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (DESIGN.md §16)
+
+TEST(PrometheusExportTest, NameMapping) {
+  EXPECT_EQ(obs::PrometheusName("vf2.calls"), "catapult_vf2_calls");
+  EXPECT_EQ(obs::PrometheusName("serve.queue_wait_millis"),
+            "catapult_serve_queue_wait_millis");
+}
+
+TEST(PrometheusExportTest, RendersEveryMetricDeterministically) {
+  obs::MetricsSnapshot snap;
+  snap.counters[static_cast<size_t>(obs::Counter::kVf2Calls)] = 3;
+  snap.gauges[static_cast<size_t>(obs::Gauge::kPoolThreads)] = 4;
+  obs::HistData& h =
+      snap.hists[static_cast<size_t>(obs::Hist::kPcpEdges)];
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);  // bucket 3 (values 4..7)
+  const std::string text = obs::RenderPrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE catapult_vf2_calls counter\n"
+                      "catapult_vf2_calls 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE catapult_pool_threads gauge\n"
+                      "catapult_pool_threads 4\n"),
+            std::string::npos);
+  // Cumulative buckets: le edges 0, 1, 3, 7; +Inf always equals count.
+  const std::string hist_name = obs::PrometheusName(
+      obs::HistName(obs::Hist::kPcpEdges));
+  EXPECT_NE(text.find("# TYPE " + hist_name + " histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find(hist_name + "_count 3\n"), std::string::npos);
+  // Trailing all-zero buckets are trimmed: no le edge past 7.
+  EXPECT_EQ(text.find(hist_name + "_bucket{le=\"15\"}"), std::string::npos);
+  // Every metric appears, and equal snapshots render byte-identically.
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    const std::string name =
+        obs::PrometheusName(obs::CounterName(static_cast<obs::Counter>(i)));
+    EXPECT_NE(text.find("# TYPE " + name + " counter\n"), std::string::npos)
+        << name;
+  }
+  EXPECT_EQ(text, obs::RenderPrometheusText(snap));
+}
+
+// ---------------------------------------------------------------------------
+// Admin endpoint + request log
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// One admin exchange over a raw AF_UNIX socket: send `request`, read to EOF.
+std::string AdminExchange(const std::string& socket_path,
+                          const std::string& request) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return "";
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)!::write(fd, request.data(), request.size());
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(AdminServerTest, ServesHandlerPathsAndBuiltinHealthz) {
+  const std::string dir = ObsScratchDir("admin");
+  const std::string path = dir + "/admin.sock";
+  obs::AdminServer admin;
+  std::string err = admin.Start("unix:" + path, [](const std::string& p) {
+    obs::AdminResponse r;
+    if (p == "/metrics") {
+      r.body = "catapult_up 1\n";
+      return r;
+    }
+    r.status = 404;
+    r.body = "not found\n";
+    return r;
+  });
+  ASSERT_EQ(err, "");
+  ASSERT_TRUE(admin.started());
+
+  // Bare-path form.
+  std::string metrics = AdminExchange(path, "/metrics\n");
+  EXPECT_NE(metrics.find("200"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("catapult_up 1\n"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Length:"), std::string::npos) << metrics;
+
+  // HTTP request-line form (what curl sends).
+  std::string curl = AdminExchange(
+      path, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(curl.find("catapult_up 1\n"), std::string::npos) << curl;
+
+  // /healthz is answered built-in, without consulting the handler.
+  std::string health = AdminExchange(path, "/healthz\n");
+  EXPECT_NE(health.find("ok\n"), std::string::npos) << health;
+
+  // Unknown paths surface the handler's 404.
+  std::string missing = AdminExchange(path, "/nope\n");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  EXPECT_GE(admin.requests_served(), 4u);
+  admin.Stop();
+  EXPECT_FALSE(admin.started());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AdminServerTest, RejectsUnbindableAddress) {
+  obs::AdminServer admin;
+  EXPECT_NE(admin.Start("bogus:address", [](const std::string&) {
+    return obs::AdminResponse{};
+  }),
+            "");
+  EXPECT_FALSE(admin.started());
+}
+
+#endif  // __unix__ || __APPLE__
+
+TEST(RequestLogTest, WritesOneJsonLinePerEvent) {
+  const std::string dir = ObsScratchDir("reqlog");
+  const std::string path = dir + "/requests.jsonl";
+  obs::RequestLog log;
+  ASSERT_EQ(log.Start(path), "");
+
+  obs::RequestLogEvent ok;
+  ok.request_id = 1;
+  ok.budget_key = "3-8x12";
+  ok.outcome = "ok";
+  ok.queue_wait_ms = 1.5;
+  ok.run_ms = 20.0;
+  ok.panel_patterns = 12;
+  ok.panel_bytes = 4096;
+  ok.worker = 0;
+  EXPECT_TRUE(log.Record(ok));
+
+  obs::RequestLogEvent shed;
+  shed.request_id = 2;
+  shed.budget_key = "3-8x12";
+  shed.outcome = "shed";
+  shed.detail = "queue_full";
+  shed.trace_id = 0xabcd;
+  shed.parent_span_id = 7;
+  EXPECT_TRUE(log.Record(shed));
+  log.Stop();
+
+  std::string contents = FileBytes(path);
+  ASSERT_FALSE(contents.empty());
+  EXPECT_NE(contents.find("\"request_id\":1"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"budget\":\"3-8x12\""), std::string::npos);
+  EXPECT_NE(contents.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(contents.find("\"outcome\":\"shed\""), std::string::npos);
+  EXPECT_NE(contents.find("\"detail\":\"queue_full\""), std::string::npos);
+  EXPECT_NE(contents.find("\"trace_id\":43981"), std::string::npos);
+  // Untraced events omit the trace keys entirely.
+  const size_t first_line_end = contents.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  EXPECT_EQ(contents.substr(0, first_line_end).find("trace_id"),
+            std::string::npos);
+  // One JSON object per line, structurally valid.
+  size_t lines = 0;
+  std::istringstream in(contents);
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+    ExpectStructurallyValidJson(line);
+  }
+  EXPECT_EQ(lines, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RequestLogTest, DropsWhenNotStarted) {
+  obs::RequestLog log;
+  obs::RequestLogEvent ev;
+  EXPECT_FALSE(log.Record(ev));
+  EXPECT_FALSE(log.started());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process span shipping (DESIGN.md §16)
+
+TEST(TracerTest, DrainSpansNormalizesTimestampsToBatchStart) {
+  g_test_ticks = 1000000;  // a worker whose clock did not start at zero
+  obs::ScopedTickSourceForTest scoped(&TestTicks);
+  obs::Tracer tracer;
+  {
+    obs::Span root(&tracer, "cluster-0");
+    obs::Span child(&tracer, "fold", root.id());
+  }
+  std::vector<obs::SpanRecord> spans = tracer.DrainSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(tracer.event_count(), 0u);  // drained
+  uint64_t min_start = UINT64_MAX;
+  for (const obs::SpanRecord& s : spans) {
+    min_start = std::min(min_start, s.start_ns);
+  }
+  EXPECT_EQ(min_start, 0u);  // wall-clock independent
+  // Parent links survive the trip: "fold" still points at "cluster-0".
+  const obs::SpanRecord& fold = spans[0].name == "fold" ? spans[0] : spans[1];
+  const obs::SpanRecord& cluster =
+      spans[0].name == "fold" ? spans[1] : spans[0];
+  EXPECT_EQ(fold.parent_id, cluster.span_id);
+}
+
+// The supervisor-side merge: imported batches land on their own process
+// track, parent-linked under the supervisor span, deterministically.
+TEST(TracerTest, ImportShardSpansIsDeterministicAndReparents) {
+  // A worker batch produced under a deterministic clock.
+  g_test_ticks = 0;
+  std::vector<obs::SpanRecord> batch;
+  {
+    obs::ScopedTickSourceForTest scoped(&TestTicks);
+    obs::Tracer worker;
+    {
+      obs::Span root(&worker, "cluster-0");
+      obs::Span child(&worker, "fold", root.id());
+    }
+    batch = worker.DrainSpans();
+  }
+  ASSERT_EQ(batch.size(), 2u);
+
+  auto merge = [&batch]() {
+    g_test_ticks = 0;
+    obs::ScopedTickSourceForTest scoped(&TestTicks);
+    obs::Tracer super;
+    super.SetTraceId(0x1234);
+    super.SetProcessName(2, "catapult shard 0");
+    obs::Span shard(&super, "dist.shard-0");
+    const size_t merged =
+        super.ImportShardSpans(batch, 2, shard.id(), "worker.shard-0", 0);
+    EXPECT_EQ(merged, 2u);
+    shard.Close();
+    return super.ToJson();
+  };
+  const std::string a = merge();
+  const std::string b = merge();
+  EXPECT_EQ(a, b);  // byte-stable across reruns under fixed ticks
+  EXPECT_NE(a.find("\"traceId\""), std::string::npos) << a;
+  EXPECT_NE(a.find("process_name"), std::string::npos) << a;
+  EXPECT_NE(a.find("catapult shard 0"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"worker.shard-0\""), std::string::npos) << a;
+  EXPECT_NE(a.find("\"pid\":2"), std::string::npos) << a;
+  // The supervisor's own span stays on the host process track.
+  EXPECT_NE(a.find("\"pid\":1"), std::string::npos) << a;
 }
 
 }  // namespace
